@@ -1,0 +1,141 @@
+// Command mpnserver serves the Meeting Point Notification protocol over
+// TCP: one connection per user, groups assembled by group id, safe regions
+// computed with the configured method and shipped in the compact region
+// encoding (the Fig. 3 architecture as a real network service).
+//
+// Usage:
+//
+//	mpnserver [-listen :7464] [-method circle|tile|tiled] [-agg max|sum]
+//	          [-n 21287] [-alpha 30] [-buffer 100] [-seed 42] [-pois FILE.csv]
+//
+// POIs are generated synthetically unless -pois points to a CSV of "x,y"
+// lines (as produced by cmd/poigen).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"mpn/internal/core"
+	"mpn/internal/geom"
+	"mpn/internal/gnn"
+	"mpn/internal/proto"
+	"mpn/internal/workload"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("mpnserver: ")
+
+	listen := flag.String("listen", ":7464", "TCP listen address")
+	method := flag.String("method", "tiled", "safe-region method: circle, tile, or tiled")
+	agg := flag.String("agg", "max", "objective: max or sum")
+	n := flag.Int("n", workload.DefaultPOICount, "synthetic POI count (ignored with -pois)")
+	alpha := flag.Int("alpha", 30, "tile limit α")
+	buffer := flag.Int("buffer", 100, "buffering parameter b")
+	seed := flag.Int64("seed", 42, "synthetic POI seed")
+	poiPath := flag.String("pois", "", "CSV file of x,y POIs (optional)")
+	flag.Parse()
+
+	pois, err := loadPOIs(*poiPath, *n, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := core.DefaultOptions()
+	opts.TileLimit = *alpha
+	opts.Buffer = *buffer
+	opts.Directed = *method == "tiled"
+	switch *agg {
+	case "max":
+		opts.Aggregate = gnn.Max
+	case "sum":
+		opts.Aggregate = gnn.Sum
+	default:
+		log.Fatalf("unknown aggregate %q", *agg)
+	}
+	planner, err := core.NewPlanner(pois, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	plan := func(users []geom.Point) (geom.Point, []core.SafeRegion, error) {
+		var p core.Plan
+		var perr error
+		if *method == "circle" {
+			p, perr = planner.CircleMSR(users)
+		} else {
+			p, perr = planner.TileMSR(users, nil)
+		}
+		if perr != nil {
+			return geom.Point{}, nil, perr
+		}
+		return p.Best.Item.P, p.Regions, nil
+	}
+
+	coord := proto.NewCoordinator(plan, log.Default())
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %d POIs with %s/%s on %s", len(pois), *method, *agg, ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			if err := coord.ServeConn(conn); err != nil {
+				log.Printf("conn %v: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// loadPOIs reads a poigen CSV or generates a synthetic set.
+func loadPOIs(path string, n int, seed int64) ([]geom.Point, error) {
+	if path == "" {
+		cfg := workload.DefaultPOIConfig()
+		cfg.N = n
+		cfg.Seed = seed
+		return workload.GeneratePOIs(cfg)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var pts []geom.Point
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text == "x,y" {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("%s:%d: want x,y", path, line)
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		y, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, line, err)
+		}
+		pts = append(pts, geom.Pt(x, y))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}

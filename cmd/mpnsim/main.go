@@ -1,0 +1,110 @@
+// Command mpnsim runs a single Meeting Point Notification simulation and
+// prints the full metric breakdown: update frequency, message and packet
+// counts, region payload bytes, server CPU, and planner work counters.
+//
+// Usage:
+//
+//	mpnsim [-method circle|tile|tiled] [-agg max|sum] [-m 3] [-n 21287]
+//	       [-steps 2000] [-speed 0.0004] [-buffer 0] [-alpha 30] [-level 2]
+//	       [-dataset geolife|oldenburg] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"mpn/internal/gnn"
+	"mpn/internal/sim"
+	"mpn/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mpnsim: ")
+
+	method := flag.String("method", "tiled", "safe-region method: circle, tile, or tiled")
+	agg := flag.String("agg", "max", "objective: max (MPN) or sum (Sum-MPN)")
+	m := flag.Int("m", 3, "user group size")
+	n := flag.Int("n", workload.DefaultPOICount, "POI cardinality")
+	steps := flag.Int("steps", 2000, "timestamps to simulate")
+	speed := flag.Float64("speed", 0.0004, "speed limit V (distance per timestamp)")
+	buffer := flag.Int("buffer", 0, "buffering parameter b (0 disables)")
+	alpha := flag.Int("alpha", 30, "tile limit α")
+	level := flag.Int("level", 2, "split level L")
+	dataset := flag.String("dataset", "geolife", "trajectory model: geolife or oldenburg")
+	seed := flag.Int64("seed", 7, "random seed")
+	flag.Parse()
+
+	var simMethod sim.Method
+	switch *method {
+	case "circle":
+		simMethod = sim.MethodCircle
+	case "tile":
+		simMethod = sim.MethodTile
+	case "tiled":
+		simMethod = sim.MethodTileD
+	default:
+		log.Fatalf("unknown method %q", *method)
+	}
+	var aggregate gnn.Aggregate
+	switch *agg {
+	case "max":
+		aggregate = gnn.Max
+	case "sum":
+		aggregate = gnn.Sum
+	default:
+		log.Fatalf("unknown aggregate %q", *agg)
+	}
+
+	poiCfg := workload.DefaultPOIConfig()
+	poiCfg.N = *n
+	poiCfg.Seed = *seed
+	pois, err := workload.GeneratePOIs(poiCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	setCfg := workload.SetConfig{
+		NumTrajectories: *m, Steps: *steps, Speed: *speed, Seed: *seed,
+	}
+	var set *workload.TrajectorySet
+	switch *dataset {
+	case "geolife":
+		set, err = workload.GenerateGeoLifeSet(setCfg)
+	case "oldenburg":
+		set, err = workload.GenerateOldenburgSet(setCfg)
+	default:
+		log.Fatalf("unknown dataset %q", *dataset)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := sim.MethodConfig(simMethod, aggregate, *buffer)
+	cfg.Core.TileLimit = *alpha
+	cfg.Core.SplitLevel = *level
+
+	fmt.Printf("config: %s on %s, m=%d, n=%d, %d steps, V=%g, α=%d, L=%d\n\n",
+		sim.Describe(cfg), set.Name, *m, len(pois), *steps, *speed, *alpha, *level)
+
+	start := time.Now()
+	met, err := sim.Run(pois, set.Trajs, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("timestamps:        %d\n", met.Timestamps)
+	fmt.Printf("updates:           %d (%.1f per 1k timestamps)\n", met.Updates, met.UpdateFrequency())
+	fmt.Printf("uplink messages:   %d\n", met.UplinkMessages)
+	fmt.Printf("downlink messages: %d\n", met.DownlinkMessages)
+	fmt.Printf("packets:           %d (%.1f per 1k timestamps)\n", met.Packets, met.PacketsPerK())
+	fmt.Printf("region bytes:      %d\n", met.RegionBytes)
+	fmt.Printf("server CPU:        %v total, %v per update\n", met.ServerCPU.Round(time.Microsecond), met.CPUPerUpdate().Round(time.Microsecond))
+	fmt.Printf("wall clock:        %v\n\n", wall.Round(time.Millisecond))
+	fmt.Printf("planner: %d GNN calls, %d index accesses, %d candidates, %d tile verifies, %d tiles accepted, %d rejected\n",
+		met.PlanStats.GNNCalls, met.PlanStats.IndexAccesses, met.PlanStats.CandidatesChecked,
+		met.PlanStats.TileVerifies, met.PlanStats.TilesAccepted, met.PlanStats.TilesRejected)
+}

@@ -1,0 +1,151 @@
+// Command mpnviz renders the safe regions of one meeting-point
+// computation as ASCII art, making the shapes of Sections 4–5 visible:
+// the rmax circles, the tile regions grown around each user (with their
+// quarter-tile fringes), and the directed variant's travel-cone bias.
+//
+// Usage:
+//
+//	mpnviz [-method circle|tile|tiled] [-m 3] [-n 4000] [-alpha 20]
+//	       [-seed 7] [-width 72]
+//
+// Legend: digits 1..m mark user locations, '*' the optimal meeting point,
+// '·' POIs, and each user's region is shaded with her own letter
+// (a, b, c, …).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"mpn/internal/core"
+	"mpn/internal/geom"
+	"mpn/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mpnviz: ")
+
+	method := flag.String("method", "tiled", "circle, tile, or tiled")
+	m := flag.Int("m", 3, "group size")
+	n := flag.Int("n", 4000, "POI count")
+	alpha := flag.Int("alpha", 20, "tile limit α")
+	seed := flag.Int64("seed", 7, "random seed")
+	width := flag.Int("width", 72, "viewport width in characters")
+	flag.Parse()
+
+	poiCfg := workload.DefaultPOIConfig()
+	poiCfg.N = *n
+	poiCfg.Seed = *seed
+	pois, err := workload.GeneratePOIs(poiCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := core.DefaultOptions()
+	opts.TileLimit = *alpha
+	opts.Directed = *method == "tiled"
+	planner, err := core.NewPlanner(pois, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	center := geom.Pt(0.3+0.4*rng.Float64(), 0.3+0.4*rng.Float64())
+	users := make([]geom.Point, *m)
+	dirs := make([]core.Direction, *m)
+	for i := range users {
+		users[i] = geom.Pt(
+			center.X+(rng.Float64()-0.5)*0.06,
+			center.Y+(rng.Float64()-0.5)*0.06,
+		)
+		dirs[i] = core.Direction{Angle: rng.Float64() * 2 * math.Pi, Theta: math.Pi / 3}
+	}
+
+	var plan core.Plan
+	if *method == "circle" {
+		plan, err = planner.CircleMSR(users)
+	} else {
+		plan, err = planner.TileMSR(users, dirs)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Viewport: the union of all regions plus margin.
+	view := plan.Regions[0].BoundingRect()
+	for _, r := range plan.Regions[1:] {
+		view = view.Union(r.BoundingRect())
+	}
+	view = view.UnionPoint(plan.Best.Item.P)
+	margin := 0.15 * math.Max(view.Width(), view.Height())
+	view.Min = view.Min.Add(geom.Pt(-margin, -margin))
+	view.Max = view.Max.Add(geom.Pt(margin, margin))
+
+	w := *width
+	h := int(float64(w) * view.Height() / view.Width() / 2) // terminal cells are ~2:1
+	if h < 8 {
+		h = 8
+	}
+	grid := make([][]byte, h)
+	for y := range grid {
+		grid[y] = make([]byte, w)
+		for x := range grid[y] {
+			grid[y][x] = ' '
+		}
+	}
+	cell := func(p geom.Point) (int, int, bool) {
+		cx := int((p.X - view.Min.X) / view.Width() * float64(w))
+		cy := int((p.Y - view.Min.Y) / view.Height() * float64(h))
+		if cx < 0 || cx >= w || cy < 0 || cy >= h {
+			return 0, 0, false
+		}
+		return cx, h - 1 - cy, true // y grows upward on screen
+	}
+
+	// Shade regions (sampling the center of every character cell).
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			p := geom.Pt(
+				view.Min.X+(float64(x)+0.5)/float64(w)*view.Width(),
+				view.Min.Y+(float64(h-1-y)+0.5)/float64(h)*view.Height(),
+			)
+			for i, r := range plan.Regions {
+				if r.Contains(p) {
+					if grid[y][x] == ' ' {
+						grid[y][x] = byte('a' + i%26)
+					} else {
+						grid[y][x] = '+' // overlap of two users' regions
+					}
+				}
+			}
+		}
+	}
+	// POIs.
+	for _, p := range pois {
+		if cx, cy, ok := cell(p); ok && grid[cy][cx] == ' ' {
+			grid[cy][cx] = '.'
+		}
+	}
+	// Users and the meeting point.
+	for i, u := range users {
+		if cx, cy, ok := cell(u); ok {
+			grid[cy][cx] = byte('1' + i%9)
+		}
+	}
+	if cx, cy, ok := cell(plan.Best.Item.P); ok {
+		grid[cy][cx] = '*'
+	}
+
+	fmt.Printf("method=%s m=%d n=%d  meeting=* at %v\n", *method, *m, len(pois), plan.Best.Item.P)
+	fmt.Printf("viewport %v\n", view)
+	for _, row := range grid {
+		fmt.Println(string(row))
+	}
+	for i, r := range plan.Regions {
+		fmt.Printf("user %d (%c): %v, heading %.2f rad\n", i+1, 'a'+i%26, r, dirs[i].Angle)
+	}
+}

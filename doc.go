@@ -1,0 +1,39 @@
+// Package mpn is a library for Meeting Point Notification: continuously
+// reporting the optimal meeting point for a group of moving users, with
+// independent safe regions that minimize client–server communication.
+//
+// It reproduces the system of Li, Thomsen, Yiu and Mamoulis, "Efficient
+// Notification of Meeting Points for Moving Groups via Independent Safe
+// Regions" (ICDE 2013 / TKDE 2015). Given a set of points of interest P
+// and a group of users U, the server reports the POI minimizing the
+// maximum user distance (or, in the sum-optimal variant, the total user
+// distance) together with one safe region per user: as long as every user
+// stays inside her own region, the reported meeting point is guaranteed to
+// remain optimal and nobody needs to contact the server.
+//
+// # Quick start
+//
+//	server, err := mpn.NewServer(pois, mpn.WithMethod(mpn.TileDirected))
+//	group, err := server.Register(userLocations, nil) // dirs optional
+//	p := group.MeetingPoint()          // the current optimum
+//	r := group.Region(0)               // user 0's safe region
+//	// ... user 0 moves to loc ...
+//	if group.NeedsUpdate(0, loc) {
+//	    group.Update(allCurrentLocations, dirs)
+//	}
+//
+// Three safe-region strategies are provided: Circle (cheap to compute,
+// escapes often), Tile (tile-based regions approximating the maximal safe
+// region), and TileDirected (tiles grown toward each user's travel
+// direction — the paper's best method). The buffering optimization
+// (WithBuffer) makes tile computation touch the POI index exactly once per
+// update.
+//
+// The internal packages implement the full substrate from scratch: an
+// R-tree (internal/rtree), top-k group nearest neighbor search
+// (internal/gnn), the safe-region algorithms (internal/core), a compact
+// safe-region wire codec (internal/tileenc), synthetic road networks and
+// mobility models (internal/roadnet, internal/mobility), and the
+// experiment harness reproducing every figure of the paper
+// (internal/experiments, cmd/mpnbench).
+package mpn

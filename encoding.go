@@ -1,0 +1,18 @@
+package mpn
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// appendFloat appends a little-endian IEEE-754 float64.
+func appendFloat(buf []byte, v float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return append(buf, b[:]...)
+}
+
+// floatAt reads a little-endian float64 at offset.
+func floatAt(data []byte, off int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(data[off : off+8]))
+}

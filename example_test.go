@@ -1,0 +1,80 @@
+package mpn_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mpn"
+)
+
+// ExampleNewServer shows the full registration / escape / update cycle.
+func ExampleNewServer() {
+	// A deterministic POI grid so the output is stable.
+	var pois []mpn.Point
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			pois = append(pois, mpn.Pt(float64(i)/10+0.05, float64(j)/10+0.05))
+		}
+	}
+	server, err := mpn.NewServer(pois, mpn.WithMethod(mpn.Circle))
+	if err != nil {
+		panic(err)
+	}
+
+	users := []mpn.Point{mpn.Pt(0.22, 0.22), mpn.Pt(0.28, 0.28)}
+	group, err := server.Register(users, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("meeting point:", group.MeetingPoint())
+	fmt.Println("user 0 inside own region:", !group.NeedsUpdate(0, users[0]))
+	fmt.Println("far location escapes:", group.NeedsUpdate(0, mpn.Pt(0.9, 0.9)))
+	// Output:
+	// meeting point: (0.25, 0.25)
+	// user 0 inside own region: true
+	// far location escapes: true
+}
+
+// ExampleWithAggregate contrasts the two objectives on a skewed group.
+func ExampleWithAggregate() {
+	pois := []mpn.Point{mpn.Pt(0.2, 0), mpn.Pt(0.45, 0)}
+	// Two users far apart: u1 at 0, u2 at 1 (on the x axis).
+	users := []mpn.Point{mpn.Pt(0, 0), mpn.Pt(1, 0)}
+
+	maxServer, _ := mpn.NewServer(pois, mpn.WithAggregate(mpn.MinimizeMax), mpn.WithMethod(mpn.Circle))
+	g1, _ := maxServer.Register(users, nil)
+	fmt.Println("minimize-max picks:", g1.MeetingPoint()) // closest to the midpoint
+
+	sumServer, _ := mpn.NewServer(pois, mpn.WithAggregate(mpn.MinimizeSum), mpn.WithMethod(mpn.Circle))
+	g2, _ := sumServer.Register(users, nil)
+	// Between the users every point has the same sum, so both lots tie;
+	// the reported one still minimizes the sum.
+	p := g2.MeetingPoint()
+	fmt.Println("minimize-sum total:", p.Dist(users[0])+p.Dist(users[1]))
+	// Output:
+	// minimize-max picks: (0.45, 0)
+	// minimize-sum total: 1
+}
+
+// ExampleEncodeRegion round-trips a safe region through the wire format.
+func ExampleEncodeRegion() {
+	rng := rand.New(rand.NewSource(1))
+	pois := make([]mpn.Point, 200)
+	for i := range pois {
+		pois[i] = mpn.Pt(rng.Float64(), rng.Float64())
+	}
+	server, _ := mpn.NewServer(pois, mpn.WithMethod(mpn.Tile), mpn.WithTileLimit(5))
+	group, _ := server.Register([]mpn.Point{mpn.Pt(0.5, 0.5)}, nil)
+
+	region := group.Region(0)
+	payload := mpn.EncodeRegion(region)
+	decoded, err := mpn.DecodeRegion(payload)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("tiles survive round trip:", decoded.NumTiles() == region.NumTiles())
+	fmt.Println("payload under a packet:", len(payload) < 536)
+	// Output:
+	// tiles survive round trip: true
+	// payload under a packet: true
+}

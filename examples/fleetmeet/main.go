@@ -1,0 +1,99 @@
+// Fleetmeet: the Sum-MPN scenario of Section 6. A carpool group wants the
+// rendezvous parking lot minimizing the TOTAL distance driven (fuel), and
+// agrees to share the total cost evenly — members below the average
+// contribute the difference to those above it. The sum-optimal meeting
+// point plus independent safe regions keeps both the recommendation and
+// the cost split current while everyone drives.
+//
+// Run with: go run ./examples/fleetmeet
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mpn"
+)
+
+const costPerUnit = 42.0 // fuel money per map unit driven
+
+func main() {
+	log.SetFlags(0)
+	rng := rand.New(rand.NewSource(7))
+
+	// 1,000 candidate parking lots.
+	lots := make([]mpn.Point, 1000)
+	for i := range lots {
+		lots[i] = mpn.Pt(rng.Float64(), rng.Float64())
+	}
+
+	server, err := mpn.NewServer(lots,
+		mpn.WithAggregate(mpn.MinimizeSum),
+		mpn.WithMethod(mpn.Tile),
+		mpn.WithTileLimit(8),
+		mpn.WithBuffer(40),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	drivers := []mpn.Point{
+		mpn.Pt(0.12, 0.40), mpn.Pt(0.45, 0.85), mpn.Pt(0.80, 0.30), mpn.Pt(0.55, 0.15),
+	}
+	group, err := server.Register(drivers, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	printSplit := func(tag string) {
+		lot := group.MeetingPoint()
+		total := 0.0
+		dists := make([]float64, len(drivers))
+		for i, d := range drivers {
+			dists[i] = d.Dist(lot)
+			total += dists[i]
+		}
+		avg := total / float64(len(drivers))
+		fmt.Printf("%s: lot %v, total fuel cost %.2f\n", tag, lot, total*costPerUnit)
+		for i, d := range dists {
+			transfer := (avg - d) * costPerUnit
+			switch {
+			case transfer > 0.005:
+				fmt.Printf("  driver %d drives %.3f, pays %.2f into the pool\n", i+1, d, transfer)
+			case transfer < -0.005:
+				fmt.Printf("  driver %d drives %.3f, receives %.2f from the pool\n", i+1, d, -transfer)
+			default:
+				fmt.Printf("  driver %d drives %.3f, breaks even\n", i+1, d)
+			}
+		}
+	}
+	printSplit("initial plan")
+
+	// Everyone drives toward the lot; driver 3 takes a detour east first.
+	contacts := 0
+	for t := 1; t <= 250; t++ {
+		lot := group.MeetingPoint()
+		for i := range drivers {
+			target := lot
+			if i == 2 && t < 80 {
+				target = mpn.Pt(0.95, 0.50) // detour
+			}
+			dir := target.Sub(drivers[i])
+			if n := dir.Norm(); n > 1e-9 {
+				drivers[i] = drivers[i].Add(dir.Scale(0.0025 / n))
+			}
+		}
+		for i := range drivers {
+			if group.NeedsUpdate(i, drivers[i]) {
+				if err := group.Update(drivers, nil); err != nil {
+					log.Fatal(err)
+				}
+				contacts++
+				break
+			}
+		}
+	}
+	fmt.Printf("\nafter 250 timestamps and %d server contacts:\n\n", contacts)
+	printSplit("final plan")
+}

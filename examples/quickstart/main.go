@@ -1,0 +1,76 @@
+// Quickstart: index a POI set, register a moving group, and watch the
+// safe regions suppress server round-trips.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mpn"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A synthetic city: 5,000 POIs in the unit square.
+	rng := rand.New(rand.NewSource(1))
+	pois := make([]mpn.Point, 5000)
+	for i := range pois {
+		pois[i] = mpn.Pt(rng.Float64(), rng.Float64())
+	}
+
+	// The default server uses the paper's best method: directed tiles
+	// with buffering.
+	server, err := mpn.NewServer(pois)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server ready with %d POIs\n", server.NumPOIs())
+
+	// Three friends somewhere downtown.
+	users := []mpn.Point{
+		mpn.Pt(0.30, 0.30),
+		mpn.Pt(0.35, 0.28),
+		mpn.Pt(0.32, 0.36),
+	}
+	group, err := server.Register(users, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal meeting point: %v\n", group.MeetingPoint())
+	for i := range users {
+		fmt.Printf("user %d safe region: %v\n", i, group.Region(i))
+	}
+
+	// Walk the users north-east in small steps. Only escapes trigger
+	// server contact — count how much communication the regions save.
+	const steps = 400
+	contacts := 0
+	for t := 1; t <= steps; t++ {
+		for i := range users {
+			users[i] = users[i].Add(mpn.Pt(0.0005*rng.Float64(), 0.0005*rng.Float64()))
+		}
+		escaped := -1
+		for i, u := range users {
+			if group.NeedsUpdate(i, u) {
+				escaped = i
+				break
+			}
+		}
+		if escaped >= 0 {
+			contacts++
+			if err := group.Update(users, nil); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("\nafter %d timestamps: %d server contacts (%.1f%% suppressed)\n",
+		steps, contacts, 100*(1-float64(contacts)/steps))
+	fmt.Printf("final meeting point:  %v\n", group.MeetingPoint())
+	st := group.Stats()
+	fmt.Printf("server work: %d GNN calls, %d index accesses, %d tiles accepted\n",
+		st.GNNCalls, st.IndexAccesses, st.TilesAccepted)
+}

@@ -1,0 +1,115 @@
+// Tourality: the location-based-game scenario from the paper's
+// introduction. A team of distributed players races toward geographically
+// defined spots; MPN continuously points the team at the spot reachable
+// fastest (minimizing the slowest member's travel) while the directed tile
+// regions — grown along each player's heading — keep notification traffic
+// low even at running speed.
+//
+// Run with: go run ./examples/tourality
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"mpn"
+)
+
+func main() {
+	log.SetFlags(0)
+	rng := rand.New(rand.NewSource(3))
+
+	// 200 game spots scattered over the map.
+	spots := make([]mpn.Point, 200)
+	for i := range spots {
+		spots[i] = mpn.Pt(rng.Float64(), rng.Float64())
+	}
+
+	server, err := mpn.NewServer(spots,
+		mpn.WithMethod(mpn.TileDirected),
+		mpn.WithTileLimit(12),
+		mpn.WithBuffer(30),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A team of four players with individual headings.
+	players := []mpn.Point{
+		mpn.Pt(0.10, 0.10), mpn.Pt(0.15, 0.90), mpn.Pt(0.90, 0.15), mpn.Pt(0.85, 0.85),
+	}
+	headings := make([]float64, len(players))
+	for i := range headings {
+		headings[i] = rng.Float64() * 2 * math.Pi
+	}
+	dirsOf := func() []mpn.Direction {
+		dirs := make([]mpn.Direction, len(players))
+		for i, h := range headings {
+			dirs[i] = mpn.Direction{Angle: h, Theta: math.Pi / 3}
+		}
+		return dirs
+	}
+
+	group, err := server.Register(players, dirsOf())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first rally spot: %v\n", group.MeetingPoint())
+
+	// Players run: mostly straight, occasional course corrections, always
+	// drifting toward the current rally spot.
+	const steps = 500
+	const speed = 0.0018 // running pace
+	contacts, spotChanges := 0, 0
+	for t := 1; t <= steps; t++ {
+		target := group.MeetingPoint()
+		for i := range players {
+			toTarget := target.Sub(players[i]).Angle()
+			// Blend heading toward the target with some wobble.
+			headings[i] += 0.25*angleTo(headings[i], toTarget) + 0.1*(rng.Float64()-0.5)
+			players[i] = players[i].Add(
+				mpn.Pt(speed*math.Cos(headings[i]), speed*math.Sin(headings[i])))
+		}
+		for i := range players {
+			if group.NeedsUpdate(i, players[i]) {
+				before := group.MeetingPoint()
+				if err := group.Update(players, dirsOf()); err != nil {
+					log.Fatal(err)
+				}
+				contacts++
+				if group.MeetingPoint() != before {
+					spotChanges++
+				}
+				break
+			}
+		}
+	}
+	fmt.Printf("%d timestamps at running speed: %d server contacts, %d rally-spot changes\n",
+		steps, contacts, spotChanges)
+	fmt.Printf("final rally spot: %v\n", group.MeetingPoint())
+
+	// Show the region the laggard is allowed to roam.
+	worst, worstDist := 0, 0.0
+	for i, p := range players {
+		if d := p.Dist(group.MeetingPoint()); d > worstDist {
+			worst, worstDist = i, d
+		}
+	}
+	r := group.Region(worst)
+	fmt.Printf("slowest player %d is %.3f away; safe region %v spans %v\n",
+		worst+1, worstDist, r, r.BoundingRect())
+}
+
+// angleTo returns the signed smallest rotation from a to b.
+func angleTo(a, b float64) float64 {
+	d := math.Mod(b-a, 2*math.Pi)
+	if d > math.Pi {
+		d -= 2 * math.Pi
+	}
+	if d < -math.Pi {
+		d += 2 * math.Pi
+	}
+	return d
+}

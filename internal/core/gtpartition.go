@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+
+	"mpn/internal/geom"
+)
+
+// This file implements GT-Verify exactly as the paper's Algorithm 4
+// states it — the four-way tile partition of Theorem 2 — alongside the
+// linear-time exact reformulation in verify.go (gtVerifyMax). The
+// partition form is kept for fidelity and for the ablation/property tests
+// that pin down the relationship between the two:
+//
+//   - both are sound (never accept an invalid tile), and
+//   - the partition form is conservative: it may reject tiles that the
+//     exact form (and the ground-truth IT-Verify enumeration) accepts,
+//     because its case-4 fallback tests unions of tile groups with
+//     Lemma 1 rather than the groups individually.
+//
+// The planner uses the exact form by default; PartitionVerify exists so
+// the paper's algorithm is runnable and measurable as published.
+
+// gtVerifyPartition is Algorithm 4 (GT-Verify). ts.users[i] must hold
+// exactly the new tile {s}; other entries hold the existing regions.
+func gtVerifyPartition(ts tileSets, i int, po, p geom.Point) bool {
+	m := len(ts.users)
+	s := ts.users[i][0]
+
+	// Line 1: the plain Lemma 1 test on ⟨R1,…,{s}i,…,Rm⟩.
+	if verifySets(ts.users, po, p) {
+		return true
+	}
+	if m == 1 {
+		// Single user: line 1 was exact (the group is just {s}).
+		return false
+	}
+
+	// Partition each Rj by the new tile's dominant distances
+	// do = ‖p°,s‖max and dp = ‖p,s‖min (line 3).
+	do := s.MaxDist(po)
+	dp := s.MinDist(p)
+
+	type parts struct {
+		dd, ud, du, uu []geom.Rect // G↓↓, G↑↓, G↓↑, G↑↑
+	}
+	part := make([]parts, m)
+	for j := 0; j < m; j++ {
+		if j == i {
+			continue
+		}
+		for _, t := range ts.users[j] {
+			tu := t.MaxDist(po) >= do // ↑ on the p° side
+			tp := t.MinDist(p) >= dp  // ↑ on the p side
+			switch {
+			case !tu && !tp:
+				part[j].dd = append(part[j].dd, t)
+			case tu && !tp:
+				part[j].ud = append(part[j].ud, t)
+			case !tu && tp:
+				part[j].du = append(part[j].du, t)
+			default:
+				part[j].uu = append(part[j].uu, t)
+			}
+		}
+	}
+
+	build := func(pick func(parts) []geom.Rect) [][]geom.Rect {
+		sets := make([][]geom.Rect, m)
+		for j := 0; j < m; j++ {
+			if j == i {
+				sets[j] = ts.users[i]
+				continue
+			}
+			sets[j] = pick(part[j])
+			if len(sets[j]) == 0 {
+				// An empty selection means no tile of Rj participates in
+				// this case; substitute the full G↓↓ floor (which may
+				// itself be empty — then user j simply cannot realize
+				// this dominant-user configuration, so give it the whole
+				// region to stay conservative).
+				sets[j] = part[j].dd
+				if len(sets[j]) == 0 {
+					sets[j] = ts.users[j]
+				}
+			}
+		}
+		return sets
+	}
+
+	// Line 4: the three covered dominant-user configurations.
+	case1 := build(func(p parts) []geom.Rect { return p.dd })
+	case2 := build(func(p parts) []geom.Rect { return append(append([]geom.Rect{}, p.dd...), p.ud...) })
+	case3 := build(func(p parts) []geom.Rect { return append(append([]geom.Rect{}, p.dd...), p.du...) })
+	if !verifySets(case1, po, p) || !verifySets(case2, po, p) || !verifySets(case3, po, p) {
+		return false
+	}
+
+	// Lines 6–7: shortcut — an existing tile of Ri dominating s in both
+	// distances means all remaining configurations were covered when that
+	// tile was verified. Here ts.users[i] holds only {s}, so the caller
+	// passes the existing region via part of ts? The planner variant
+	// passes existing tiles separately; in this standalone form we look
+	// for the shortcut among the OTHER users' verified tiles being
+	// irrelevant, so we skip to the explicit case-4 test.
+
+	// Lines 8–10: remaining configurations — both dominant users are
+	// other users j,k ≠ i (possibly the same user, whose tile then lies
+	// in G↑↑). Test them with Lemma 1 on the relevant unions. A case
+	// whose required partition class is empty cannot be realized by any
+	// group and is skipped as vacuous.
+	for j := 0; j < m; j++ {
+		if j == i {
+			continue
+		}
+		for k := 0; k < m; k++ {
+			if k == i {
+				continue
+			}
+			sets := make([][]geom.Rect, m)
+			vacuous := false
+			for q := 0; q < m; q++ {
+				switch {
+				case q == i:
+					sets[q] = ts.users[i]
+				case q == j && q == k: // one user realizes both dominants
+					sets[q] = part[q].uu
+				case q == j: // dominant max user: large ‖p°,·‖max
+					sets[q] = append(append([]geom.Rect{}, part[q].ud...), part[q].uu...)
+				case q == k: // dominant min user: large ‖p,·‖min
+					sets[q] = append(append([]geom.Rect{}, part[q].du...), part[q].uu...)
+				default:
+					sets[q] = ts.users[q]
+				}
+				if len(sets[q]) == 0 {
+					// The dominant user q has no tile in the required
+					// class: no group realizes this configuration.
+					if q == j || q == k {
+						vacuous = true
+						break
+					}
+					sets[q] = ts.users[q]
+				}
+			}
+			if vacuous {
+				continue
+			}
+			if !verifySets(sets, po, p) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// verifySets applies the Lemma 1 test to per-user tile sets, treating
+// each set as the union region: ‖p°,·‖⊤ over all tiles vs ‖p,·‖⊥ as the
+// max over users of per-user minimum distances. Sound for every tile
+// group drawn from the sets (see verify.go for the argument).
+func verifySets(sets [][]geom.Rect, po, p geom.Point) bool {
+	maxDo := 0.0
+	floor := 0.0
+	for _, tiles := range sets {
+		if len(tiles) == 0 {
+			continue
+		}
+		minDp := math.Inf(1)
+		for _, t := range tiles {
+			if v := t.MaxDist(po); v > maxDo {
+				maxDo = v
+			}
+			if v := t.MinDist(p); v < minDp {
+				minDp = v
+			}
+		}
+		if minDp > floor {
+			floor = minDp
+		}
+	}
+	const eps = 1e-12
+	return maxDo <= floor+eps
+}
+
+// PartitionVerify exposes the Algorithm 4 verifier for benchmarks and
+// tests: it decides whether tile s may join user i's region with respect
+// to candidate p, given the other users' current tile regions.
+func PartitionVerify(regions []SafeRegion, i int, s geom.Rect, po, p geom.Point) bool {
+	ts := tileSets{users: make([][]geom.Rect, len(regions))}
+	for j := range regions {
+		if j == i {
+			ts.users[j] = []geom.Rect{s}
+		} else {
+			ts.users[j] = regions[j].Tiles
+		}
+	}
+	return gtVerifyPartition(ts, i, po, p)
+}
+
+// ExactVerify exposes the linear-time exact group verification used by
+// the planner, for tests and external comparisons.
+func ExactVerify(regions []SafeRegion, i int, s geom.Rect, po, p geom.Point) bool {
+	ts := tileSets{users: make([][]geom.Rect, len(regions))}
+	for j := range regions {
+		if j == i {
+			ts.users[j] = []geom.Rect{s}
+		} else {
+			ts.users[j] = regions[j].Tiles
+		}
+	}
+	return gtVerifyMax(ts, po, p)
+}

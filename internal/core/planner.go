@@ -1,0 +1,188 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mpn/internal/geom"
+	"mpn/internal/gnn"
+	"mpn/internal/rtree"
+)
+
+// Errors returned by the planners.
+var (
+	ErrNoUsers = errors.New("core: no users in group")
+	ErrNoPOIs  = errors.New("core: POI set is empty")
+)
+
+// Options configure the safe-region planners. The zero value is not
+// usable; start from DefaultOptions.
+type Options struct {
+	// Aggregate selects MPN (Max) or Sum-MPN (Sum).
+	Aggregate gnn.Aggregate
+
+	// TileLimit is α of Algorithm 3: the maximum number of tile-growing
+	// rounds per user. The paper's default is 30.
+	TileLimit int
+
+	// SplitLevel is L of Algorithm 2: how many times a rejected tile is
+	// quartered and retried. The paper's default is 2.
+	SplitLevel int
+
+	// Directed enables the directed tile ordering of Fig. 8, which only
+	// grows tiles whose subtended angle at the user deviates from her
+	// recent heading by at most Theta.
+	Directed bool
+
+	// Theta is the angular deviation bound (radians) for the directed
+	// ordering. Ignored unless Directed is set.
+	Theta float64
+
+	// Buffer is b of Section 5.4: the number of best GNNs retrieved once
+	// per computation and used for all verifications (Theorems 4 and 7,
+	// Algorithm 5). Zero disables buffering, in which case every
+	// Divide-Verify call retrieves candidates from the R-tree.
+	Buffer int
+
+	// GroupVerify selects GT-Verify (Theorem 2) when true, and the naive
+	// IT-Verify enumeration of all tile groups when false. IT-Verify is
+	// exponential in the group size and exists for the ablation study.
+	GroupVerify bool
+
+	// IndexPruning enables the Theorem 3 / Theorem 6 candidate pruning
+	// during R-tree retrieval. Disabling it scans the entire POI set on
+	// every verification (ablation).
+	IndexPruning bool
+
+	// MaxLayers caps the tile-grid layer explored by the orderings, as a
+	// safety bound on degenerate configurations. Zero means 4·TileLimit.
+	MaxLayers int
+}
+
+// DefaultOptions returns the paper's default configuration (Table 2):
+// α=30, L=2, undirected ordering, GT-Verify, index pruning on, buffering
+// off (enable by setting Buffer, the paper recommends 10–100 with 100 as
+// the default when buffering is in play).
+func DefaultOptions() Options {
+	return Options{
+		Aggregate:    gnn.Max,
+		TileLimit:    30,
+		SplitLevel:   2,
+		Directed:     false,
+		Theta:        math.Pi / 4,
+		Buffer:       0,
+		GroupVerify:  true,
+		IndexPruning: true,
+	}
+}
+
+// Validate reports a configuration error, if any.
+func (o Options) Validate() error {
+	if o.TileLimit < 0 {
+		return fmt.Errorf("core: negative TileLimit %d", o.TileLimit)
+	}
+	if o.SplitLevel < 0 {
+		return fmt.Errorf("core: negative SplitLevel %d", o.SplitLevel)
+	}
+	if o.Buffer < 0 {
+		return fmt.Errorf("core: negative Buffer %d", o.Buffer)
+	}
+	if o.Directed && (o.Theta <= 0 || o.Theta > math.Pi) {
+		return fmt.Errorf("core: Theta %v out of (0, π]", o.Theta)
+	}
+	return nil
+}
+
+// Stats counts the work performed by one safe-region computation. The
+// experiment harness aggregates these across updates.
+type Stats struct {
+	// GNNCalls counts top-k GNN searches issued to the R-tree.
+	GNNCalls int
+	// IndexAccesses counts R-tree traversals for candidate retrieval
+	// (the quantity the buffering optimization drives to zero after the
+	// initial GNN).
+	IndexAccesses int
+	// CandidatesChecked counts candidate points fed to tile verification.
+	CandidatesChecked int
+	// TileVerifies counts Tile-Verify invocations (per candidate point).
+	TileVerifies int
+	// TilesAccepted counts tiles (including sub-tiles) added to regions.
+	TilesAccepted int
+	// TilesRejected counts tiles rejected at the deepest split level.
+	TilesRejected int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.GNNCalls += other.GNNCalls
+	s.IndexAccesses += other.IndexAccesses
+	s.CandidatesChecked += other.CandidatesChecked
+	s.TileVerifies += other.TileVerifies
+	s.TilesAccepted += other.TilesAccepted
+	s.TilesRejected += other.TilesRejected
+}
+
+// Plan is the output of a safe-region computation: the optimal meeting
+// point and one safe region per user (same order as the input users).
+type Plan struct {
+	Best    gnn.Result
+	Regions []SafeRegion
+	Stats   Stats
+}
+
+// Planner computes meeting points and safe regions against a fixed POI
+// data set. All mutable state of a computation lives in per-call
+// structures, so a Planner is safe for concurrent use by multiple
+// goroutines (the public server shares one across groups).
+type Planner struct {
+	tree   *rtree.Tree
+	points []geom.Point
+	opts   Options
+}
+
+// NewPlanner builds a planner over the POI set points. The R-tree index is
+// bulk loaded once (STR). Returns an error for an empty POI set or invalid
+// options.
+func NewPlanner(points []geom.Point, opts Options) (*Planner, error) {
+	if len(points) == 0 {
+		return nil, ErrNoPOIs
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	items := make([]rtree.Item, len(points))
+	for i, p := range points {
+		items[i] = rtree.Item{P: p, ID: i}
+	}
+	own := make([]geom.Point, len(points))
+	copy(own, points)
+	return &Planner{
+		tree:   rtree.Bulk(items, rtree.DefaultMaxEntries),
+		points: own,
+		opts:   opts,
+	}, nil
+}
+
+// Options returns the planner's configuration.
+func (pl *Planner) Options() Options { return pl.opts }
+
+// Tree exposes the underlying R-tree (read-only use).
+func (pl *Planner) Tree() *rtree.Tree { return pl.tree }
+
+// Points returns the POI data set backing the planner.
+func (pl *Planner) Points() []geom.Point { return pl.points }
+
+// NumPOIs returns the data set cardinality n.
+func (pl *Planner) NumPOIs() int { return len(pl.points) }
+
+// maxLayers resolves the layer cap for tile orderings.
+func (pl *Planner) maxLayers() int {
+	if pl.opts.MaxLayers > 0 {
+		return pl.opts.MaxLayers
+	}
+	if pl.opts.TileLimit == 0 {
+		return 4
+	}
+	return 4 * pl.opts.TileLimit
+}

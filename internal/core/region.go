@@ -1,0 +1,158 @@
+// Package core implements the paper's contribution: independent safe
+// regions for the Meeting Point Notification problem.
+//
+// Given a group of m moving users U and a POI set P indexed by an R-tree,
+// the server reports the optimal meeting point p° (MAX-GNN, or SUM-GNN for
+// the Sum-MPN variant) together with one safe region per user such that p°
+// remains optimal for every combination of user locations inside their
+// regions (Definition 3). The package provides:
+//
+//   - Verify            — the conservative group test of Lemma 1
+//   - CircleMSR         — circular safe regions (Algorithm 1, Theorems 1 and 5)
+//   - TileMSR           — tile-based safe regions (Algorithm 3) with
+//     divide-and-conquer verification (Algorithm 2),
+//     group tile verification (Algorithm 4, Theorem 2),
+//     index pruning (Theorems 3 and 6), undirected and
+//     directed tile orderings (Fig. 8), and the buffering
+//     optimization (Algorithm 5, Theorems 4 and 7)
+//   - Sum-MPN support   — the hyperbola-based Sum-GT-Verify (Algorithm 6)
+//     with per-user memoization
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mpn/internal/geom"
+)
+
+// RegionKind discriminates the two safe-region representations studied in
+// the paper.
+type RegionKind int
+
+const (
+	// KindCircle is a circular safe region (Section 4).
+	KindCircle RegionKind = iota
+	// KindTiles is a tile-based safe region: a union of axis-aligned
+	// squares (Section 5).
+	KindTiles
+)
+
+// String implements fmt.Stringer.
+func (k RegionKind) String() string {
+	if k == KindCircle {
+		return "circle"
+	}
+	return "tiles"
+}
+
+// SafeRegion is one user's safe region. Exactly one of Circle/Tiles is
+// meaningful depending on Kind. Tile regions may mix tile sizes: the
+// divide-and-conquer verification inserts quarter tiles down to the
+// configured split level.
+type SafeRegion struct {
+	Kind   RegionKind
+	Circle geom.Circle
+	Tiles  []geom.Rect
+}
+
+// CircleRegion constructs a circular safe region.
+func CircleRegion(c geom.Point, r float64) SafeRegion {
+	return SafeRegion{Kind: KindCircle, Circle: geom.Circle{C: c, R: r}}
+}
+
+// TileRegion constructs a tile-based safe region from the given squares.
+func TileRegion(tiles ...geom.Rect) SafeRegion {
+	return SafeRegion{Kind: KindTiles, Tiles: tiles}
+}
+
+// Contains reports whether p lies inside the region. The simulator uses it
+// to detect when a user escapes and must contact the server.
+func (r SafeRegion) Contains(p geom.Point) bool {
+	if r.Kind == KindCircle {
+		return r.Circle.Contains(p)
+	}
+	for _, t := range r.Tiles {
+		if t.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// MinDist returns ‖p,R‖min, the minimum distance from p to the region.
+func (r SafeRegion) MinDist(p geom.Point) float64 {
+	if r.Kind == KindCircle {
+		return r.Circle.MinDist(p)
+	}
+	d := math.Inf(1)
+	for _, t := range r.Tiles {
+		if v := t.MinDist(p); v < d {
+			d = v
+			if d == 0 {
+				break
+			}
+		}
+	}
+	return d
+}
+
+// MaxDist returns ‖p,R‖max, the maximum distance from p to the region.
+func (r SafeRegion) MaxDist(p geom.Point) float64 {
+	if r.Kind == KindCircle {
+		return r.Circle.MaxDist(p)
+	}
+	d := 0.0
+	for _, t := range r.Tiles {
+		if v := t.MaxDist(p); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// MaxExtent returns r↑, the maximum distance between the user location u
+// and the region boundary (Theorem 3). For circles centered at u this is
+// the radius.
+func (r SafeRegion) MaxExtent(u geom.Point) float64 {
+	return r.MaxDist(u)
+}
+
+// IsEmpty reports whether the region covers no area and no point. A tile
+// region with zero tiles is empty; circles are never empty (a zero-radius
+// circle still contains its center).
+func (r SafeRegion) IsEmpty() bool {
+	return r.Kind == KindTiles && len(r.Tiles) == 0
+}
+
+// NumTiles returns the tile count (0 for circles). Exposed for the α-limit
+// accounting and the experiment reports.
+func (r SafeRegion) NumTiles() int {
+	if r.Kind == KindCircle {
+		return 0
+	}
+	return len(r.Tiles)
+}
+
+// BoundingRect returns the tight axis-aligned bounding box of the region.
+func (r SafeRegion) BoundingRect() geom.Rect {
+	if r.Kind == KindCircle {
+		return r.Circle.BoundingRect()
+	}
+	if len(r.Tiles) == 0 {
+		return geom.Rect{}
+	}
+	b := r.Tiles[0]
+	for _, t := range r.Tiles[1:] {
+		b = b.Union(t)
+	}
+	return b
+}
+
+// String implements fmt.Stringer.
+func (r SafeRegion) String() string {
+	if r.Kind == KindCircle {
+		return r.Circle.String()
+	}
+	return fmt.Sprintf("tiles(%d)", len(r.Tiles))
+}

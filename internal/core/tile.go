@@ -1,0 +1,409 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"mpn/internal/geom"
+	"mpn/internal/gnn"
+	"mpn/internal/rtree"
+)
+
+// Direction is one user's recent travel direction for the directed tile
+// ordering: the heading angle (radians) and the learned angular deviation
+// bound θ [26]. A non-positive Theta falls back to Options.Theta.
+type Direction struct {
+	Angle float64
+	Theta float64
+}
+
+// TileMSR implements Algorithm 3 (Tile-MSR): it grows one tile-based safe
+// region per user by browsing candidate tiles around each user in
+// round-robin order, verifying each tile against all non-result POIs with
+// the divide-and-conquer procedure of Algorithm 2, and inserting the tiles
+// that pass.
+//
+// dirs supplies each user's recent travel direction for the directed
+// ordering; it may be nil when Options.Directed is false.
+func (pl *Planner) TileMSR(users []geom.Point, dirs []Direction) (Plan, error) {
+	if len(users) == 0 {
+		return Plan{}, ErrNoUsers
+	}
+	if pl.opts.Directed && len(dirs) != len(users) {
+		dirs = make([]Direction, len(users))
+	}
+
+	var plan Plan
+	k := 2
+	if pl.opts.Buffer > 0 {
+		k = pl.opts.Buffer + 1
+		if k < 2 {
+			k = 2
+		}
+	}
+	top := gnn.TopK(pl.tree, users, pl.opts.Aggregate, k)
+	plan.Stats.GNNCalls++
+	plan.Best = top[0]
+	rmax := pl.circleRadius(users, top)
+
+	t := &tilePlanning{
+		pl:    pl,
+		users: users,
+		po:    top[0].Item.P,
+		poID:  top[0].Item.ID,
+		poAgg: top[0].Dist,
+		stats: &plan.Stats,
+	}
+
+	// Degenerate case: a tie for the optimum leaves no safe radius. Each
+	// user gets a point region; the next movement triggers an update.
+	if rmax <= 0 {
+		plan.Regions = make([]SafeRegion, len(users))
+		for i, u := range users {
+			plan.Regions[i] = TileRegion(geom.Rect{Min: u, Max: u})
+		}
+		return plan, nil
+	}
+
+	if pl.opts.Buffer > 0 {
+		t.initBuffer(pl.opts.Buffer, top)
+	}
+
+	delta := math.Sqrt2 * rmax
+	t.regions = make([]SafeRegion, len(users))
+	if pl.opts.Aggregate == gnn.Sum {
+		t.sumMemo = make([]map[int]float64, len(users))
+	}
+	orderings := make([]*tileOrdering, len(users))
+	for i, u := range users {
+		t.regions[i] = TileRegion()
+		t.addTile(i, geom.RectAround(u, delta)) // seed: inscribed square of the rmax circle
+		var heading, theta float64 = 0, pl.opts.Theta
+		if dirs != nil {
+			heading = dirs[i].Angle
+			if dirs[i].Theta > 0 {
+				theta = dirs[i].Theta
+			}
+		}
+		orderings[i] = newTileOrdering(u, delta, pl.maxLayers(), pl.opts.Directed, heading, theta)
+	}
+
+	// Round-robin growth, α rounds (lines 5–11 of Algorithm 3).
+	live := len(users)
+	exhausted := make([]bool, len(users))
+	for round := 0; round < pl.opts.TileLimit && live > 0; round++ {
+		for i := range users {
+			if exhausted[i] {
+				continue
+			}
+			for {
+				s, ok := orderings[i].next()
+				if !ok {
+					exhausted[i] = true
+					live--
+					break
+				}
+				if t.divideVerify(i, s, pl.opts.SplitLevel) {
+					orderings[i].markAccepted()
+					break
+				}
+			}
+		}
+	}
+
+	plan.Regions = t.regions
+	return plan, nil
+}
+
+// tilePlanning is the per-computation state of one Tile-MSR run.
+type tilePlanning struct {
+	pl    *Planner
+	users []geom.Point
+	po    geom.Point
+	poID  int
+	poAgg float64 // ‖p°,U‖ under the aggregate
+	stats *Stats
+
+	regions []SafeRegion
+
+	// Buffering state (Section 5.4): the best b+1 GNNs and the distance
+	// thresholds τ_1 ≤ … ≤ τ_b of Algorithm 5 (τ_z is thresholds[z-1]).
+	buffered   []gnn.Result
+	thresholds []float64
+
+	// Sum-MPN memoization (Section 6.3.1): per user, candidate POI id →
+	// min over the user's current region tiles of ‖p′,l‖ − ‖p°,l‖.
+	sumMemo []map[int]float64
+
+	// Scratch buffer for candidate retrieval.
+	candBuf []candidate
+}
+
+type candidate struct {
+	id int
+	p  geom.Point
+}
+
+// initBuffer stores the best b+1 meeting points (retrieved in the single
+// index traversal of TileMSR) and precomputes the Algorithm 5 thresholds
+//
+//	τ_z = (‖p^{z+1},U‖ − ‖p°,U‖) / 2     (MAX, Definition 6)
+//	τ_z = (‖p^{z+1},U‖ − ‖p°,U‖) / 2m   (SUM, Theorem 7)
+//
+// When the data set holds fewer than z+1 points, no POI outside the buffer
+// exists and τ_z is unbounded.
+func (t *tilePlanning) initBuffer(b int, top []gnn.Result) {
+	t.buffered = top
+	t.stats.IndexAccesses++
+
+	denom := 2.0
+	if t.pl.opts.Aggregate == gnn.Sum {
+		denom = 2 * float64(len(t.users))
+	}
+	t.thresholds = make([]float64, 0, b)
+	for z := 1; z <= b; z++ {
+		if z < len(t.buffered) {
+			t.thresholds = append(t.thresholds, (t.buffered[z].Dist-t.poAgg)/denom)
+		} else {
+			t.thresholds = append(t.thresholds, math.Inf(1))
+		}
+	}
+}
+
+// addTile inserts tile s into user i's region and maintains the Sum-MPN
+// memo tables (the Hx(p′) ← min{Fx, Hx(p′)} update of Algorithm 6).
+func (t *tilePlanning) addTile(i int, s geom.Rect) {
+	t.regions[i].Tiles = append(t.regions[i].Tiles, s)
+	t.stats.TilesAccepted++
+	if t.sumMemo != nil {
+		for id, f := range t.sumMemo[i] {
+			v := geom.FocalDiffMin(s, t.pl.points[id], t.po)
+			if v < f {
+				t.sumMemo[i][id] = v
+			}
+		}
+	}
+}
+
+// divideVerify is Algorithm 2 (or Algorithm 5 when buffering is enabled):
+// verify tile s for user i against every candidate POI; on failure quarter
+// the tile and recurse down to split level 0.
+func (t *tilePlanning) divideVerify(i int, s geom.Rect, level int) bool {
+	if t.buffered != nil {
+		return t.bufferDivideVerify(i, s, level)
+	}
+	cands := t.collectCandidates(i, s)
+	if t.verifyAgainst(i, s, cands) {
+		t.addTile(i, s)
+		return true
+	}
+	return t.splitAndRecurse(i, s, level)
+}
+
+// bufferDivideVerify is Algorithm 5 (Buffer-Divide-Verify).
+func (t *tilePlanning) bufferDivideVerify(i int, s geom.Rect, level int) bool {
+	// dist ← max{‖ui,s‖max, max_j ‖uj,Rj‖max} (line 1).
+	dist := s.MaxDist(t.users[i])
+	for j := range t.users {
+		if v := t.regions[j].MaxExtent(t.users[j]); v > dist {
+			dist = v
+		}
+	}
+	// Smallest slot z (1-based) with dist ≤ τ_z, by binary search (line 2).
+	idx := sort.SearchFloat64s(t.thresholds, dist)
+	if idx == len(t.thresholds) {
+		// No slot: the tile violates the Theorem 4/7 condition (lines 3–4).
+		t.stats.TilesRejected++
+		return false
+	}
+	// Verify against P*₁..z − {p°} = buffered[1..idx] (line 5). idx==0
+	// means even the circle-radius threshold covers dist, so no
+	// competitor is reachable and the tile is trivially safe.
+	t.candBuf = t.candBuf[:0]
+	for c := 1; c <= idx && c < len(t.buffered); c++ {
+		t.candBuf = append(t.candBuf, candidate{id: t.buffered[c].Item.ID, p: t.buffered[c].Item.P})
+	}
+	t.stats.CandidatesChecked += len(t.candBuf)
+	if t.verifyAgainst(i, s, t.candBuf) {
+		t.addTile(i, s)
+		return true
+	}
+	return t.splitAndRecurse(i, s, level)
+}
+
+// splitAndRecurse implements lines 4–10 of Algorithm 2.
+func (t *tilePlanning) splitAndRecurse(i int, s geom.Rect, level int) bool {
+	if level <= 0 {
+		t.stats.TilesRejected++
+		return false
+	}
+	ok := false
+	for _, sub := range s.Quadrants() {
+		if t.divideVerify(i, sub, level-1) {
+			ok = true
+		}
+	}
+	if !ok {
+		t.stats.TilesRejected++
+	}
+	return ok
+}
+
+// verifyAgainst runs Tile-Verify for every candidate and reports whether
+// the tile is safe with respect to all of them.
+func (t *tilePlanning) verifyAgainst(i int, s geom.Rect, cands []candidate) bool {
+	if len(cands) == 0 {
+		return true
+	}
+	if t.pl.opts.Aggregate == gnn.Sum {
+		for _, c := range cands {
+			t.stats.TileVerifies++
+			if !t.sumTileVerify(i, s, c) {
+				return false
+			}
+		}
+		return true
+	}
+	ts := tileSets{users: make([][]geom.Rect, len(t.users))}
+	for j := range t.users {
+		if j == i {
+			ts.users[j] = []geom.Rect{s}
+		} else {
+			ts.users[j] = t.regions[j].Tiles
+		}
+	}
+	for _, c := range cands {
+		t.stats.TileVerifies++
+		var ok bool
+		if t.pl.opts.GroupVerify {
+			ok = gtVerifyMax(ts, t.po, c.p)
+		} else {
+			ok = itVerifyMax(ts, t.po, c.p)
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// sumTileVerify is Algorithm 6 (Sum-GT-Verify) with the hash-table
+// memoization described in Section 6.3.1: the tile is safe w.r.t.
+// candidate c iff F = F_x(s) + Σ_{j≠x} F_j ≥ 0, where F_j is the memoized
+// minimum of ‖p′,l‖ − ‖p°,l‖ over user j's current region and F_x(s) the
+// minimum over the new tile alone.
+func (t *tilePlanning) sumTileVerify(i int, s geom.Rect, c candidate) bool {
+	total := geom.FocalDiffMin(s, c.p, t.po)
+	for j := range t.users {
+		if j != i {
+			total += t.sumRegionF(j, c)
+		}
+	}
+	return total >= 0
+}
+
+// sumRegionF returns the memoized F_j value for candidate c.
+func (t *tilePlanning) sumRegionF(j int, c candidate) float64 {
+	memo := t.sumMemo[j]
+	if memo == nil {
+		memo = make(map[int]float64)
+		t.sumMemo[j] = memo
+	}
+	if f, ok := memo[c.id]; ok {
+		return f
+	}
+	f := math.Inf(1)
+	for _, tile := range t.regions[j].Tiles {
+		if v := geom.FocalDiffMin(tile, c.p, t.po); v < f {
+			f = v
+		}
+	}
+	memo[c.id] = f
+	return f
+}
+
+// collectCandidates retrieves the POIs that could displace p° given the
+// hypothetical region group with s added to user i, traversing the R-tree
+// with the Theorem 3 (MAX) or Theorem 6 (SUM) pruning rule. With pruning
+// disabled it returns every non-result POI.
+func (t *tilePlanning) collectCandidates(i int, s geom.Rect) []candidate {
+	t.stats.IndexAccesses++
+	t.candBuf = t.candBuf[:0]
+
+	if !t.pl.opts.IndexPruning {
+		for id, p := range t.pl.points {
+			if id != t.poID {
+				t.candBuf = append(t.candBuf, candidate{id: id, p: p})
+			}
+		}
+		t.stats.CandidatesChecked += len(t.candBuf)
+		return t.candBuf
+	}
+
+	// Extents r↑_j of the hypothetical regions.
+	ext := make([]float64, len(t.users))
+	for j, u := range t.users {
+		ext[j] = t.regions[j].MaxExtent(u)
+		if j == i {
+			if v := s.MaxDist(u); v > ext[j] {
+				ext[j] = v
+			}
+		}
+	}
+
+	if t.pl.opts.Aggregate == gnn.Max {
+		// ‖p°,R‖⊤ over the hypothetical group.
+		dmax := s.MaxDist(t.po)
+		for j := range t.users {
+			if j == i {
+				continue
+			}
+			if v := t.regions[j].MaxDist(t.po); v > dmax {
+				dmax = v
+			}
+		}
+		bounds := make([]float64, len(t.users))
+		for j := range bounds {
+			bounds[j] = dmax + ext[j]
+		}
+		t.pl.tree.PrunedSearch(
+			func(r geom.Rect) bool {
+				for j, u := range t.users {
+					if r.MinDist(u) > bounds[j] {
+						return false
+					}
+				}
+				return true
+			},
+			func(it rtree.Item) bool {
+				if it.ID != t.poID {
+					t.candBuf = append(t.candBuf, candidate{id: it.ID, p: it.P})
+				}
+				return true
+			},
+		)
+	} else {
+		// Theorem 6: prune p when Σ‖p,uj‖ > ‖p°,U‖sum + 2Σ r↑_j.
+		bound := t.poAgg
+		for _, e := range ext {
+			bound += 2 * e
+		}
+		t.pl.tree.PrunedSearch(
+			func(r geom.Rect) bool {
+				sum := 0.0
+				for _, u := range t.users {
+					sum += r.MinDist(u)
+				}
+				return sum <= bound
+			},
+			func(it rtree.Item) bool {
+				if it.ID != t.poID {
+					t.candBuf = append(t.candBuf, candidate{id: it.ID, p: it.P})
+				}
+				return true
+			},
+		)
+	}
+	t.stats.CandidatesChecked += len(t.candBuf)
+	return t.candBuf
+}

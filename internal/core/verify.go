@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math"
+
+	"mpn/internal/geom"
+	"mpn/internal/gnn"
+)
+
+// DominantMaxDist returns ‖p°,R‖⊤ = max_i ‖p°,Ri‖max (Definition 5,
+// Eq. 4): an upper bound of the dominant distance of p° for every location
+// instance in R.
+func DominantMaxDist(regions []SafeRegion, p geom.Point) float64 {
+	d := 0.0
+	for _, r := range regions {
+		if v := r.MaxDist(p); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// DominantMinDist returns ‖p,R‖⊥ = max_i ‖p,Ri‖min (Definition 5, Eq. 3):
+// a lower bound of the dominant distance of p for every location instance
+// in R.
+func DominantMinDist(regions []SafeRegion, p geom.Point) float64 {
+	d := 0.0
+	for _, r := range regions {
+		if v := r.MinDist(p); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// Verify is the conservative test of Lemma 1 for the MAX aggregate: it
+// returns true only if the candidate p cannot beat p° for any location
+// instance inside the regions. False may be a false negative (the test is
+// conservative).
+func Verify(regions []SafeRegion, po, p geom.Point) bool {
+	return DominantMaxDist(regions, po) <= DominantMinDist(regions, p)
+}
+
+// VerifySum is the Sum-MPN analog of Verify: a conservative test that p
+// cannot beat p° under the sum of distances. It lower-bounds
+// Σ_i min_{l∈Ri} (‖p,l‖ − ‖p°,l‖) by summing per-region minima; the sum
+// being non-negative proves p° keeps winning. For tile regions the
+// per-region minimum uses the exact hyperbola minimization (Section
+// 6.3.1); for circles it uses min ‖p,l‖ − max ‖p°,l‖ relaxation per
+// region, which matches Theorem 5's derivation.
+func VerifySum(regions []SafeRegion, po, p geom.Point) bool {
+	total := 0.0
+	for _, r := range regions {
+		total += regionFocalDiffMin(r, p, po)
+	}
+	return total >= 0
+}
+
+// regionFocalDiffMin returns min over l ∈ R of ‖p,l‖ − ‖p°,l‖.
+func regionFocalDiffMin(r SafeRegion, p, po geom.Point) float64 {
+	if r.Kind == KindCircle {
+		// Exact for disks: the minimum of the focal difference over a disk
+		// of radius ρ centered at c is attained on the boundary circle;
+		// bounding it by ‖p,c‖ − ‖p°,c‖ − 2ρ is conservative and tight
+		// enough for Theorem 5 circles. (‖p,l‖ ≥ ‖p,c‖−ρ and ‖p°,l‖ ≤
+		// ‖p°,c‖+ρ.)
+		return p.Dist(r.Circle.C) - po.Dist(r.Circle.C) - 2*r.Circle.R
+	}
+	best := math.Inf(1)
+	for _, t := range r.Tiles {
+		if v := geom.FocalDiffMin(t, p, po); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// VerifyAgg dispatches to Verify or VerifySum by aggregate.
+func VerifyAgg(agg gnn.Aggregate, regions []SafeRegion, po, p geom.Point) bool {
+	if agg == gnn.Max {
+		return Verify(regions, po, p)
+	}
+	return VerifySum(regions, po, p)
+}
+
+// tileSets is the per-user tile collection used during tile verification:
+// the new tile {s} for the user under extension and the existing region
+// tiles for everyone else.
+type tileSets struct {
+	users [][]geom.Rect
+}
+
+// gtVerifyMax is the group tile verification for the MAX aggregate. It
+// decides — exactly, in time linear in the total tile count — whether
+// every tile group ⟨s1∈T1,…,sm∈Tm⟩ passes the Lemma 1 test for candidate
+// p against p°.
+//
+// It is an algebraic restatement of Theorem 2's grouping argument: a group
+// fails iff it contains an "attacker" tile t (of some user a) whose
+// dominant max distance do(t)=‖p°,t‖max exceeds the group's dominant min
+// distance. Choosing every other user's tile to minimize dp(·)=‖p,·‖min
+// makes the group's dominant min as small as possible, namely
+// max(dp(t), max_{k≠a} min_{t′∈Tk} dp(t′)). Hence some group fails iff
+//
+//	∃ a, t∈Ta :  do(t) > max( dp(t), max_{k≠a} minDp(k) ).
+//
+// Scanning all tiles with precomputed per-user minima (plus the top-2 of
+// those minima to evaluate max_{k≠a} in O(1)) gives the exact answer with
+// none of IT-Verify's exponential enumeration.
+func gtVerifyMax(ts tileSets, po, p geom.Point) bool {
+	m := len(ts.users)
+	// Per-user minimum dp.
+	minDp := make([]float64, m)
+	for k, tiles := range ts.users {
+		best := math.Inf(1)
+		for _, t := range tiles {
+			if v := t.MinDist(p); v < best {
+				best = v
+			}
+		}
+		minDp[k] = best
+	}
+	// Top-2 of minDp for O(1) "max excluding a".
+	best1, best2 := math.Inf(-1), math.Inf(-1)
+	arg1 := -1
+	for k, v := range minDp {
+		if v > best1 {
+			best2 = best1
+			best1, arg1 = v, k
+		} else if v > best2 {
+			best2 = v
+		}
+	}
+	maxExcl := func(a int) float64 {
+		if a == arg1 {
+			return best2
+		}
+		return best1
+	}
+
+	const eps = 1e-12
+	for a, tiles := range ts.users {
+		floor := maxExcl(a)
+		if m == 1 {
+			floor = math.Inf(-1)
+		}
+		for _, t := range tiles {
+			do := t.MaxDist(po)
+			dp := t.MinDist(p)
+			bound := dp
+			if floor > bound {
+				bound = floor
+			}
+			if do > bound+eps {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// itVerifyMax is IT-Verify: the naive enumeration of every tile group with
+// the Lemma 1 test applied per group. Exponential in the group size; used
+// by the ablation benchmark and as the test oracle for gtVerifyMax.
+func itVerifyMax(ts tileSets, po, p geom.Point) bool {
+	m := len(ts.users)
+	idx := make([]int, m)
+	const eps = 1e-12
+	for {
+		// Evaluate the current group.
+		maxDo, maxDp := 0.0, 0.0
+		for k := 0; k < m; k++ {
+			t := ts.users[k][idx[k]]
+			if v := t.MaxDist(po); v > maxDo {
+				maxDo = v
+			}
+			if v := t.MinDist(p); v > maxDp {
+				maxDp = v
+			}
+		}
+		if maxDo > maxDp+eps {
+			return false
+		}
+		// Advance the mixed-radix counter.
+		k := 0
+		for k < m {
+			idx[k]++
+			if idx[k] < len(ts.users[k]) {
+				break
+			}
+			idx[k] = 0
+			k++
+		}
+		if k == m {
+			return true
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package costmodel implements the cost model the paper lists as future
+// work (Section 8): estimating the update frequency, the communication
+// cost, and the running time of a safe-region configuration WITHOUT
+// replaying trajectories.
+//
+// The model combines Monte Carlo placement sampling with a first-passage
+// argument. For a sampled group placement it computes the actual safe
+// regions (timing them, which calibrates the running-time estimate) and
+// measures each user's mean ray-escape distance: the distance to the
+// region boundary averaged over travel directions. A user moving with a
+// persistent heading at speed V escapes her region after ≈ escape/V
+// timestamps, and the group updates when the FIRST user escapes, so the
+// expected inter-update gap is E[min_i escape_i]/V and
+//
+//	update frequency ≈ 1000 · V / E[min_i escape_i]   (per 1k timestamps)
+//
+// Communication cost per update follows the Fig. 3 protocol analytically:
+// 1 report + 2(m−1) probe packets + m notification messages sized by the
+// actual region encodings.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"mpn/internal/core"
+	"mpn/internal/geom"
+	"mpn/internal/sim"
+	"mpn/internal/stats"
+	"mpn/internal/tileenc"
+)
+
+// Estimate is the model's prediction for one configuration.
+type Estimate struct {
+	// UpdateFreq is the predicted updates per 1,000 timestamps.
+	UpdateFreq float64
+	// PacketsPerK is the predicted TCP packets per 1,000 timestamps.
+	PacketsPerK float64
+	// CPUMsPerUpdate is the measured mean safe-region computation time.
+	CPUMsPerUpdate float64
+	// MeanEscape is the mean group escape distance E[min_i escape_i].
+	MeanEscape float64
+	// Samples is how many placements were evaluated.
+	Samples int
+}
+
+// Config parameterizes an estimation run.
+type Config struct {
+	// Method is the safe-region strategy to model.
+	Method sim.Method
+	// Core configures the planner; Directed is forced by Method.
+	Core core.Options
+	// GroupSize is m.
+	GroupSize int
+	// Speed is the user speed V (distance per timestamp).
+	Speed float64
+	// Samples is the Monte Carlo placement count (default 30).
+	Samples int
+	// Seed drives sampling.
+	Seed int64
+}
+
+// Predict estimates the cost of running cfg against the POI set.
+func Predict(points []geom.Point, cfg Config) (Estimate, error) {
+	if cfg.GroupSize <= 0 {
+		return Estimate{}, fmt.Errorf("costmodel: group size %d must be positive", cfg.GroupSize)
+	}
+	if cfg.Speed <= 0 {
+		return Estimate{}, fmt.Errorf("costmodel: speed %v must be positive", cfg.Speed)
+	}
+	if cfg.Samples <= 0 {
+		cfg.Samples = 30
+	}
+	cfg.Core.Directed = cfg.Method == sim.MethodTileD
+
+	planner, err := core.NewPlanner(points, cfg.Core)
+	if err != nil {
+		return Estimate{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var escapes, cpuMs, pktsPerUpdate []float64
+	for s := 0; s < cfg.Samples; s++ {
+		users := make([]geom.Point, cfg.GroupSize)
+		for i := range users {
+			users[i] = geom.Pt(rng.Float64(), rng.Float64())
+		}
+		start := time.Now()
+		var plan core.Plan
+		switch cfg.Method {
+		case sim.MethodCircle:
+			plan, err = planner.CircleMSR(users)
+		case sim.MethodTile:
+			plan, err = planner.TileMSR(users, nil)
+		default:
+			dirs := make([]core.Direction, cfg.GroupSize)
+			for i := range dirs {
+				dirs[i] = core.Direction{Angle: rng.Float64() * 2 * math.Pi}
+			}
+			plan, err = planner.TileMSR(users, dirs)
+		}
+		if err != nil {
+			return Estimate{}, err
+		}
+		cpuMs = append(cpuMs, float64(time.Since(start))/float64(time.Millisecond))
+
+		// Group escape distance: the minimum over users of the mean
+		// ray-escape distance.
+		minEscape := math.Inf(1)
+		for i, r := range plan.Regions {
+			if e := meanRayEscape(r, users[i]); e < minEscape {
+				minEscape = e
+			}
+		}
+		escapes = append(escapes, minEscape)
+		pktsPerUpdate = append(pktsPerUpdate, packetsPerUpdate(plan.Regions))
+	}
+
+	meanEscape := stats.Mean(escapes)
+	est := Estimate{
+		CPUMsPerUpdate: stats.Mean(cpuMs),
+		MeanEscape:     meanEscape,
+		Samples:        cfg.Samples,
+	}
+	if meanEscape > 0 {
+		est.UpdateFreq = 1000 * cfg.Speed / meanEscape
+	} else {
+		est.UpdateFreq = 1000 // degenerate regions: every step escapes
+	}
+	est.PacketsPerK = est.UpdateFreq * stats.Mean(pktsPerUpdate)
+	return est, nil
+}
+
+// meanRayEscape averages, over 16 directions, the distance from u to the
+// region boundary along the ray.
+func meanRayEscape(r core.SafeRegion, u geom.Point) float64 {
+	const rays = 16
+	if r.Kind == core.KindCircle {
+		// Exact: the user sits at the circle center.
+		return r.Circle.R
+	}
+	if len(r.Tiles) == 0 {
+		return 0
+	}
+	// March each ray in steps of a quarter of the smallest tile side.
+	step := math.Inf(1)
+	var far float64
+	for _, t := range r.Tiles {
+		if w := t.Width(); w < step && w > 0 {
+			step = w
+		}
+		if d := t.MaxDist(u); d > far {
+			far = d
+		}
+	}
+	if math.IsInf(step, 1) || step == 0 {
+		return 0
+	}
+	step /= 4
+	total := 0.0
+	for k := 0; k < rays; k++ {
+		ang := 2 * math.Pi * float64(k) / rays
+		dir := geom.Pt(math.Cos(ang), math.Sin(ang))
+		dist := 0.0
+		for dist <= far {
+			next := dist + step
+			p := u.Add(dir.Scale(next))
+			if !r.Contains(p) {
+				break
+			}
+			dist = next
+		}
+		total += dist
+	}
+	return total / rays
+}
+
+// packetsPerUpdate is the analytic Fig. 3 protocol cost for one update.
+func packetsPerUpdate(regions []core.SafeRegion) float64 {
+	m := len(regions)
+	pkts := 1 + 2*(m-1) // report + probe round trips
+	for _, r := range regions {
+		bytes := 16 // the meeting point
+		if r.Kind == core.KindCircle {
+			bytes += 24
+		} else {
+			delta := 0.0
+			for _, t := range r.Tiles {
+				if w := t.Width(); w > delta {
+					delta = w
+				}
+			}
+			bytes += len(tileenc.Encode(r.Tiles, delta))
+		}
+		pkts += (bytes + sim.PacketPayload - 1) / sim.PacketPayload
+	}
+	return float64(pkts)
+}

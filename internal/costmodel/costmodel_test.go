@@ -1,0 +1,177 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"mpn/internal/core"
+	"mpn/internal/geom"
+	"mpn/internal/gnn"
+	"mpn/internal/sim"
+	"mpn/internal/workload"
+)
+
+func testPoints(t testing.TB, n int) []geom.Point {
+	t.Helper()
+	cfg := workload.DefaultPOIConfig()
+	cfg.N = n
+	pts, err := workload.GeneratePOIs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}
+
+func baseConfig(method sim.Method) Config {
+	opts := core.DefaultOptions()
+	opts.TileLimit = 8
+	return Config{
+		Method: method, Core: opts, GroupSize: 3,
+		Speed: 0.0008, Samples: 20, Seed: 5,
+	}
+}
+
+func TestPredictBasics(t *testing.T) {
+	pts := testPoints(t, 2000)
+	for _, method := range []sim.Method{sim.MethodCircle, sim.MethodTile, sim.MethodTileD} {
+		est, err := Predict(pts, baseConfig(method))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.UpdateFreq <= 0 || est.PacketsPerK <= 0 {
+			t.Fatalf("%v: non-positive estimate %+v", method, est)
+		}
+		if est.MeanEscape <= 0 {
+			t.Fatalf("%v: zero escape distance", method)
+		}
+		if est.Samples != 20 {
+			t.Fatalf("%v: samples=%d", method, est.Samples)
+		}
+	}
+}
+
+func TestPredictErrors(t *testing.T) {
+	pts := testPoints(t, 100)
+	cfg := baseConfig(sim.MethodCircle)
+	cfg.GroupSize = 0
+	if _, err := Predict(pts, cfg); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	cfg = baseConfig(sim.MethodCircle)
+	cfg.Speed = 0
+	if _, err := Predict(pts, cfg); err == nil {
+		t.Fatal("speed=0 accepted")
+	}
+	if _, err := Predict(nil, baseConfig(sim.MethodCircle)); err == nil {
+		t.Fatal("empty POI set accepted")
+	}
+}
+
+// The model must rank the methods the way the paper (and the simulator)
+// does: tiles escape less often than circles.
+func TestPredictOrdering(t *testing.T) {
+	pts := testPoints(t, 2000)
+	circle, err := Predict(pts, baseConfig(sim.MethodCircle))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tile, err := Predict(pts, baseConfig(sim.MethodTile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tile.UpdateFreq >= circle.UpdateFreq {
+		t.Fatalf("model ranks Tile (%v) worse than Circle (%v)",
+			tile.UpdateFreq, circle.UpdateFreq)
+	}
+	if tile.MeanEscape <= circle.MeanEscape {
+		t.Fatalf("tile escape %v not larger than circle %v",
+			tile.MeanEscape, circle.MeanEscape)
+	}
+}
+
+// Update-frequency predictions must scale linearly with speed.
+func TestPredictSpeedScaling(t *testing.T) {
+	pts := testPoints(t, 1500)
+	slow := baseConfig(sim.MethodCircle)
+	fast := baseConfig(sim.MethodCircle)
+	fast.Speed = 2 * slow.Speed
+	a, err := Predict(pts, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Predict(pts, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := b.UpdateFreq / a.UpdateFreq; math.Abs(ratio-2) > 1e-9 {
+		t.Fatalf("speed doubling changed update freq by %v, want exactly 2 (same placements)", ratio)
+	}
+}
+
+// Validation against the simulator: the prediction should land within a
+// small factor of the measured update frequency for the Circle method
+// (whose escape geometry the model captures exactly).
+func TestPredictValidatesAgainstSim(t *testing.T) {
+	pts := testPoints(t, 2000)
+	set, err := workload.GenerateGeoLifeSet(workload.SetConfig{
+		NumTrajectories: 3, Steps: 1500, Speed: 0.0008, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simCfg := sim.MethodConfig(sim.MethodCircle, gnn.Max, 0)
+	met, err := sim.Run(pts, set.Trajs, simCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := baseConfig(sim.MethodCircle)
+	cfg.Samples = 60
+	est, err := Predict(pts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	measured := met.UpdateFrequency()
+	ratio := est.UpdateFreq / measured
+	if ratio < 0.25 || ratio > 4 {
+		t.Fatalf("prediction %v vs measured %v (ratio %v) outside 4x band",
+			est.UpdateFreq, measured, ratio)
+	}
+}
+
+func TestMeanRayEscapeCircle(t *testing.T) {
+	r := core.CircleRegion(geom.Pt(0.5, 0.5), 0.07)
+	if got := meanRayEscape(r, geom.Pt(0.5, 0.5)); got != 0.07 {
+		t.Fatalf("circle escape=%v", got)
+	}
+}
+
+func TestMeanRayEscapeTiles(t *testing.T) {
+	// Single square of side 0.1 centered at the user: escape between
+	// 0.05 (edge) and 0.0707 (corner).
+	r := core.TileRegion(geom.RectAround(geom.Pt(0.5, 0.5), 0.1))
+	got := meanRayEscape(r, geom.Pt(0.5, 0.5))
+	if got < 0.03 || got > 0.08 {
+		t.Fatalf("square escape=%v outside plausible band", got)
+	}
+	// Empty and degenerate regions.
+	if meanRayEscape(core.TileRegion(), geom.Pt(0, 0)) != 0 {
+		t.Fatal("empty region escape")
+	}
+	deg := core.TileRegion(geom.Rect{Min: geom.Pt(0.5, 0.5), Max: geom.Pt(0.5, 0.5)})
+	if meanRayEscape(deg, geom.Pt(0.5, 0.5)) != 0 {
+		t.Fatal("degenerate region escape")
+	}
+}
+
+func TestPacketsPerUpdate(t *testing.T) {
+	regions := []core.SafeRegion{
+		core.CircleRegion(geom.Pt(0, 0), 1),
+		core.CircleRegion(geom.Pt(1, 1), 1),
+	}
+	// 1 report + 2 probes + 2 one-packet notifications = 5.
+	if got := packetsPerUpdate(regions); got != 5 {
+		t.Fatalf("packets=%v want 5", got)
+	}
+}

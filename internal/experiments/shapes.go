@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ShapeResult is one verdict on a qualitative claim of the paper.
+type ShapeResult struct {
+	Figure string
+	Claim  string
+	Pass   bool
+	Detail string
+}
+
+// String renders the verdict as a line.
+func (r ShapeResult) String() string {
+	status := "PASS"
+	if !r.Pass {
+		status = "FAIL"
+	}
+	out := fmt.Sprintf("[%s] %s: %s", status, r.Figure, r.Claim)
+	if r.Detail != "" {
+		out += " (" + r.Detail + ")"
+	}
+	return out
+}
+
+// CheckShapes evaluates the paper's qualitative claims against generated
+// figures: who wins, by roughly what factor, and the expected trends.
+// Slack factors absorb the noise of reduced-scale runs.
+func CheckShapes(figs []Figure) []ShapeResult {
+	var out []ShapeResult
+	for _, f := range figs {
+		switch {
+		case strings.Contains(f.Metric, "updates"):
+			out = append(out, checkMethodOrdering(f)...)
+			if f.XLabel == "speed" {
+				out = append(out, checkMonotone(f, "update frequency grows with speed", 0.9))
+			}
+		case strings.Contains(f.Metric, "packets"):
+			out = append(out, checkMethodOrdering(f)...)
+		case strings.Contains(f.Metric, "CPU"):
+			out = append(out, checkCPUOrdering(f)...)
+		}
+	}
+	return out
+}
+
+// checkMethodOrdering verifies Tile ≤ Circle and Tile-D ≤ Tile (with 10%
+// slack) on every row, when those series exist.
+func checkMethodOrdering(f Figure) []ShapeResult {
+	var out []ShapeResult
+	has := map[string]bool{}
+	for _, s := range f.Series {
+		has[s] = true
+	}
+	if has["Circle"] && has["Tile"] {
+		pass, detail := true, ""
+		for _, row := range f.Rows {
+			if row.Get("Tile") > row.Get("Circle")*1.02 {
+				pass = false
+				detail = fmt.Sprintf("row %s: Tile %.4g > Circle %.4g", row.X, row.Get("Tile"), row.Get("Circle"))
+				break
+			}
+		}
+		out = append(out, ShapeResult{f.ID, "Tile ≤ Circle", pass, detail})
+	}
+	if has["Tile"] && has["Tile-D"] {
+		pass, detail := true, ""
+		for _, row := range f.Rows {
+			if row.Get("Tile-D") > row.Get("Tile")*1.10 {
+				pass = false
+				detail = fmt.Sprintf("row %s: Tile-D %.4g > Tile %.4g", row.X, row.Get("Tile-D"), row.Get("Tile"))
+				break
+			}
+		}
+		out = append(out, ShapeResult{f.ID, "Tile-D ≤ Tile", pass, detail})
+	}
+	if has["Tile-D"] && has["Tile-D-b"] {
+		// Buffered update frequency converges to Tile-D at the largest b.
+		last := f.Rows[len(f.Rows)-1]
+		ratio := 0.0
+		if v := last.Get("Tile-D"); v > 0 {
+			ratio = last.Get("Tile-D-b") / v
+		}
+		out = append(out, ShapeResult{
+			f.ID, "Tile-D-b update frequency converges to Tile-D",
+			ratio > 0 && ratio < 1.15,
+			fmt.Sprintf("ratio %.3f at %s", ratio, last.X),
+		})
+	}
+	return out
+}
+
+// checkCPUOrdering verifies Circle ≪ tile methods, and Tile-D-b ≪ Tile-D
+// when the buffered series is present.
+func checkCPUOrdering(f Figure) []ShapeResult {
+	var out []ShapeResult
+	has := map[string]bool{}
+	for _, s := range f.Series {
+		has[s] = true
+	}
+	if has["Circle"] && has["Tile"] {
+		pass, detail := true, ""
+		for _, row := range f.Rows {
+			if row.Get("Circle") > row.Get("Tile")*0.5 {
+				pass = false
+				detail = fmt.Sprintf("row %s: Circle %.4g not ≪ Tile %.4g", row.X, row.Get("Circle"), row.Get("Tile"))
+				break
+			}
+		}
+		out = append(out, ShapeResult{f.ID, "Circle CPU ≪ tile methods", pass, detail})
+	}
+	if has["Tile-D"] && has["Tile-D-b"] {
+		pass, detail := true, ""
+		for _, row := range f.Rows {
+			if row.Get("Tile-D-b") > row.Get("Tile-D")*0.8 {
+				pass = false
+				detail = fmt.Sprintf("row %s: buffered %.4g not below %.4g", row.X, row.Get("Tile-D-b"), row.Get("Tile-D"))
+				break
+			}
+		}
+		out = append(out, ShapeResult{f.ID, "buffering cuts CPU substantially", pass, detail})
+	}
+	return out
+}
+
+// checkMonotone verifies the series grow from first to last row (each
+// series' last value ≥ slack × first value).
+func checkMonotone(f Figure, claim string, slack float64) ShapeResult {
+	first, last := f.Rows[0], f.Rows[len(f.Rows)-1]
+	for _, s := range f.Series {
+		if last.Get(s) < first.Get(s)*slack {
+			return ShapeResult{f.ID, claim, false,
+				fmt.Sprintf("%s: %.4g -> %.4g", s, first.Get(s), last.Get(s))}
+		}
+	}
+	return ShapeResult{f.ID, claim, true, ""}
+}

@@ -1,0 +1,107 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// bounded maps arbitrary floats into a sane coordinate range so the
+// properties are numerically meaningful.
+func bounded(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 100)
+}
+
+func TestQuickUnionContains(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		r := RectFromPoints(Pt(bounded(ax), bounded(ay)), Pt(bounded(bx), bounded(by)))
+		s := RectFromPoints(Pt(bounded(cx), bounded(cy)), Pt(bounded(dx), bounded(dy)))
+		u := r.Union(s)
+		return u.ContainsRect(r) && u.ContainsRect(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntersectSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		r := RectFromPoints(Pt(bounded(ax), bounded(ay)), Pt(bounded(bx), bounded(by)))
+		s := RectFromPoints(Pt(bounded(cx), bounded(cy)), Pt(bounded(dx), bounded(dy)))
+		if r.Intersects(s) != s.Intersects(r) {
+			return false
+		}
+		i1, i2 := r.Intersect(s), s.Intersect(r)
+		return i1 == i2 && (i1.IsValid() == r.Intersects(s))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a := Pt(bounded(ax), bounded(ay))
+		b := Pt(bounded(bx), bounded(by))
+		c := Pt(bounded(cx), bounded(cy))
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMinMaxDistVsCenter(t *testing.T) {
+	f := func(ax, ay, bx, by, px, py float64) bool {
+		r := RectFromPoints(Pt(bounded(ax), bounded(ay)), Pt(bounded(bx), bounded(by)))
+		p := Pt(bounded(px), bounded(py))
+		dc := p.Dist(r.Center())
+		return r.MinDist(p) <= dc+1e-9 && dc <= r.MaxDist(p)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNormalizeAngleRange(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return true
+		}
+		a = math.Mod(a, 50) // bound the unwinding loop
+		n := NormalizeAngle(a)
+		if n <= -math.Pi || n > math.Pi {
+			return false
+		}
+		// Equivalent modulo 2π.
+		diff := math.Mod(a-n, 2*math.Pi)
+		return math.Abs(diff) < 1e-6 || math.Abs(math.Abs(diff)-2*math.Pi) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickQuadrantsPartition(t *testing.T) {
+	f := func(cx, cy, side, px, py float64) bool {
+		side = math.Abs(bounded(side)) + 0.001
+		r := RectAround(Pt(bounded(cx), bounded(cy)), side)
+		p := Pt(
+			r.Min.X+math.Abs(math.Mod(bounded(px), 1))*r.Width(),
+			r.Min.Y+math.Abs(math.Mod(bounded(py), 1))*r.Height(),
+		)
+		// Any point of r lies in at least one quadrant.
+		for _, q := range r.Quadrants() {
+			if q.Contains(p) {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

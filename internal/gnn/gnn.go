@@ -1,0 +1,141 @@
+// Package gnn implements group nearest neighbor queries over the R-tree:
+// top-k MAX-GNN (minimizing the maximum user–POI distance, Definition 2)
+// and top-k SUM-GNN (minimizing the sum of distances, Definition 8).
+//
+// The search is the best-first aggregate traversal of Papadias et al.
+// ("Group nearest neighbor queries", ICDE 2004 — reference [24] of the
+// paper): internal nodes are ordered and pruned by the aggregate of
+// per-user minimum distances to the node MBR, which lower-bounds the
+// aggregate distance of every point in the subtree.
+package gnn
+
+import (
+	"mpn/internal/geom"
+	"mpn/internal/rtree"
+)
+
+// Aggregate selects the distance aggregation of the meeting-point
+// objective.
+type Aggregate int
+
+const (
+	// Max minimizes the maximum user distance (MPN, MAX-GNN).
+	Max Aggregate = iota
+	// Sum minimizes the total user distance (Sum-MPN, SUM-GNN).
+	Sum
+)
+
+// String implements fmt.Stringer.
+func (a Aggregate) String() string {
+	if a == Max {
+		return "max"
+	}
+	return "sum"
+}
+
+// PointDist returns the aggregate distance ‖p,U‖ for the given users: the
+// dominant distance ‖p,U‖⊤ (Definition 5) under Max, or ‖p,U‖sum
+// (Definition 7) under Sum.
+func (a Aggregate) PointDist(p geom.Point, users []geom.Point) float64 {
+	switch a {
+	case Max:
+		d := 0.0
+		for _, u := range users {
+			if v := p.Dist(u); v > d {
+				d = v
+			}
+		}
+		return d
+	default:
+		d := 0.0
+		for _, u := range users {
+			d += p.Dist(u)
+		}
+		return d
+	}
+}
+
+// RectLowerBound returns a lower bound of the aggregate distance for every
+// point inside r.
+func (a Aggregate) RectLowerBound(r geom.Rect, users []geom.Point) float64 {
+	switch a {
+	case Max:
+		d := 0.0
+		for _, u := range users {
+			if v := r.MinDist(u); v > d {
+				d = v
+			}
+		}
+		return d
+	default:
+		d := 0.0
+		for _, u := range users {
+			d += r.MinDist(u)
+		}
+		return d
+	}
+}
+
+// Result is one GNN answer: the POI and its aggregate distance.
+type Result struct {
+	Item rtree.Item
+	Dist float64
+}
+
+// TopK returns the k best meeting points for users under the aggregate,
+// in increasing aggregate-distance order. Fewer than k results are
+// returned only when the tree holds fewer than k points. TopK(…, 1)[0] is
+// the optimal meeting point p° of Definition 2 / Definition 8, and
+// TopK(…, 2)[1] is the runner-up needed by Circle-MSR (Algorithm 1).
+func TopK(t *rtree.Tree, users []geom.Point, agg Aggregate, k int) []Result {
+	if k <= 0 || len(users) == 0 {
+		return nil
+	}
+	out := make([]Result, 0, k)
+	t.BestFirst(
+		func(r geom.Rect) float64 { return agg.RectLowerBound(r, users) },
+		func(it rtree.Item) float64 { return agg.PointDist(it.P, users) },
+		func(it rtree.Item, d float64) bool {
+			out = append(out, Result{Item: it, Dist: d})
+			return len(out) < k
+		},
+	)
+	return out
+}
+
+// BruteTopK computes TopK by exhaustive scan. It is the reference
+// implementation used by tests and by callers with tiny data sets.
+func BruteTopK(points []geom.Point, users []geom.Point, agg Aggregate, k int) []Result {
+	if k <= 0 || len(users) == 0 {
+		return nil
+	}
+	out := make([]Result, 0, k+1)
+	for id, p := range points {
+		d := agg.PointDist(p, users)
+		// Insertion sort into the running top-k.
+		pos := len(out)
+		for pos > 0 && out[pos-1].Dist > d {
+			pos--
+		}
+		if pos >= k {
+			continue
+		}
+		out = append(out, Result{})
+		copy(out[pos+1:], out[pos:])
+		out[pos] = Result{Item: rtree.Item{P: p, ID: id}, Dist: d}
+		if len(out) > k {
+			out = out[:k]
+		}
+	}
+	return out
+}
+
+// Optimal returns the single best meeting point, or ok=false when the tree
+// is empty.
+func Optimal(t *rtree.Tree, users []geom.Point, agg Aggregate) (Result, bool) {
+	res := TopK(t, users, agg, 1)
+	if len(res) == 0 {
+		return Result{}, false
+	}
+	return res[0], true
+}

@@ -1,0 +1,184 @@
+package gnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mpn/internal/geom"
+	"mpn/internal/rtree"
+)
+
+func randomPoints(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	return pts
+}
+
+func buildTree(pts []geom.Point) *rtree.Tree {
+	items := make([]rtree.Item, len(pts))
+	for i, p := range pts {
+		items[i] = rtree.Item{P: p, ID: i}
+	}
+	return rtree.Bulk(items, 16)
+}
+
+func TestAggregatePointDist(t *testing.T) {
+	users := []geom.Point{geom.Pt(0, 0), geom.Pt(4, 0)}
+	p := geom.Pt(1, 0)
+	if got := Max.PointDist(p, users); got != 3 {
+		t.Fatalf("Max=%v", got)
+	}
+	if got := Sum.PointDist(p, users); got != 4 {
+		t.Fatalf("Sum=%v", got)
+	}
+}
+
+// Fig. 11 of the paper: sum-optimal meeting point example.
+func TestPaperFig11(t *testing.T) {
+	// U = {u1, u2}, P = {p1, p2}; ‖p1,U‖sum = 1.5 + 9.5 = 11.
+	u1, u2 := geom.Pt(0, 0), geom.Pt(11, 0)
+	p1, p2 := geom.Pt(1.5, 0), geom.Pt(17, 0) // p2 clearly worse
+	tr := buildTree([]geom.Point{p1, p2})
+	res, ok := Optimal(tr, []geom.Point{u1, u2}, Sum)
+	if !ok {
+		t.Fatal("no result")
+	}
+	if res.Item.ID != 0 {
+		t.Fatalf("sum-optimal should be p1, got id=%d", res.Item.ID)
+	}
+	if math.Abs(res.Dist-11) > 1e-12 {
+		t.Fatalf("sum dist=%v want 11", res.Dist)
+	}
+}
+
+func TestRectLowerBoundIsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	users := randomPoints(4, 32)
+	for i := 0; i < 500; i++ {
+		r := geom.RectFromPoints(
+			geom.Pt(rng.Float64()*2-0.5, rng.Float64()*2-0.5),
+			geom.Pt(rng.Float64()*2-0.5, rng.Float64()*2-0.5),
+		)
+		for _, agg := range []Aggregate{Max, Sum} {
+			lb := agg.RectLowerBound(r, users)
+			for j := 0; j < 20; j++ {
+				p := geom.Pt(
+					r.Min.X+rng.Float64()*r.Width(),
+					r.Min.Y+rng.Float64()*r.Height(),
+				)
+				if d := agg.PointDist(p, users); d < lb-1e-9 {
+					t.Fatalf("%v: point dist %v below bound %v", agg, d, lb)
+				}
+			}
+		}
+	}
+}
+
+func TestTopKMatchesBruteForce(t *testing.T) {
+	pts := randomPoints(2000, 41)
+	tr := buildTree(pts)
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		m := 2 + rng.Intn(5)
+		users := make([]geom.Point, m)
+		for i := range users {
+			users[i] = geom.Pt(rng.Float64(), rng.Float64())
+		}
+		k := 1 + rng.Intn(10)
+		for _, agg := range []Aggregate{Max, Sum} {
+			got := TopK(tr, users, agg, k)
+			want := BruteTopK(pts, users, agg, k)
+			if len(got) != len(want) {
+				t.Fatalf("%v: len %d want %d", agg, len(got), len(want))
+			}
+			for i := range got {
+				if math.Abs(got[i].Dist-want[i].Dist) > 1e-12 {
+					t.Fatalf("%v result %d: dist %v want %v", agg, i, got[i].Dist, want[i].Dist)
+				}
+			}
+		}
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	pts := randomPoints(500, 51)
+	tr := buildTree(pts)
+	users := randomPoints(3, 52)
+	for _, agg := range []Aggregate{Max, Sum} {
+		res := TopK(tr, users, agg, 50)
+		for i := 1; i < len(res); i++ {
+			if res[i].Dist < res[i-1].Dist {
+				t.Fatalf("%v: results out of order at %d", agg, i)
+			}
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	tr := buildTree(nil)
+	if res := TopK(tr, randomPoints(2, 61), Max, 3); len(res) != 0 {
+		t.Fatal("empty tree should return nothing")
+	}
+	if _, ok := Optimal(tr, randomPoints(2, 62), Max); ok {
+		t.Fatal("Optimal on empty tree should report !ok")
+	}
+	tr = buildTree(randomPoints(5, 63))
+	if res := TopK(tr, nil, Max, 3); res != nil {
+		t.Fatal("no users should return nil")
+	}
+	if res := TopK(tr, randomPoints(2, 64), Max, 0); res != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	if res := TopK(tr, randomPoints(2, 65), Sum, 10); len(res) != 5 {
+		t.Fatalf("k>size should return all: got %d", len(res))
+	}
+}
+
+func TestSingleUserReducesToNN(t *testing.T) {
+	pts := randomPoints(300, 71)
+	tr := buildTree(pts)
+	u := geom.Pt(0.4, 0.6)
+	for _, agg := range []Aggregate{Max, Sum} {
+		res, ok := Optimal(tr, []geom.Point{u}, agg)
+		if !ok {
+			t.Fatal("no result")
+		}
+		nn := tr.KNN(u, 1)[0]
+		if res.Item.ID != nn.Item.ID {
+			t.Fatalf("%v: GNN of single user %d != NN %d", agg, res.Item.ID, nn.Item.ID)
+		}
+	}
+}
+
+func TestBruteTopKStability(t *testing.T) {
+	// All POIs equidistant: brute force must still return k results.
+	pts := []geom.Point{geom.Pt(1, 0), geom.Pt(-1, 0), geom.Pt(0, 1), geom.Pt(0, -1)}
+	users := []geom.Point{geom.Pt(0, 0)}
+	res := BruteTopK(pts, users, Max, 3)
+	if len(res) != 3 {
+		t.Fatalf("got %d", len(res))
+	}
+	for _, r := range res {
+		if math.Abs(r.Dist-1) > 1e-12 {
+			t.Fatalf("dist %v", r.Dist)
+		}
+	}
+}
+
+func BenchmarkTopK2Max(b *testing.B) { benchTopK(b, Max, 3, 2) }
+func BenchmarkTopK2Sum(b *testing.B) { benchTopK(b, Sum, 3, 2) }
+func BenchmarkTopK101(b *testing.B)  { benchTopK(b, Max, 3, 101) }
+
+func benchTopK(b *testing.B, agg Aggregate, m, k int) {
+	pts := randomPoints(21287, 81)
+	tr := buildTree(pts)
+	users := randomPoints(m, 82)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TopK(tr, users, agg, k)
+	}
+}

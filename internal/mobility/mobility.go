@@ -1,0 +1,318 @@
+// Package mobility generates the moving-user trajectories that drive the
+// experiments, standing in for the paper's two query workloads:
+//
+//   - GeoLifeStyle: a waypoint model with heading persistence and speed
+//     variation, the surrogate for the GeoLife taxi trajectories. Heading
+//     persistence is the property the directed tile ordering exploits [26].
+//   - NetworkTrajectory: Brinkhoff-style movement on a road network
+//     (shortest paths between random destinations), the surrogate for the
+//     Oldenburg trajectory set [27].
+//
+// The package also implements the paper's speed-scaling protocol
+// (Section 7.2, "Effect of user speed"): for speed x·V the first x
+// fraction of a trajectory is resampled uniformly to the full timestamp
+// count, and the recent-heading estimator used by Tile-D.
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mpn/internal/geom"
+	"mpn/internal/roadnet"
+)
+
+// Trajectory is one user's location per timestamp.
+type Trajectory []geom.Point
+
+// WaypointConfig parameterizes the GeoLife-style generator.
+type WaypointConfig struct {
+	// Steps is the number of timestamps (the paper's sets have >10,000).
+	Steps int
+	// Speed is the distance traveled per timestamp at the speed limit V.
+	Speed float64
+	// TurnSigma is the standard deviation of the per-step heading jitter
+	// in radians; small values yield the heading persistence of real
+	// vehicle traces.
+	TurnSigma float64
+	// TurnProb is the probability of a sharp turn (junction behaviour).
+	TurnProb float64
+	// SpeedJitter varies the per-step speed uniformly in
+	// [(1−SpeedJitter)·Speed, Speed].
+	SpeedJitter float64
+	// Start is the initial location; the zero value starts at a random
+	// point when Randomize is set.
+	Start geom.Point
+	// Randomize picks a random start position (using Seed) instead of
+	// Start.
+	Randomize bool
+	// Seed drives the generator deterministically.
+	Seed int64
+}
+
+// DefaultWaypointConfig mirrors urban taxi motion on the unit square.
+func DefaultWaypointConfig() WaypointConfig {
+	return WaypointConfig{
+		Steps:       10000,
+		Speed:       0.0004,
+		TurnSigma:   0.08,
+		TurnProb:    0.01,
+		SpeedJitter: 0.4,
+		Randomize:   true,
+		Seed:        1,
+	}
+}
+
+// GeoLifeStyle generates a heading-persistent waypoint trajectory clipped
+// to the unit square (headings reflect off the borders).
+func GeoLifeStyle(cfg WaypointConfig) (Trajectory, error) {
+	if cfg.Steps <= 0 {
+		return nil, fmt.Errorf("mobility: Steps %d must be positive", cfg.Steps)
+	}
+	if cfg.Speed < 0 {
+		return nil, fmt.Errorf("mobility: negative Speed %v", cfg.Speed)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	pos := cfg.Start
+	if cfg.Randomize {
+		pos = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	heading := rng.Float64() * 2 * math.Pi
+
+	traj := make(Trajectory, cfg.Steps)
+	traj[0] = pos
+	for t := 1; t < cfg.Steps; t++ {
+		if rng.Float64() < cfg.TurnProb {
+			heading += (rng.Float64() - 0.5) * math.Pi // sharp turn up to ±90°
+		} else {
+			heading += rng.NormFloat64() * cfg.TurnSigma
+		}
+		speed := cfg.Speed * (1 - cfg.SpeedJitter*rng.Float64())
+		nx := pos.X + speed*math.Cos(heading)
+		ny := pos.Y + speed*math.Sin(heading)
+		// Reflect at the borders.
+		if nx < 0 || nx > 1 {
+			heading = math.Pi - heading
+			nx = clamp01(nx)
+		}
+		if ny < 0 || ny > 1 {
+			heading = -heading
+			ny = clamp01(ny)
+		}
+		pos = geom.Pt(nx, ny)
+		traj[t] = pos
+	}
+	return traj, nil
+}
+
+// NetworkConfig parameterizes the Brinkhoff-style generator.
+type NetworkConfig struct {
+	// Steps is the number of timestamps.
+	Steps int
+	// Speed is the distance per timestamp at the speed limit V.
+	Speed float64
+	// SpeedJitter varies per-trip speed in [(1−j)·Speed, Speed].
+	SpeedJitter float64
+	// Seed drives destination choice and jitter.
+	Seed int64
+}
+
+// DefaultNetworkConfig mirrors the Oldenburg workload scale.
+func DefaultNetworkConfig() NetworkConfig {
+	return NetworkConfig{Steps: 10000, Speed: 0.0004, SpeedJitter: 0.4, Seed: 1}
+}
+
+// NetworkTrajectory generates network-constrained movement: starting at a
+// random junction, the user repeatedly routes to a random destination along
+// the shortest path, emitting one position per timestamp.
+func NetworkTrajectory(net *roadnet.Network, cfg NetworkConfig) (Trajectory, error) {
+	if cfg.Steps <= 0 {
+		return nil, fmt.Errorf("mobility: Steps %d must be positive", cfg.Steps)
+	}
+	if net == nil || net.NumNodes() == 0 {
+		return nil, fmt.Errorf("mobility: empty network")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	cur := net.RandomNode(rng)
+	traj := make(Trajectory, 0, cfg.Steps)
+	traj = append(traj, net.Nodes[cur].P)
+
+	for len(traj) < cfg.Steps {
+		dest := net.RandomNode(rng)
+		if dest == cur {
+			continue
+		}
+		path, _, ok := net.ShortestPath(cur, dest)
+		if !ok {
+			continue // cannot happen on Generate output
+		}
+		speed := cfg.Speed * (1 - cfg.SpeedJitter*rng.Float64())
+		if speed <= 0 {
+			speed = cfg.Speed
+		}
+		traj = walkPolyline(traj, nodePoints(net, path), speed, cfg.Steps)
+		cur = dest
+	}
+	return traj[:cfg.Steps], nil
+}
+
+func nodePoints(net *roadnet.Network, path []int) []geom.Point {
+	pts := make([]geom.Point, len(path))
+	for i, id := range path {
+		pts[i] = net.Nodes[id].P
+	}
+	return pts
+}
+
+// walkPolyline appends per-timestamp positions advancing dist `speed` per
+// step along the polyline, stopping early at maxLen samples.
+func walkPolyline(traj Trajectory, pts []geom.Point, speed float64, maxLen int) Trajectory {
+	if len(pts) < 2 {
+		return traj
+	}
+	seg := 0
+	segPos := 0.0
+	for len(traj) < maxLen {
+		remaining := speed
+		for remaining > 0 {
+			segLen := pts[seg].Dist(pts[seg+1])
+			left := segLen - segPos
+			if left > remaining {
+				segPos += remaining
+				remaining = 0
+			} else {
+				remaining -= left
+				seg++
+				segPos = 0
+				if seg >= len(pts)-1 {
+					// Destination reached mid-step: emit it and stop.
+					traj = append(traj, pts[len(pts)-1])
+					return traj
+				}
+			}
+		}
+		segLen := pts[seg].Dist(pts[seg+1])
+		frac := 0.0
+		if segLen > 0 {
+			frac = segPos / segLen
+		}
+		traj = append(traj, geom.Segment{A: pts[seg], B: pts[seg+1]}.At(frac))
+	}
+	return traj
+}
+
+// ResampleSpeed implements the paper's speed-scaling protocol: for speed
+// fraction x ∈ (0,1], take the trajectory prefix covering the first x
+// fraction of timestamps and resample it uniformly (by arc length) back to
+// the original timestamp count. The result is a consistent trajectory
+// traveling the same roads at x·V.
+func ResampleSpeed(traj Trajectory, frac float64) (Trajectory, error) {
+	if len(traj) == 0 {
+		return nil, fmt.Errorf("mobility: empty trajectory")
+	}
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("mobility: speed fraction %v out of (0,1]", frac)
+	}
+	n := len(traj)
+	prefix := traj[:maxInt(2, int(math.Ceil(frac*float64(n))))]
+	if len(prefix) > n {
+		prefix = traj
+	}
+
+	// Cumulative arc length of the prefix.
+	cum := make([]float64, len(prefix))
+	for i := 1; i < len(prefix); i++ {
+		cum[i] = cum[i-1] + prefix[i-1].Dist(prefix[i])
+	}
+	total := cum[len(cum)-1]
+	out := make(Trajectory, n)
+	if total == 0 {
+		for i := range out {
+			out[i] = prefix[0]
+		}
+		return out, nil
+	}
+	seg := 0
+	for i := 0; i < n; i++ {
+		target := total * float64(i) / float64(n-1)
+		for seg < len(cum)-2 && cum[seg+1] < target {
+			seg++
+		}
+		segLen := cum[seg+1] - cum[seg]
+		frac := 0.0
+		if segLen > 0 {
+			frac = (target - cum[seg]) / segLen
+		}
+		out[i] = geom.Segment{A: prefix[seg], B: prefix[seg+1]}.At(frac)
+	}
+	return out, nil
+}
+
+// Heading estimates the user's travel direction at timestamp t from the
+// displacement over the last window steps. A stationary window returns 0.
+func Heading(traj Trajectory, t, window int) float64 {
+	if t <= 0 || len(traj) == 0 {
+		return 0
+	}
+	if t >= len(traj) {
+		t = len(traj) - 1
+	}
+	from := t - window
+	if from < 0 {
+		from = 0
+	}
+	v := traj[t].Sub(traj[from])
+	if v.Norm() == 0 {
+		return 0
+	}
+	return v.Angle()
+}
+
+// DeviationBound estimates θ, the maximum deviation of recent step
+// directions from the current heading (the quantity the directed ordering
+// learns from recent travel [26]). It returns at least minTheta to keep
+// the cone usable when the user moves in a straight line.
+func DeviationBound(traj Trajectory, t, window int, minTheta float64) float64 {
+	h := Heading(traj, t, window)
+	from := t - window
+	if from < 1 {
+		from = 1
+	}
+	if t >= len(traj) {
+		t = len(traj) - 1
+	}
+	dev := 0.0
+	for k := from; k <= t; k++ {
+		step := traj[k].Sub(traj[k-1])
+		if step.Norm() == 0 {
+			continue
+		}
+		if d := geom.AngleDiff(step.Angle(), h); d > dev {
+			dev = d
+		}
+	}
+	if dev < minTheta {
+		return minTheta
+	}
+	return dev
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

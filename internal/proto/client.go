@@ -1,0 +1,142 @@
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"sync"
+
+	"mpn/internal/core"
+	"mpn/internal/geom"
+)
+
+// LocFunc supplies the client's current location when the server probes.
+type LocFunc func() geom.Point
+
+// NotifyFunc receives each fresh meeting point and safe region.
+type NotifyFunc func(meeting geom.Point, region core.SafeRegion)
+
+// Client is the user-side state machine: it registers, answers probes
+// with the location supplier, reports escapes, and surfaces notifications.
+type Client struct {
+	conn  io.ReadWriter
+	group uint32
+	user  uint32
+
+	loc      LocFunc
+	onNotify NotifyFunc
+
+	wmu sync.Mutex
+
+	mu      sync.RWMutex
+	meeting geom.Point
+	region  core.SafeRegion
+	haveReg bool
+}
+
+// NewClient wires a client over conn. loc must be non-nil; onNotify may be
+// nil.
+func NewClient(conn io.ReadWriter, group, user uint32, loc LocFunc, onNotify NotifyFunc) (*Client, error) {
+	if loc == nil {
+		return nil, errors.New("proto: nil location supplier")
+	}
+	return &Client{conn: conn, group: group, user: user, loc: loc, onNotify: onNotify}, nil
+}
+
+func (c *Client) write(m Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return Write(c.conn, m)
+}
+
+// Register joins the group (groupSize = m).
+func (c *Client) Register(groupSize uint32) error {
+	return c.write(Message{
+		Type: TRegister, Group: c.group, User: c.user,
+		GroupSize: groupSize, Loc: c.loc(),
+	})
+}
+
+// Report sends the user's current location to the server (step 1 — call
+// when NeedsUpdate fires).
+func (c *Client) Report() error {
+	return c.write(Message{Type: TReport, Group: c.group, User: c.user, Loc: c.loc()})
+}
+
+// NeedsUpdate reports whether the location escapes the current safe
+// region. Before the first notification it returns false (the client has
+// nothing to compare against).
+func (c *Client) NeedsUpdate(loc geom.Point) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if !c.haveReg {
+		return false
+	}
+	return !c.region.Contains(loc)
+}
+
+// Meeting returns the last notified meeting point.
+func (c *Client) Meeting() geom.Point {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.meeting
+}
+
+// Region returns the last notified safe region.
+func (c *Client) Region() core.SafeRegion {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.region
+}
+
+// Run processes server frames until EOF or error. Run answers probes
+// automatically; notifications update Meeting/Region and invoke the
+// callback. It returns nil on clean EOF.
+func (c *Client) Run() error {
+	for {
+		msg, err := Read(c.conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		switch msg.Type {
+		case TProbe:
+			if err := c.write(Message{
+				Type: TProbeReply, Group: c.group, User: c.user, Loc: c.loc(),
+			}); err != nil {
+				return err
+			}
+		case TNotify:
+			region, err := DecodeRegion(msg.Region)
+			if err != nil {
+				return err
+			}
+			c.mu.Lock()
+			c.meeting = msg.Meeting
+			c.region = region
+			c.haveReg = true
+			c.mu.Unlock()
+			if c.onNotify != nil {
+				c.onNotify(msg.Meeting, region)
+			}
+		case TError:
+			return errors.New("proto: server error: " + msg.Text)
+		default:
+			return errors.New("proto: unexpected " + msg.Type.String() + " from server")
+		}
+	}
+}
+
+// appendF / readF are the shared float64 wire helpers.
+func appendF(buf []byte, v float64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+	return append(buf, b[:]...)
+}
+
+func readF(data []byte, off int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(data[off : off+8]))
+}

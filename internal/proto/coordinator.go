@@ -1,0 +1,358 @@
+package proto
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"sync"
+
+	"mpn/internal/core"
+	"mpn/internal/geom"
+	"mpn/internal/tileenc"
+)
+
+// PlanFunc computes a meeting point and safe regions for the given user
+// locations; it is how the coordinator stays decoupled from the planner
+// implementation.
+type PlanFunc func(users []geom.Point) (geom.Point, []core.SafeRegion, error)
+
+// Coordinator is the server side of the Fig. 3 protocol: it accepts
+// connections (one per user), assembles groups, and runs the
+// report → probe → notify exchange, recomputing plans via PlanFunc.
+//
+// Outbound frames are queued per member and written by a dedicated
+// goroutine, so the coordinator never blocks on a slow (or synchronous,
+// e.g. net.Pipe) transport while holding its lock — a deadlock hazard
+// otherwise, since clients may be writing to the server at the same
+// moment.
+type Coordinator struct {
+	plan   PlanFunc
+	logger *log.Logger
+
+	mu     sync.Mutex
+	groups map[uint32]*group
+	// locs holds the last reported location per group and user.
+	locs map[uint32]map[uint32]geom.Point
+}
+
+// outboxSize bounds the per-member outbound queue. A member this far
+// behind is considered dead and dropped.
+const outboxSize = 256
+
+// group is the server-side state of one user group.
+type group struct {
+	size    uint32
+	members map[uint32]*member
+	// probing is non-nil while a probe round is outstanding; it holds the
+	// user ids whose replies are still missing.
+	probing map[uint32]bool
+}
+
+type member struct {
+	user uint32
+	out  chan Message
+	done chan struct{}
+}
+
+// newMember starts the writer goroutine for one connection.
+func newMember(user uint32, w io.Writer, logger *log.Logger) *member {
+	m := &member{user: user, out: make(chan Message, outboxSize), done: make(chan struct{})}
+	go func() {
+		defer close(m.done)
+		for msg := range m.out {
+			if err := Write(w, msg); err != nil {
+				logger.Printf("user %d: write failed: %v", user, err)
+				// Drain remaining messages so senders never block.
+				for range m.out {
+				}
+				return
+			}
+		}
+	}()
+	return m
+}
+
+// send enqueues without blocking; it reports whether the member accepted
+// the frame.
+func (m *member) send(msg Message) bool {
+	select {
+	case m.out <- msg:
+		return true
+	default:
+		return false
+	}
+}
+
+// close stops the writer after the queue drains.
+func (m *member) close() {
+	close(m.out)
+	<-m.done
+}
+
+// NewCoordinator builds a coordinator around a plan function. logger may
+// be nil to disable logging.
+func NewCoordinator(plan PlanFunc, logger *log.Logger) *Coordinator {
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &Coordinator{
+		plan:   plan,
+		logger: logger,
+		groups: map[uint32]*group{},
+		locs:   map[uint32]map[uint32]geom.Point{},
+	}
+}
+
+// ServeConn runs the read loop for one client connection until EOF or a
+// protocol error, then removes the member from its group. It is intended
+// to be called in its own goroutine per accepted connection.
+func (c *Coordinator) ServeConn(conn io.ReadWriteCloser) error {
+	defer conn.Close()
+	var gid, uid uint32
+	registered := false
+	defer func() {
+		if registered {
+			c.removeMember(gid, uid)
+		}
+	}()
+	for {
+		msg, err := Read(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		switch msg.Type {
+		case TRegister:
+			if registered {
+				c.sendError(conn, "already registered")
+				continue
+			}
+			if err := c.register(msg, conn); err != nil {
+				c.sendError(conn, err.Error())
+				continue
+			}
+			gid, uid, registered = msg.Group, msg.User, true
+		case TReport:
+			if !registered {
+				c.sendError(conn, "report before register")
+				continue
+			}
+			c.handleReport(msg)
+		case TProbeReply:
+			if !registered {
+				c.sendError(conn, "reply before register")
+				continue
+			}
+			c.handleProbeReply(msg)
+		default:
+			c.sendError(conn, fmt.Sprintf("unexpected %v from client", msg.Type))
+		}
+	}
+}
+
+// sendError writes directly: it is only used before the member has an
+// outbox (or for protocol violations where blocking the offender is
+// acceptable).
+func (c *Coordinator) sendError(w io.Writer, text string) {
+	_ = Write(w, Message{Type: TError, Text: text})
+}
+
+// register adds the member; when the group completes, the first plan is
+// computed and distributed.
+func (c *Coordinator) register(msg Message, w io.Writer) error {
+	if msg.GroupSize == 0 {
+		return errors.New("group size must be positive")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.groups[msg.Group]
+	if g == nil {
+		g = &group{size: msg.GroupSize, members: map[uint32]*member{}}
+		c.groups[msg.Group] = g
+		c.locs[msg.Group] = map[uint32]geom.Point{}
+	}
+	if g.size != msg.GroupSize {
+		return fmt.Errorf("group %d has size %d, not %d", msg.Group, g.size, msg.GroupSize)
+	}
+	if _, dup := g.members[msg.User]; dup {
+		return fmt.Errorf("user %d already in group %d", msg.User, msg.Group)
+	}
+	if uint32(len(g.members)) >= g.size {
+		return fmt.Errorf("group %d is full", msg.Group)
+	}
+	g.members[msg.User] = newMember(msg.User, w, c.logger)
+	c.locs[msg.Group][msg.User] = msg.Loc
+	c.logger.Printf("group %d: user %d registered (%d/%d)",
+		msg.Group, msg.User, len(g.members), g.size)
+	if uint32(len(g.members)) == g.size {
+		c.replanLocked(msg.Group, g)
+	}
+	return nil
+}
+
+// handleReport is step 1: record the reporter's location and probe the
+// others (step 2). With a group of one, replan immediately.
+func (c *Coordinator) handleReport(msg Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.groups[msg.Group]
+	if g == nil || uint32(len(g.members)) != g.size {
+		return
+	}
+	if _, ok := g.members[msg.User]; !ok {
+		return
+	}
+	c.locs[msg.Group][msg.User] = msg.Loc
+	if g.probing != nil {
+		// A probe round is already in flight (e.g. two users escaped in
+		// the same tick); the fresh location is recorded and the pending
+		// round will cover it.
+		delete(g.probing, msg.User)
+		c.maybeReplanLocked(msg.Group, g)
+		return
+	}
+	g.probing = map[uint32]bool{}
+	for uid, other := range g.members {
+		if uid == msg.User {
+			continue
+		}
+		g.probing[uid] = true
+		if !other.send(Message{Type: TProbe, Group: msg.Group, User: uid}) {
+			c.logger.Printf("group %d: probe to user %d dropped (outbox full)", msg.Group, uid)
+			delete(g.probing, uid)
+		}
+	}
+	c.maybeReplanLocked(msg.Group, g)
+}
+
+// handleProbeReply is step 2b.
+func (c *Coordinator) handleProbeReply(msg Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.groups[msg.Group]
+	if g == nil || g.probing == nil {
+		return
+	}
+	if _, ok := g.members[msg.User]; ok {
+		c.locs[msg.Group][msg.User] = msg.Loc
+	}
+	delete(g.probing, msg.User)
+	c.maybeReplanLocked(msg.Group, g)
+}
+
+// maybeReplanLocked replans once all probe replies arrived.
+func (c *Coordinator) maybeReplanLocked(gid uint32, g *group) {
+	if g.probing == nil || len(g.probing) > 0 {
+		return
+	}
+	g.probing = nil
+	c.replanLocked(gid, g)
+}
+
+// replanLocked computes and distributes a fresh plan (step 3). Member
+// order is by ascending user id so regions match deterministically.
+func (c *Coordinator) replanLocked(gid uint32, g *group) {
+	ids := make([]uint32, 0, len(g.members))
+	for uid := range g.members {
+		ids = append(ids, uid)
+	}
+	sortU32(ids)
+	users := make([]geom.Point, len(ids))
+	for i, uid := range ids {
+		users[i] = c.locs[gid][uid]
+	}
+	meeting, regions, err := c.plan(users)
+	if err != nil {
+		c.logger.Printf("group %d: plan failed: %v", gid, err)
+		for _, uid := range ids {
+			g.members[uid].send(Message{Type: TError, Group: gid, Text: err.Error()})
+		}
+		return
+	}
+	for i, uid := range ids {
+		msg := Message{
+			Type: TNotify, Group: gid, User: uid,
+			Meeting: meeting, Region: encodeRegion(regions[i]),
+		}
+		if !g.members[uid].send(msg) {
+			c.logger.Printf("group %d: notify to user %d dropped (outbox full)", gid, uid)
+		}
+	}
+	c.logger.Printf("group %d: notified %d members, meeting at %v", gid, len(ids), meeting)
+}
+
+// removeMember drops a disconnected user; an incomplete group stops
+// replanning until it refills.
+func (c *Coordinator) removeMember(gid, uid uint32) {
+	c.mu.Lock()
+	g := c.groups[gid]
+	var leaving *member
+	if g != nil {
+		leaving = g.members[uid]
+		delete(g.members, uid)
+		delete(c.locs[gid], uid)
+		if g.probing != nil {
+			delete(g.probing, uid)
+			c.maybeReplanLocked(gid, g)
+		}
+		if len(g.members) == 0 {
+			delete(c.groups, gid)
+			delete(c.locs, gid)
+		}
+	}
+	c.mu.Unlock()
+	if leaving != nil {
+		leaving.close()
+	}
+	c.logger.Printf("group %d: user %d left", gid, uid)
+}
+
+// NumGroups returns the live group count (for tests and monitoring).
+func (c *Coordinator) NumGroups() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.groups)
+}
+
+func sortU32(xs []uint32) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// encodeRegion mirrors the public mpn.EncodeRegion format so clients of
+// either layer interoperate.
+func encodeRegion(r core.SafeRegion) []byte {
+	if r.Kind == core.KindCircle {
+		buf := make([]byte, 0, 25)
+		buf = append(buf, 'C')
+		buf = appendF(buf, r.Circle.C.X)
+		buf = appendF(buf, r.Circle.C.Y)
+		buf = appendF(buf, r.Circle.R)
+		return buf
+	}
+	delta := 0.0
+	for _, t := range r.Tiles {
+		if w := t.Width(); w > delta {
+			delta = w
+		}
+	}
+	return tileenc.Encode(r.Tiles, delta)
+}
+
+// DecodeRegion parses an encodeRegion payload back into a SafeRegion.
+func DecodeRegion(data []byte) (core.SafeRegion, error) {
+	if len(data) == 25 && data[0] == 'C' {
+		return core.CircleRegion(geom.Pt(readF(data, 1), readF(data, 9)), readF(data, 17)), nil
+	}
+	tiles, err := tileenc.Decode(data)
+	if err != nil {
+		return core.SafeRegion{}, err
+	}
+	return core.TileRegion(tiles...), nil
+}

@@ -1,0 +1,181 @@
+// Package proto implements the client/server protocol of the paper's
+// system architecture (Fig. 3) as a transport-agnostic wire format plus a
+// server-side coordinator and a client state machine.
+//
+// The three message exchanges of the paper map to five frame types:
+//
+//	Register    client → server   join a group with an initial location
+//	Report      client → server   step 1: an escaping user reports
+//	Probe       server → client   step 2a: the server asks the others
+//	ProbeReply  client → server   step 2b: they answer
+//	Notify      server → client   step 3: meeting point + safe region
+//
+// Frames are length-prefixed little-endian binary; safe regions travel in
+// the mpn region encoding (24-byte circles, varint-compressed tile grids).
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"mpn/internal/geom"
+)
+
+// MsgType identifies a frame.
+type MsgType uint8
+
+// Frame types.
+const (
+	TRegister MsgType = iota + 1
+	TReport
+	TProbe
+	TProbeReply
+	TNotify
+	TError
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case TRegister:
+		return "register"
+	case TReport:
+		return "report"
+	case TProbe:
+		return "probe"
+	case TProbeReply:
+		return "probe-reply"
+	case TNotify:
+		return "notify"
+	case TError:
+		return "error"
+	default:
+		return fmt.Sprintf("msgtype(%d)", uint8(t))
+	}
+}
+
+// MaxFrame bounds a frame's payload, protecting the reader from corrupt
+// length prefixes. Tile regions are a few hundred bytes; 1 MiB is
+// generous.
+const MaxFrame = 1 << 20
+
+// Message is one protocol frame. Fields are used according to Type:
+// Register carries Group/User/GroupSize/Loc; Report and ProbeReply carry
+// Group/User/Loc; Probe carries Group/User; Notify carries
+// Group/User/Meeting/Region; Error carries Text.
+type Message struct {
+	Type      MsgType
+	Group     uint32
+	User      uint32
+	GroupSize uint32
+	Loc       geom.Point
+	Meeting   geom.Point
+	Region    []byte
+	Text      string
+}
+
+// Errors returned by the codec.
+var (
+	ErrFrameTooLarge = errors.New("proto: frame exceeds MaxFrame")
+	ErrCorruptFrame  = errors.New("proto: corrupt frame")
+)
+
+// Append serializes m into buf and returns the extended slice (without the
+// length prefix).
+func (m Message) appendPayload(buf []byte) []byte {
+	buf = append(buf, byte(m.Type))
+	buf = binary.LittleEndian.AppendUint32(buf, m.Group)
+	buf = binary.LittleEndian.AppendUint32(buf, m.User)
+	buf = binary.LittleEndian.AppendUint32(buf, m.GroupSize)
+	buf = appendPoint(buf, m.Loc)
+	buf = appendPoint(buf, m.Meeting)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Region)))
+	buf = append(buf, m.Region...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Text)))
+	buf = append(buf, m.Text...)
+	return buf
+}
+
+func appendPoint(buf []byte, p geom.Point) []byte {
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.X))
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Y))
+}
+
+// Write frames and writes m.
+func Write(w io.Writer, m Message) error {
+	payload := m.appendPayload(make([]byte, 0, 64+len(m.Region)+len(m.Text)))
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Read reads one framed message.
+func Read(r io.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return Message{}, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Message{}, err
+	}
+	return parsePayload(payload)
+}
+
+func parsePayload(p []byte) (Message, error) {
+	// Fixed part: type(1) + group(4) + user(4) + size(4) + 2 points(32) +
+	// region len(4).
+	const fixed = 1 + 4 + 4 + 4 + 32 + 4
+	if len(p) < fixed {
+		return Message{}, ErrCorruptFrame
+	}
+	var m Message
+	m.Type = MsgType(p[0])
+	if m.Type < TRegister || m.Type > TError {
+		return Message{}, ErrCorruptFrame
+	}
+	m.Group = binary.LittleEndian.Uint32(p[1:])
+	m.User = binary.LittleEndian.Uint32(p[5:])
+	m.GroupSize = binary.LittleEndian.Uint32(p[9:])
+	m.Loc = readPoint(p[13:])
+	m.Meeting = readPoint(p[29:])
+	regionLen := binary.LittleEndian.Uint32(p[45:])
+	rest := p[49:]
+	if uint32(len(rest)) < regionLen+4 {
+		return Message{}, ErrCorruptFrame
+	}
+	if regionLen > 0 {
+		m.Region = append([]byte(nil), rest[:regionLen]...)
+	}
+	rest = rest[regionLen:]
+	textLen := binary.LittleEndian.Uint32(rest)
+	rest = rest[4:]
+	if uint32(len(rest)) != textLen {
+		return Message{}, ErrCorruptFrame
+	}
+	if textLen > 0 {
+		m.Text = string(rest)
+	}
+	return m, nil
+}
+
+func readPoint(p []byte) geom.Point {
+	return geom.Pt(
+		math.Float64frombits(binary.LittleEndian.Uint64(p[0:8])),
+		math.Float64frombits(binary.LittleEndian.Uint64(p[8:16])),
+	)
+}

@@ -1,0 +1,109 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"mpn/internal/geom"
+)
+
+// Bulk builds a tree from items using the Sort-Tile-Recursive (STR)
+// packing algorithm: items are sorted by x, cut into √(n/M) vertical
+// slices, each slice sorted by y and packed into full leaves; the process
+// repeats one level up until a single root remains. STR yields near-optimal
+// space utilization and is how the experiment harness loads the POI sets.
+func Bulk(items []Item, maxEntries int) *Tree {
+	t := New(maxEntries)
+	if len(items) == 0 {
+		return t
+	}
+	own := make([]Item, len(items))
+	copy(own, items)
+
+	level := packLeaves(own, t.maxEntries)
+	for len(level) > 1 {
+		level = packNodes(level, t.maxEntries)
+	}
+	t.root = level[0]
+	t.size = len(items)
+	return t
+}
+
+// packLeaves packs sorted slices of items into leaf nodes.
+func packLeaves(items []Item, m int) []*node {
+	n := len(items)
+	leafCount := (n + m - 1) / m
+	sliceCount := int(math.Ceil(math.Sqrt(float64(leafCount))))
+	sliceSize := sliceCount * m
+
+	sort.Slice(items, func(i, j int) bool { return items[i].P.X < items[j].P.X })
+
+	var leaves []*node
+	for start := 0; start < n; start += sliceSize {
+		end := start + sliceSize
+		if end > n {
+			end = n
+		}
+		sl := items[start:end]
+		sort.Slice(sl, func(i, j int) bool { return sl[i].P.Y < sl[j].P.Y })
+		for ls := 0; ls < len(sl); ls += m {
+			le := ls + m
+			if le > len(sl) {
+				le = len(sl)
+			}
+			leaf := &node{leaf: true, entries: make([]entry, 0, le-ls)}
+			for _, it := range sl[ls:le] {
+				leaf.entries = append(leaf.entries, entry{
+					mbr:  geom.Rect{Min: it.P, Max: it.P},
+					item: it,
+				})
+			}
+			leaves = append(leaves, leaf)
+		}
+	}
+	return leaves
+}
+
+// packNodes groups one level of nodes into parents using the same STR
+// tiling on node MBR centers.
+func packNodes(children []*node, m int) []*node {
+	type boxed struct {
+		n   *node
+		mbr geom.Rect
+	}
+	bs := make([]boxed, len(children))
+	for i, c := range children {
+		bs[i] = boxed{n: c, mbr: c.mbr()}
+	}
+	parentCount := (len(bs) + m - 1) / m
+	sliceCount := int(math.Ceil(math.Sqrt(float64(parentCount))))
+	sliceSize := sliceCount * m
+
+	sort.Slice(bs, func(i, j int) bool {
+		return bs[i].mbr.Center().X < bs[j].mbr.Center().X
+	})
+
+	var parents []*node
+	for start := 0; start < len(bs); start += sliceSize {
+		end := start + sliceSize
+		if end > len(bs) {
+			end = len(bs)
+		}
+		sl := bs[start:end]
+		sort.Slice(sl, func(i, j int) bool {
+			return sl[i].mbr.Center().Y < sl[j].mbr.Center().Y
+		})
+		for ls := 0; ls < len(sl); ls += m {
+			le := ls + m
+			if le > len(sl) {
+				le = len(sl)
+			}
+			p := &node{leaf: false, entries: make([]entry, 0, le-ls)}
+			for _, b := range sl[ls:le] {
+				p.entries = append(p.entries, entry{mbr: b.mbr, child: b.n})
+			}
+			parents = append(parents, p)
+		}
+	}
+	return parents
+}

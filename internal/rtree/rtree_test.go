@@ -1,0 +1,246 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mpn/internal/geom"
+)
+
+func randomItems(n int, seed int64) []Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{P: geom.Pt(rng.Float64(), rng.Float64()), ID: i}
+	}
+	return items
+}
+
+func TestInsertAndInvariants(t *testing.T) {
+	items := randomItems(500, 1)
+	tr := New(8)
+	for i, it := range items {
+		tr.Insert(it)
+		if tr.Len() != i+1 {
+			t.Fatalf("Len=%d want %d", tr.Len(), i+1)
+		}
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkInvariants(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 32, 33, 100, 1000, 5000} {
+		items := randomItems(n, int64(n))
+		tr := Bulk(items, 16)
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, tr.Len())
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestSearchMatchesBruteForce(t *testing.T) {
+	items := randomItems(800, 2)
+	for _, tr := range []*Tree{Bulk(items, 16), insertAll(items, 8)} {
+		rng := rand.New(rand.NewSource(3))
+		for q := 0; q < 50; q++ {
+			r := geom.RectFromPoints(
+				geom.Pt(rng.Float64(), rng.Float64()),
+				geom.Pt(rng.Float64(), rng.Float64()),
+			)
+			got := map[int]bool{}
+			tr.Search(r, func(it Item) bool { got[it.ID] = true; return true })
+			want := map[int]bool{}
+			for _, it := range items {
+				if r.Contains(it.P) {
+					want[it.ID] = true
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("query %v: got %d items want %d", r, len(got), len(want))
+			}
+			for id := range want {
+				if !got[id] {
+					t.Fatalf("query %v: missing id %d", r, id)
+				}
+			}
+		}
+	}
+}
+
+func insertAll(items []Item, m int) *Tree {
+	tr := New(m)
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	return tr
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	items := randomItems(600, 4)
+	trees := map[string]*Tree{
+		"bulk":   Bulk(items, 16),
+		"insert": insertAll(items, 8),
+	}
+	rng := rand.New(rand.NewSource(5))
+	for name, tr := range trees {
+		for q := 0; q < 40; q++ {
+			query := geom.Pt(rng.Float64()*1.4-0.2, rng.Float64()*1.4-0.2)
+			k := 1 + rng.Intn(20)
+			got := tr.KNN(query, k)
+			if len(got) != k {
+				t.Fatalf("%s: KNN returned %d want %d", name, len(got), k)
+			}
+			// Brute force.
+			dists := make([]float64, len(items))
+			for i, it := range items {
+				dists[i] = it.P.Dist(query)
+			}
+			sort.Float64s(dists)
+			for i, nb := range got {
+				if diff := nb.Dist - dists[i]; diff > 1e-12 || diff < -1e-12 {
+					t.Fatalf("%s: neighbor %d dist %v want %v", name, i, nb.Dist, dists[i])
+				}
+				if i > 0 && got[i].Dist < got[i-1].Dist {
+					t.Fatalf("%s: results not sorted", name)
+				}
+			}
+		}
+	}
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	tr := New(8)
+	if got := tr.KNN(geom.Pt(0, 0), 5); len(got) != 0 {
+		t.Fatalf("empty tree KNN returned %d", len(got))
+	}
+	tr.Insert(Item{P: geom.Pt(1, 1), ID: 0})
+	if got := tr.KNN(geom.Pt(0, 0), 5); len(got) != 1 {
+		t.Fatalf("want all items when k>size, got %d", len(got))
+	}
+	if got := tr.KNN(geom.Pt(0, 0), 0); got != nil {
+		t.Fatalf("k=0 should return nil")
+	}
+}
+
+func TestAll(t *testing.T) {
+	items := randomItems(123, 9)
+	tr := Bulk(items, 16)
+	seen := map[int]bool{}
+	tr.All(func(it Item) bool { seen[it.ID] = true; return true })
+	if len(seen) != len(items) {
+		t.Fatalf("All visited %d items want %d", len(seen), len(items))
+	}
+	// Early stop.
+	count := 0
+	tr.All(func(it Item) bool { count++; return count < 10 })
+	if count != 10 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestBestFirstOrdering(t *testing.T) {
+	items := randomItems(400, 11)
+	tr := Bulk(items, 16)
+	q := geom.Pt(0.5, 0.5)
+	prev := -1.0
+	n := 0
+	tr.BestFirst(
+		func(r geom.Rect) float64 { return r.MinDist(q) },
+		func(it Item) float64 { return it.P.Dist(q) },
+		func(it Item, d float64) bool {
+			if d < prev {
+				t.Fatalf("out of order: %v after %v", d, prev)
+			}
+			prev = d
+			n++
+			return true
+		},
+	)
+	if n != len(items) {
+		t.Fatalf("visited %d want %d", n, len(items))
+	}
+}
+
+func TestPrunedSearch(t *testing.T) {
+	items := randomItems(500, 13)
+	tr := Bulk(items, 16)
+	// Keep only subtrees intersecting the left half plane x<=0.5.
+	half := geom.Rect{Min: geom.Pt(-1, -1), Max: geom.Pt(0.5, 2)}
+	got := map[int]bool{}
+	tr.PrunedSearch(
+		func(r geom.Rect) bool { return r.Intersects(half) },
+		func(it Item) bool { got[it.ID] = true; return true },
+	)
+	for _, it := range items {
+		if it.P.X <= 0.5 && !got[it.ID] {
+			t.Fatalf("missing item %d at %v", it.ID, it.P)
+		}
+	}
+}
+
+func TestHeight(t *testing.T) {
+	tr := New(8)
+	if tr.Height() != 1 {
+		t.Fatalf("empty height=%d", tr.Height())
+	}
+	for _, it := range randomItems(1000, 17) {
+		tr.Insert(it)
+	}
+	if h := tr.Height(); h < 3 || h > 6 {
+		t.Fatalf("unexpected height %d for 1000 items fan-out 8", h)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	tr := New(8)
+	p := geom.Pt(0.3, 0.7)
+	for i := 0; i < 100; i++ {
+		tr.Insert(Item{P: p, ID: i})
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.KNN(p, 100)
+	if len(got) != 100 {
+		t.Fatalf("got %d", len(got))
+	}
+	for _, nb := range got {
+		if nb.Dist != 0 {
+			t.Fatalf("dup dist %v", nb.Dist)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	items := randomItems(b.N, 21)
+	b.ResetTimer()
+	tr := New(DefaultMaxEntries)
+	for i := 0; i < b.N; i++ {
+		tr.Insert(items[i])
+	}
+}
+
+func BenchmarkBulkLoad21k(b *testing.B) {
+	items := randomItems(21287, 22)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Bulk(items, DefaultMaxEntries)
+	}
+}
+
+func BenchmarkKNN(b *testing.B) {
+	items := randomItems(21287, 23)
+	tr := Bulk(items, DefaultMaxEntries)
+	rng := rand.New(rand.NewSource(24))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.KNN(geom.Pt(rng.Float64(), rng.Float64()), 10)
+	}
+}

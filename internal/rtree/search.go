@@ -1,0 +1,117 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"mpn/internal/geom"
+)
+
+// pqEntry is a priority-queue element for best-first traversal: either a
+// node to expand or an item ready to be reported.
+type pqEntry struct {
+	dist float64
+	node *node
+	item Item
+}
+
+type pq []pqEntry
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqEntry)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// BestFirst visits items in non-decreasing order of itemDist, using nodeLB
+// as a lower bound to order and prune internal nodes: nodeLB(mbr) must be
+// ≤ itemDist(it) for every item it stored under a node with that MBR.
+// visit returning false stops the traversal.
+//
+// This single primitive implements kNN (nodeLB = MinDist to the query
+// point), aggregate GNN searches (nodeLB = aggregate of MinDists to all
+// users, per [24]), and incremental candidate enumeration for safe-region
+// verification.
+func (t *Tree) BestFirst(
+	nodeLB func(geom.Rect) float64,
+	itemDist func(Item) float64,
+	visit func(Item, float64) bool,
+) {
+	if t.size == 0 {
+		return
+	}
+	q := pq{{dist: nodeLB(t.root.mbr()), node: t.root}}
+	for len(q) > 0 {
+		e := heap.Pop(&q).(pqEntry)
+		if e.node == nil {
+			if !visit(e.item, e.dist) {
+				return
+			}
+			continue
+		}
+		for _, c := range e.node.entries {
+			if e.node.leaf {
+				heap.Push(&q, pqEntry{dist: itemDist(c.item), item: c.item})
+			} else {
+				heap.Push(&q, pqEntry{dist: nodeLB(c.mbr), node: c.child})
+			}
+		}
+	}
+}
+
+// Neighbor is one kNN result.
+type Neighbor struct {
+	Item Item
+	Dist float64
+}
+
+// KNN returns the k nearest items to q in increasing distance order. If the
+// tree holds fewer than k items, all of them are returned.
+func (t *Tree) KNN(q geom.Point, k int) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Neighbor, 0, k)
+	t.BestFirst(
+		func(r geom.Rect) float64 { return r.MinDist(q) },
+		func(it Item) float64 { return it.P.Dist(q) },
+		func(it Item, d float64) bool {
+			out = append(out, Neighbor{Item: it, Dist: d})
+			return len(out) < k
+		},
+	)
+	return out
+}
+
+// PrunedSearch walks the tree, descending only into nodes for which keep
+// returns true, and invokes fn on every item in a kept leaf whose own
+// point-rect also passes keep. It implements the Theorem 3 / Theorem 6
+// index pruning: keep receives an MBR and decides whether the subtree can
+// contain candidate meeting points.
+func (t *Tree) PrunedSearch(keep func(geom.Rect) bool, fn func(Item) bool) bool {
+	if t.size == 0 {
+		return true
+	}
+	return prunedNode(t.root, keep, fn)
+}
+
+func prunedNode(n *node, keep func(geom.Rect) bool, fn func(Item) bool) bool {
+	for _, e := range n.entries {
+		if !keep(e.mbr) {
+			continue
+		}
+		if n.leaf {
+			if !fn(e.item) {
+				return false
+			}
+		} else if !prunedNode(e.child, keep, fn) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"mpn/internal/geom"
+	"mpn/internal/gnn"
+	"mpn/internal/mobility"
+	"mpn/internal/workload"
+)
+
+// oldenburgWorkload builds a network-constrained trajectory group.
+func oldenburgWorkload(t testing.TB, m int) ([]geom.Point, []mobility.Trajectory) {
+	t.Helper()
+	poiCfg := workload.DefaultPOIConfig()
+	poiCfg.N = 1500
+	pts, err := workload.GeneratePOIs(poiCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := workload.GenerateOldenburgSet(workload.SetConfig{
+		NumTrajectories: m, Steps: 400, Speed: 0.001, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts, set.Trajs
+}
+
+func TestRunOldenburgAllMethods(t *testing.T) {
+	pts, group := oldenburgWorkload(t, 3)
+	for _, method := range []Method{MethodCircle, MethodTile, MethodTileD} {
+		cfg := MethodConfig(method, gnn.Max, 0)
+		cfg.Core.TileLimit = 6
+		met, err := Run(pts, group, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if met.Updates < 1 || met.Timestamps != 400 {
+			t.Fatalf("%v: %+v", method, met)
+		}
+	}
+}
+
+func TestRunFullTrajectoryLength(t *testing.T) {
+	pts, group := oldenburgWorkload(t, 2)
+	cfg := MethodConfig(MethodCircle, gnn.Max, 0)
+	cfg.MaxSteps = 0 // no truncation
+	met, err := Run(pts, group, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Timestamps != 400 {
+		t.Fatalf("timestamps=%d want full 400", met.Timestamps)
+	}
+}
+
+func TestCPUAccounting(t *testing.T) {
+	pts, group := oldenburgWorkload(t, 2)
+	cfg := MethodConfig(MethodTile, gnn.Max, 20)
+	cfg.Core.TileLimit = 5
+	cfg.MaxSteps = 150
+	met, err := Run(pts, group, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.ServerCPU <= 0 {
+		t.Fatal("no CPU recorded")
+	}
+	if met.CPUPerUpdate() <= 0 || met.CPUPerUpdate() > time.Second {
+		t.Fatalf("implausible CPU per update: %v", met.CPUPerUpdate())
+	}
+	if met.RegionBytes <= 0 {
+		t.Fatal("no region bytes recorded")
+	}
+}
+
+func TestSumBufferedOldenburg(t *testing.T) {
+	pts, group := oldenburgWorkload(t, 3)
+	cfg := MethodConfig(MethodTileD, gnn.Sum, 30)
+	cfg.Core.TileLimit = 5
+	cfg.MaxSteps = 150
+	met, err := Run(pts, group, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.PlanStats.IndexAccesses != met.Updates {
+		t.Fatalf("buffered sum run: %d index accesses for %d updates",
+			met.PlanStats.IndexAccesses, met.Updates)
+	}
+}
+
+// Update frequency must be monotone-ish in speed on the same trajectories:
+// the resampled half-speed set cannot trigger more updates than full speed
+// by a large margin.
+func TestSpeedMonotonicity(t *testing.T) {
+	poiCfg := workload.DefaultPOIConfig()
+	poiCfg.N = 1500
+	pts, err := workload.GeneratePOIs(poiCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := workload.GenerateGeoLifeSet(workload.SetConfig{
+		NumTrajectories: 3, Steps: 800, Speed: 0.001, Seed: 29,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowSet, err := set.ResampleSpeed(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := MethodConfig(MethodCircle, gnn.Max, 0)
+	fast, err := Run(pts, set.Trajs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(pts, slowSet.Trajs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(slow.Updates) > 0.9*float64(fast.Updates) {
+		t.Fatalf("quarter speed (%d updates) not clearly below full speed (%d)",
+			slow.Updates, fast.Updates)
+	}
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean=%v", got)
+	}
+	if got := Mean([]float64{-1, 1}); got != 0 {
+		t.Fatalf("Mean=%v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single-element stddev")
+	}
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("StdDev=%v want 2", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Fatal("empty median")
+	}
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("Median=%v", got)
+	}
+	if got := Median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Fatalf("Median=%v", got)
+	}
+	// Input must not be mutated.
+	in := []float64{3, 1, 2}
+	Median(in)
+	if in[0] != 3 {
+		t.Fatal("Median mutated input")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("GeoMean=%v want 10", got)
+	}
+	if got := GeoMean([]float64{-5, 0}); got != 0 {
+		t.Fatalf("GeoMean of nonpositives=%v", got)
+	}
+	if got := GeoMean([]float64{-5, 4}); got != 4 {
+		t.Fatalf("GeoMean should skip nonpositives: %v", got)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := Table{Title: "demo", Columns: []string{"x", "longcolumn"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333333", "4")
+	out := tab.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "longcolumn") {
+		t.Fatalf("table output missing parts:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Alignment: header and data rows equal width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("misaligned header/separator:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		12345:   "12345",
+		42.25:   "42.2",
+		1.23456: "1.23",
+		0.00123: "0.00123",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Fatalf("FormatFloat(%v)=%q want %q", in, got, want)
+		}
+	}
+}

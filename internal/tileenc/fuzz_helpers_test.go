@@ -1,0 +1,6 @@
+package tileenc
+
+import "mpn/internal/geom"
+
+// pt aliases the geometry constructor for the robustness tests.
+func pt(x, y float64) geom.Point { return geom.Pt(x, y) }

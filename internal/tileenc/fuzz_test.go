@@ -1,0 +1,55 @@
+package tileenc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Decode must never panic or allocate absurdly on arbitrary input — only
+// return an error or a well-formed region. This is a randomized robustness
+// sweep (stdlib-only stand-in for a fuzz target).
+func TestDecodeRandomBytesRobust(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20000; trial++ {
+		n := rng.Intn(120)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		if rng.Intn(2) == 0 && n >= 2 {
+			// Bias toward plausible headers to reach deeper code paths.
+			buf[0] = 'T'
+			buf[1] = Version
+		}
+		tiles, err := Decode(buf)
+		if err != nil {
+			continue
+		}
+		for _, tile := range tiles {
+			if !tile.IsValid() {
+				t.Fatalf("decoded invalid tile %v from random input", tile)
+			}
+		}
+	}
+}
+
+// Mutating single bytes of a valid payload must either fail cleanly or
+// produce valid tiles.
+func TestDecodeBitflipRobust(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tiles := regionLike(pt(0.5, 0.5), 0.01, 20, rng)
+	valid := Encode(tiles, 0.01)
+	for i := range valid {
+		for _, flip := range []byte{0x01, 0x80, 0xff} {
+			mut := append([]byte(nil), valid...)
+			mut[i] ^= flip
+			decoded, err := Decode(mut)
+			if err != nil {
+				continue
+			}
+			for _, tile := range decoded {
+				if !tile.IsValid() {
+					t.Fatalf("byte %d flip %x: invalid tile %v", i, flip, tile)
+				}
+			}
+		}
+	}
+}

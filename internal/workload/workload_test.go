@@ -1,0 +1,200 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestGeneratePOIs(t *testing.T) {
+	cfg := DefaultPOIConfig()
+	cfg.N = 5000
+	pts, err := GeneratePOIs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != cfg.N {
+		t.Fatalf("got %d points want %d", len(pts), cfg.N)
+	}
+	for _, p := range pts {
+		if p.X < 0 || p.X > 1 || p.Y < 0 || p.Y > 1 {
+			t.Fatalf("POI outside unit square: %v", p)
+		}
+	}
+	// Determinism.
+	pts2, _ := GeneratePOIs(cfg)
+	for i := range pts {
+		if pts[i] != pts2[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestGeneratePOIsClustered(t *testing.T) {
+	// Clustered output should concentrate mass: the densest 10% of a
+	// 10×10 histogram should hold far more than 10% of the points.
+	cfg := DefaultPOIConfig()
+	cfg.N = 20000
+	pts, err := GeneratePOIs(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist [100]int
+	for _, p := range pts {
+		cx := int(p.X * 10)
+		cy := int(p.Y * 10)
+		if cx > 9 {
+			cx = 9
+		}
+		if cy > 9 {
+			cy = 9
+		}
+		hist[cy*10+cx]++
+	}
+	// Count mass in the 10 densest cells.
+	top := 0
+	for k := 0; k < 10; k++ {
+		bi, bv := -1, -1
+		for i, v := range hist {
+			if v > bv {
+				bi, bv = i, v
+			}
+		}
+		top += bv
+		hist[bi] = -1
+	}
+	if frac := float64(top) / float64(cfg.N); frac < 0.2 {
+		t.Fatalf("top-decile mass %v too uniform for a clustered set", frac)
+	}
+}
+
+func TestGeneratePOIsErrors(t *testing.T) {
+	if _, err := GeneratePOIs(POIConfig{N: 0}); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+}
+
+func TestSubsetPOIs(t *testing.T) {
+	cfg := DefaultPOIConfig()
+	cfg.N = 1000
+	pts, _ := GeneratePOIs(cfg)
+	for _, frac := range []float64{0.25, 0.5, 0.75, 1.0} {
+		sub, err := SubsetPOIs(pts, frac, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(1000 * frac)
+		if len(sub) != want {
+			t.Fatalf("frac %v: got %d want %d", frac, len(sub), want)
+		}
+	}
+	// Deterministic.
+	a, _ := SubsetPOIs(pts, 0.5, 3)
+	b, _ := SubsetPOIs(pts, 0.5, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("subset not deterministic")
+		}
+	}
+	if _, err := SubsetPOIs(pts, 0, 1); err == nil {
+		t.Fatal("frac=0 accepted")
+	}
+	if _, err := SubsetPOIs(pts, 1.5, 1); err == nil {
+		t.Fatal("frac>1 accepted")
+	}
+}
+
+func smallSetConfig() SetConfig {
+	return SetConfig{NumTrajectories: 12, Steps: 500, Speed: 0.0004, Seed: 5}
+}
+
+func TestGenerateGeoLifeSet(t *testing.T) {
+	set, err := GenerateGeoLifeSet(smallSetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Name != "geolife" || len(set.Trajs) != 12 {
+		t.Fatalf("set %q with %d trajectories", set.Name, len(set.Trajs))
+	}
+	for _, tr := range set.Trajs {
+		if len(tr) != 500 {
+			t.Fatalf("trajectory length %d", len(tr))
+		}
+	}
+	// Trajectories must differ from each other.
+	if set.Trajs[0][10] == set.Trajs[1][10] && set.Trajs[0][100] == set.Trajs[1][100] {
+		t.Fatal("trajectories identical")
+	}
+}
+
+func TestGenerateOldenburgSet(t *testing.T) {
+	set, err := GenerateOldenburgSet(smallSetConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Name != "oldenburg" || len(set.Trajs) != 12 {
+		t.Fatalf("set %q with %d trajectories", set.Name, len(set.Trajs))
+	}
+}
+
+func TestSetErrors(t *testing.T) {
+	if _, err := GenerateGeoLifeSet(SetConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+	if _, err := GenerateOldenburgSet(SetConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestGroups(t *testing.T) {
+	set, _ := GenerateGeoLifeSet(smallSetConfig()) // 12 trajectories
+	groups, err := set.Groups(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 4 {
+		t.Fatalf("got %d groups", len(groups))
+	}
+	for _, g := range groups {
+		if len(g) != 3 {
+			t.Fatalf("group size %d", len(g))
+		}
+	}
+	// Growing m keeps earlier members: group 0 of size 2 is a prefix of
+	// group 0 of size 3.
+	small, _ := set.Groups(2, 4)
+	if &small[0][0][0] != &groups[0][0][0] {
+		t.Fatal("group membership not stable under m growth")
+	}
+	if _, err := set.Groups(5, 4); err == nil {
+		t.Fatal("oversized groups accepted")
+	}
+	if _, err := set.Groups(0, 4); err == nil {
+		t.Fatal("groupSize=0 accepted")
+	}
+}
+
+func TestSetResampleSpeed(t *testing.T) {
+	set, _ := GenerateGeoLifeSet(smallSetConfig())
+	slow, err := set.ResampleSpeed(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slow.Trajs) != len(set.Trajs) {
+		t.Fatal("trajectory count changed")
+	}
+	if slow.Name == set.Name {
+		t.Fatal("resampled set should be renamed")
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if p.DefaultM != 3 || p.TileLimit != 30 || p.SplitLevel != 2 {
+		t.Fatalf("Table 2 defaults wrong: %+v", p)
+	}
+	if len(p.GroupSizes) != 5 || p.GroupSizes[0] != 2 || p.GroupSizes[4] != 6 {
+		t.Fatal("group size range wrong")
+	}
+	if len(p.DataFracs) != 4 || len(p.SpeedFracs) != 4 {
+		t.Fatal("fraction ranges wrong")
+	}
+}

@@ -1,0 +1,215 @@
+package mpn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mpn/internal/core"
+	"mpn/internal/geom"
+	"mpn/internal/tileenc"
+)
+
+// Point is a planar location. It aliases the internal geometry type so
+// values flow between the public API and the internal packages without
+// conversion.
+type Point = geom.Point
+
+// Pt constructs a Point.
+func Pt(x, y float64) Point { return geom.Pt(x, y) }
+
+// SafeRegion is one user's safe region: as long as the user stays inside
+// it, the group's meeting point cannot change. It aliases the internal
+// region type; see Contains, MinDist, MaxDist.
+type SafeRegion = core.SafeRegion
+
+// Direction is a user's recent travel direction for the directed tile
+// ordering: heading angle in radians and learned angular deviation bound.
+type Direction = core.Direction
+
+// Stats counts the work performed by safe-region computations.
+type Stats = core.Stats
+
+// ErrNoGroup is returned when operating on an empty user group.
+var ErrNoGroup = errors.New("mpn: empty user group")
+
+// Server owns a POI data set and answers meeting-point registrations. It
+// is safe for concurrent use by multiple groups.
+type Server struct {
+	cfg     config
+	planner *core.Planner
+}
+
+// NewServer indexes the POI set and returns a server. The default
+// configuration is the paper's best method (directed tiles, α=30, L=2,
+// buffering b=100, max-distance objective).
+func NewServer(pois []Point, opts ...Option) (*Server, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	planner, err := core.NewPlanner(pois, cfg.core)
+	if err != nil {
+		return nil, fmt.Errorf("mpn: %w", err)
+	}
+	return &Server{cfg: cfg, planner: planner}, nil
+}
+
+// NumPOIs returns the indexed data set size.
+func (s *Server) NumPOIs() int { return s.planner.NumPOIs() }
+
+// Register creates a monitored group from the users' current locations and
+// computes its first meeting point and safe regions. dirs may be nil; it
+// is only consulted by the TileDirected method.
+func (s *Server) Register(users []Point, dirs []Direction) (*Group, error) {
+	if len(users) == 0 {
+		return nil, ErrNoGroup
+	}
+	g := &Group{server: s, size: len(users)}
+	if err := g.Update(users, dirs); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Plan computes a one-shot meeting point and safe regions without creating
+// a group. It is the stateless core of Register/Update.
+func (s *Server) Plan(users []Point, dirs []Direction) (Point, []SafeRegion, Stats, error) {
+	if len(users) == 0 {
+		return Point{}, nil, Stats{}, ErrNoGroup
+	}
+	var plan core.Plan
+	var err error
+	switch s.cfg.method {
+	case Circle:
+		plan, err = s.planner.CircleMSR(users)
+	default:
+		plan, err = s.planner.TileMSR(users, dirs)
+	}
+	if err != nil {
+		return Point{}, nil, Stats{}, err
+	}
+	return plan.Best.Item.P, plan.Regions, plan.Stats, nil
+}
+
+// Group is one monitored user group. Its methods are safe for concurrent
+// use.
+type Group struct {
+	server *Server
+	size   int
+
+	mu      sync.RWMutex
+	meeting Point
+	regions []SafeRegion
+	stats   Stats
+	updates int
+}
+
+// Size returns the number of users m.
+func (g *Group) Size() int { return g.size }
+
+// MeetingPoint returns the currently reported optimal meeting point.
+func (g *Group) MeetingPoint() Point {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.meeting
+}
+
+// Region returns user i's current safe region.
+func (g *Group) Region(i int) SafeRegion {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.regions[i]
+}
+
+// Regions returns a copy of all safe regions.
+func (g *Group) Regions() []SafeRegion {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]SafeRegion, len(g.regions))
+	copy(out, g.regions)
+	return out
+}
+
+// NeedsUpdate reports whether user i moving to loc escapes her safe region
+// — the client-side trigger of the Fig. 3 protocol.
+func (g *Group) NeedsUpdate(i int, loc Point) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if i < 0 || i >= len(g.regions) {
+		return true
+	}
+	return !g.regions[i].Contains(loc)
+}
+
+// Update recomputes the meeting point and safe regions from all users'
+// current locations (the server-side step after an escape). dirs may be
+// nil unless the server uses TileDirected and per-user headings are
+// available.
+func (g *Group) Update(users []Point, dirs []Direction) error {
+	if len(users) != g.size {
+		return fmt.Errorf("mpn: group has %d users, got %d locations", g.size, len(users))
+	}
+	meeting, regions, stats, err := g.server.Plan(users, dirs)
+	if err != nil {
+		return err
+	}
+	g.mu.Lock()
+	g.meeting = meeting
+	g.regions = regions
+	g.stats.Add(stats)
+	g.updates++
+	g.mu.Unlock()
+	return nil
+}
+
+// Updates returns how many times the group's result was recomputed.
+func (g *Group) Updates() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.updates
+}
+
+// Stats returns the accumulated computation counters.
+func (g *Group) Stats() Stats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.stats
+}
+
+// EncodeRegion serializes a safe region for transmission: 24 bytes for a
+// circle, the compact tile codec otherwise. DecodeRegion reverses it.
+func EncodeRegion(r SafeRegion) []byte {
+	if r.Kind == core.KindCircle {
+		buf := make([]byte, 0, 25)
+		buf = append(buf, 'C')
+		buf = appendFloat(buf, r.Circle.C.X)
+		buf = appendFloat(buf, r.Circle.C.Y)
+		buf = appendFloat(buf, r.Circle.R)
+		return buf
+	}
+	delta := 0.0
+	for _, t := range r.Tiles {
+		if w := t.Width(); w > delta {
+			delta = w
+		}
+	}
+	return tileenc.Encode(r.Tiles, delta)
+}
+
+// DecodeRegion parses an EncodeRegion payload.
+func DecodeRegion(data []byte) (SafeRegion, error) {
+	if len(data) == 25 && data[0] == 'C' {
+		return core.CircleRegion(
+			Pt(floatAt(data, 1), floatAt(data, 9)),
+			floatAt(data, 17),
+		), nil
+	}
+	tiles, err := tileenc.Decode(data)
+	if err != nil {
+		return SafeRegion{}, err
+	}
+	return core.TileRegion(tiles...), nil
+}

@@ -1,0 +1,154 @@
+package mpn
+
+import (
+	"fmt"
+	"math"
+
+	"mpn/internal/core"
+	"mpn/internal/gnn"
+)
+
+// Aggregate selects the meeting-point objective.
+type Aggregate int
+
+const (
+	// MinimizeMax reports the POI minimizing the maximum user distance —
+	// the meeting time objective (MPN, MAX-GNN).
+	MinimizeMax Aggregate = iota
+	// MinimizeSum reports the POI minimizing the total user distance —
+	// the fuel/fairness objective (Sum-MPN, SUM-GNN).
+	MinimizeSum
+)
+
+// String implements fmt.Stringer.
+func (a Aggregate) String() string {
+	if a == MinimizeMax {
+		return "minimize-max"
+	}
+	return "minimize-sum"
+}
+
+func (a Aggregate) gnn() gnn.Aggregate {
+	if a == MinimizeMax {
+		return gnn.Max
+	}
+	return gnn.Sum
+}
+
+// Method selects the safe-region strategy.
+type Method int
+
+const (
+	// TileDirected grows tile-based regions toward each user's travel
+	// direction — the paper's best-performing method and the default.
+	TileDirected Method = iota
+	// Tile grows tile-based regions in all directions.
+	Tile
+	// Circle assigns every user a circle of the maximal common radius:
+	// cheapest to compute, most frequent updates.
+	Circle
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Circle:
+		return "circle"
+	case Tile:
+		return "tile"
+	default:
+		return "tile-directed"
+	}
+}
+
+// config is the resolved server configuration.
+type config struct {
+	method Method
+	core   core.Options
+}
+
+func defaultConfig() config {
+	opts := core.DefaultOptions()
+	opts.Directed = true
+	opts.Buffer = 100 // the paper's recommended buffering default
+	return config{method: TileDirected, core: opts}
+}
+
+// Option customizes a Server.
+type Option func(*config) error
+
+// WithMethod selects the safe-region strategy (default TileDirected).
+func WithMethod(m Method) Option {
+	return func(c *config) error {
+		switch m {
+		case Circle, Tile, TileDirected:
+			c.method = m
+			c.core.Directed = m == TileDirected
+			return nil
+		default:
+			return fmt.Errorf("mpn: unknown method %d", m)
+		}
+	}
+}
+
+// WithAggregate selects the objective (default MinimizeMax).
+func WithAggregate(a Aggregate) Option {
+	return func(c *config) error {
+		if a != MinimizeMax && a != MinimizeSum {
+			return fmt.Errorf("mpn: unknown aggregate %d", a)
+		}
+		c.core.Aggregate = a.gnn()
+		return nil
+	}
+}
+
+// WithTileLimit sets α, the number of tile-growing rounds per user
+// (default 30). Larger values yield larger regions and fewer updates at
+// higher server cost.
+func WithTileLimit(alpha int) Option {
+	return func(c *config) error {
+		if alpha < 1 {
+			return fmt.Errorf("mpn: tile limit %d must be positive", alpha)
+		}
+		c.core.TileLimit = alpha
+		return nil
+	}
+}
+
+// WithSplitLevel sets L, how many times a rejected tile is quartered and
+// retried (default 2).
+func WithSplitLevel(l int) Option {
+	return func(c *config) error {
+		if l < 0 {
+			return fmt.Errorf("mpn: split level %d must be non-negative", l)
+		}
+		c.core.SplitLevel = l
+		return nil
+	}
+}
+
+// WithBuffer sets b, the buffering parameter: the server retrieves the
+// best b+1 meeting points once per update and verifies tiles against that
+// buffer only (default 100; 0 disables buffering).
+func WithBuffer(b int) Option {
+	return func(c *config) error {
+		if b < 0 {
+			return fmt.Errorf("mpn: buffer %d must be non-negative", b)
+		}
+		c.core.Buffer = b
+		return nil
+	}
+}
+
+// WithTheta sets the default angular half-width (radians) of the directed
+// ordering's travel cone, used when a caller does not supply per-user
+// deviation bounds (default π/4).
+func WithTheta(theta float64) Option {
+	return func(c *config) error {
+		if theta <= 0 || theta > math.Pi {
+			return fmt.Errorf("mpn: theta %v out of (0, π]", theta)
+		}
+		c.core.Theta = theta
+		return nil
+	}
+}
