@@ -1,0 +1,199 @@
+package main
+
+// The -engine mode: a concurrent-groups throughput benchmark for the
+// sharded group engine, comparing the pre-engine baseline (every
+// recomputation serialized behind one registry mutex, as the synchronous
+// coordinator did) against the engine at increasing shard counts. Each
+// configuration drives the same workload — P producer goroutines firing
+// location updates at G live groups for a fixed duration — and reports
+// sustained submission and recomputation rates plus the coalescing
+// factor.
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpn/internal/core"
+	"mpn/internal/engine"
+	"mpn/internal/geom"
+	"mpn/internal/gnn"
+	"mpn/internal/workload"
+)
+
+type engineBenchConfig struct {
+	POIs      int
+	Groups    int
+	GroupSize int
+	Producers int
+	Duration  time.Duration
+	Alpha     int
+	Buffer    int
+}
+
+func defaultEngineBenchConfig() engineBenchConfig {
+	return engineBenchConfig{
+		POIs:      workload.DefaultPOICount,
+		Groups:    64,
+		GroupSize: 3,
+		Producers: 4 * runtime.GOMAXPROCS(0),
+		Duration:  2 * time.Second,
+		Alpha:     8,
+		Buffer:    50,
+	}
+}
+
+// benchLocs returns a clustered random group near base.
+func benchGroupLocs(rng *rand.Rand, m int) []geom.Point {
+	base := geom.Pt(0.1+0.8*rng.Float64(), 0.1+0.8*rng.Float64())
+	users := make([]geom.Point, m)
+	for i := range users {
+		users[i] = geom.Pt(base.X+0.02*rng.Float64(), base.Y+0.02*rng.Float64())
+	}
+	return users
+}
+
+func runEngineBench(out io.Writer, cfg engineBenchConfig) error {
+	pcfg := workload.DefaultPOIConfig()
+	pcfg.N = cfg.POIs
+	pois, err := workload.GeneratePOIs(pcfg)
+	if err != nil {
+		return err
+	}
+	opts := core.DefaultOptions()
+	opts.Aggregate = gnn.Max
+	opts.TileLimit = cfg.Alpha
+	opts.Buffer = cfg.Buffer
+	opts.Directed = true
+	planner, err := core.NewPlanner(pois, opts)
+	if err != nil {
+		return err
+	}
+	plan := engine.PlannerFunc(planner, false)
+
+	fmt.Fprintf(out, "engine throughput: %d POIs, %d groups × %d users, %d producers, %v per config (α=%d, b=%d)\n\n",
+		len(pois), cfg.Groups, cfg.GroupSize, cfg.Producers, cfg.Duration, cfg.Alpha, cfg.Buffer)
+	fmt.Fprintf(out, "  %-28s %14s %14s %10s\n", "config", "submissions/s", "recomputes/s", "coalesce")
+
+	// Baseline: one registry mutex held across every recomputation.
+	subs, recs := runMutexBaseline(plan, cfg)
+	printEngineRow(out, "single mutex (baseline)", subs, recs, cfg.Duration)
+
+	procs := runtime.GOMAXPROCS(0)
+	shardSweep := []int{1, 2, 4}
+	if procs > 4 {
+		shardSweep = append(shardSweep, procs)
+	}
+	for _, shards := range shardSweep {
+		subs, recs := runEngineConfig(plan, cfg, shards)
+		printEngineRow(out, fmt.Sprintf("engine %d shard × 1 worker", shards), subs, recs, cfg.Duration)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, "coalesce = submissions per recomputation; >1 means the engine collapsed")
+	fmt.Fprintln(out, "bursts for the same group into one safe-region computation.")
+	return nil
+}
+
+func printEngineRow(out io.Writer, name string, subs, recs int, dur time.Duration) {
+	sec := dur.Seconds()
+	coalesce := 0.0
+	if recs > 0 {
+		coalesce = float64(subs) / float64(recs)
+	}
+	fmt.Fprintf(out, "  %-28s %14.0f %14.0f %9.1fx\n",
+		name, float64(subs)/sec, float64(recs)/sec, coalesce)
+}
+
+// runMutexBaseline replays the pre-engine server: producers contend on a
+// single mutex and each submission recomputes inline while holding it.
+func runMutexBaseline(plan engine.PlanFunc, cfg engineBenchConfig) (subs, recs int) {
+	var mu sync.Mutex
+	type groupSlot struct {
+		meeting geom.Point
+		regions []core.SafeRegion
+	}
+	groups := make([]groupSlot, cfg.Groups)
+	rng := rand.New(rand.NewSource(1))
+	for i := range groups {
+		m, r, _, err := plan(benchGroupLocs(rng, cfg.GroupSize), nil)
+		if err != nil {
+			return 0, 0
+		}
+		groups[i] = groupSlot{m, r}
+	}
+	var stop atomic.Bool
+	var done, computed atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < cfg.Producers; p++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				i := rng.Intn(cfg.Groups)
+				locs := benchGroupLocs(rng, cfg.GroupSize)
+				mu.Lock()
+				m, r, _, err := plan(locs, nil)
+				if err == nil {
+					groups[i] = groupSlot{m, r}
+				}
+				mu.Unlock()
+				done.Add(1)
+				computed.Add(1)
+			}
+		}(int64(p))
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	return int(done.Load()), int(computed.Load())
+}
+
+// runEngineConfig drives the sharded engine asynchronously: producers
+// submit, the worker pool recomputes, coalescing absorbs bursts.
+func runEngineConfig(plan engine.PlanFunc, cfg engineBenchConfig, shards int) (subs, recs int) {
+	eng := engine.New(plan, engine.Options{Shards: shards, Workers: 1, QueueDepth: 4 * cfg.Groups})
+	defer eng.Close()
+	rng := rand.New(rand.NewSource(1))
+	ids := make([]engine.GroupID, cfg.Groups)
+	for i := range ids {
+		id, err := eng.Register(benchGroupLocs(rng, cfg.GroupSize), nil)
+		if err != nil {
+			return 0, 0
+		}
+		ids[i] = id
+	}
+	before := 0
+	for _, id := range ids {
+		before += eng.Updates(id)
+	}
+	var stop atomic.Bool
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < cfg.Producers; p++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				i := rng.Intn(cfg.Groups)
+				if err := eng.Submit(ids[i], benchGroupLocs(rng, cfg.GroupSize), nil); err != nil {
+					return
+				}
+				done.Add(1)
+			}
+		}(int64(p))
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	after := 0
+	for _, id := range ids {
+		after += eng.Updates(id)
+	}
+	return int(done.Load()), after - before
+}

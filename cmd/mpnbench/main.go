@@ -35,7 +35,33 @@ func main() {
 	outPath := flag.String("o", "", "write tables to this file instead of stdout")
 	steps := flag.Int("steps", 0, "override trajectory length (0 = scale default)")
 	groups := flag.Int("groups", 0, "override group count averaged over (0 = scale default)")
+	engineMode := flag.Bool("engine", false, "run the concurrent-engine throughput benchmark instead of the figures")
+	engineGroups := flag.Int("egroups", 0, "engine benchmark: live group count (0 = 64)")
+	engineDur := flag.Duration("edur", 0, "engine benchmark: measurement window per config (0 = 2s)")
 	flag.Parse()
+
+	if *engineMode {
+		var out io.Writer = os.Stdout
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		cfg := defaultEngineBenchConfig()
+		if *engineGroups > 0 {
+			cfg.Groups = *engineGroups
+		}
+		if *engineDur > 0 {
+			cfg.Duration = *engineDur
+		}
+		if err := runEngineBench(out, cfg); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var scale experiments.Scale
 	switch *scaleName {

@@ -3,10 +3,21 @@
 // computed with the configured method and shipped in the compact region
 // encoding (the Fig. 3 architecture as a real network service).
 //
+// Compute runs on the sharded concurrent group engine (internal/engine):
+// an escape report submits the group's fresh locations to a per-shard
+// work queue and returns immediately, worker goroutines recompute safe
+// regions asynchronously (coalescing bursts for the same group into one
+// recomputation), and a notification fan-out goroutine delivers results
+// back to the members' connections. After a group's one-time registration
+// plan (computed synchronously so its delivery is guaranteed), connection
+// read loops never wait on the planner, and a burst of reports costs one
+// recomputation.
+//
 // Usage:
 //
 //	mpnserver [-listen :7464] [-method circle|tile|tiled] [-agg max|sum]
 //	          [-n 21287] [-alpha 30] [-buffer 100] [-seed 42] [-pois FILE.csv]
+//	          [-shards N] [-workers N] [-queue N]
 //
 // POIs are generated synthetically unless -pois points to a CSV of "x,y"
 // lines (as produced by cmd/poigen).
@@ -14,6 +25,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -21,8 +33,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"mpn/internal/core"
+	"mpn/internal/engine"
 	"mpn/internal/geom"
 	"mpn/internal/gnn"
 	"mpn/internal/proto"
@@ -41,61 +55,215 @@ func main() {
 	buffer := flag.Int("buffer", 100, "buffering parameter b")
 	seed := flag.Int64("seed", 42, "synthetic POI seed")
 	poiPath := flag.String("pois", "", "CSV file of x,y POIs (optional)")
+	shards := flag.Int("shards", 0, "engine registry shards (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "recompute workers per shard (0 = 1)")
+	queue := flag.Int("queue", 0, "per-shard work queue depth (0 = 1024)")
 	flag.Parse()
 
 	pois, err := loadPOIs(*poiPath, *n, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
+	srv, err := newServer(serverConfig{
+		pois: pois, method: *method, agg: *agg,
+		alpha: *alpha, buffer: *buffer,
+		shards: *shards, workers: *workers, queue: *queue,
+		logger: log.Default(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.close()
 
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eo := srv.eng.Options()
+	log.Printf("serving %d POIs with %s/%s on %s (%d shards × %d workers)",
+		len(pois), *method, *agg, ln.Addr(), eo.Shards, eo.Workers)
+	if err := srv.serve(ln); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// serverConfig parameterizes a server instance (flags in production, a
+// small synthetic setup in the end-to-end test).
+type serverConfig struct {
+	pois                   []geom.Point
+	method, agg            string
+	alpha, buffer          int
+	shards, workers, queue int
+	logger                 *log.Logger
+}
+
+// server wires the protocol coordinator to the sharded group engine: the
+// coordinator submits replans, the engine computes them on its worker
+// pool, and the fan-out goroutine delivers notifications back to the
+// members' connections.
+type server struct {
+	eng    *engine.Engine
+	coord  *proto.Coordinator
+	sub    *engine.Subscription
+	logger *log.Logger
+
+	// mu guards the protocol-group ↔ engine-group id mappings; it is also
+	// held across engine registration so a group's initial notification
+	// cannot outrun the mapping it needs.
+	mu          sync.Mutex
+	gidToEngine map[uint32]engine.GroupID
+	engineToGid map[engine.GroupID]uint32
+
+	fanoutDone chan struct{}
+}
+
+func newServer(cfg serverConfig) (*server, error) {
 	opts := core.DefaultOptions()
-	opts.TileLimit = *alpha
-	opts.Buffer = *buffer
-	opts.Directed = *method == "tiled"
-	switch *agg {
+	opts.TileLimit = cfg.alpha
+	opts.Buffer = cfg.buffer
+	opts.Directed = cfg.method == "tiled"
+	switch cfg.agg {
 	case "max":
 		opts.Aggregate = gnn.Max
 	case "sum":
 		opts.Aggregate = gnn.Sum
 	default:
-		log.Fatalf("unknown aggregate %q", *agg)
+		return nil, fmt.Errorf("unknown aggregate %q", cfg.agg)
 	}
-	planner, err := core.NewPlanner(pois, opts)
+	planner, err := core.NewPlanner(cfg.pois, opts)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
+	plan := engine.PlannerFunc(planner, cfg.method == "circle")
+	if cfg.logger == nil {
+		cfg.logger = log.New(os.Stderr, "", 0)
+	}
+	s := &server{
+		eng: engine.New(plan, engine.Options{
+			Shards: cfg.shards, Workers: cfg.workers, QueueDepth: cfg.queue,
+		}),
+		logger:      cfg.logger,
+		gidToEngine: map[uint32]engine.GroupID{},
+		engineToGid: map[engine.GroupID]uint32{},
+		fanoutDone:  make(chan struct{}),
+	}
+	s.coord = proto.NewAsyncCoordinator(s.submit, cfg.logger)
+	s.coord.SetGroupEmptyHook(s.onGroupEmpty)
+	s.sub = s.eng.Subscribe(1024)
+	go s.fanout()
+	return s, nil
+}
 
-	plan := func(users []geom.Point) (geom.Point, []core.SafeRegion, error) {
-		var p core.Plan
-		var perr error
-		if *method == "circle" {
-			p, perr = planner.CircleMSR(users)
-		} else {
-			p, perr = planner.TileMSR(users, nil)
+// submit is the coordinator's replan hook, called with the coordinator
+// lock held — that lock is what keeps a group's snapshots ordered, so the
+// engine's coalescing slot always ends on the latest locations. First
+// contact registers the group: the engine computes the initial plan
+// synchronously and submit returns it for inline delivery, so the one
+// notification clients cannot recover from losing never rides the lossy
+// subscription stream. Every later report is a plain bounded enqueue, so
+// after registration the read loops never wait on the planner; a full
+// shard queue blocks here, backpressure toward the transport. The
+// member-id ordering travels as the submission tag so deliveries can be
+// verified against membership churn.
+func (s *server) submit(gid uint32, ids []uint32, users []geom.Point) (geom.Point, []core.SafeRegion, bool) {
+	s.mu.Lock()
+	eid, ok := s.gidToEngine[gid]
+	if !ok {
+		var err error
+		eid, err = s.eng.RegisterTag(users, nil, ids)
+		if err != nil {
+			s.mu.Unlock()
+			s.deliverError(gid, err)
+			return geom.Point{}, nil, false
 		}
-		if perr != nil {
-			return geom.Point{}, nil, perr
-		}
-		return p.Best.Item.P, p.Regions, nil
+		s.gidToEngine[gid] = eid
+		s.engineToGid[eid] = gid
+		meeting := s.eng.Meeting(eid)
+		regions := s.eng.Regions(eid)
+		s.mu.Unlock()
+		// Hand the initial plan back for inline delivery; the fan-out
+		// skips the matching Seq-1 notification.
+		return meeting, regions, true
 	}
+	s.mu.Unlock()
+	if err := s.eng.SubmitTag(eid, users, nil, ids); err != nil {
+		s.deliverError(gid, err)
+	}
+	return geom.Point{}, nil, false
+}
 
-	coord := proto.NewCoordinator(plan, log.Default())
-	ln, err := net.Listen("tcp", *listen)
-	if err != nil {
-		log.Fatal(err)
+// deliverError reports a submission failure to the group's members. It
+// must run off the submit path: submit holds the coordinator lock and
+// Deliver re-acquires it.
+func (s *server) deliverError(gid uint32, err error) {
+	go s.coord.Deliver(gid, nil, geom.Point{}, nil, err)
+}
+
+// fanout pumps engine notifications into the coordinator's delivery path.
+// A dropped steady-state notification self-heals — the member still holds
+// her old region, escapes it, and her report triggers a fresh replan —
+// but it is logged so sustained overload is visible.
+func (s *server) fanout() {
+	defer close(s.fanoutDone)
+	var dropped uint64
+	for n := range s.sub.C {
+		if d := s.sub.Dropped(); d != dropped {
+			s.logger.Printf("notification fan-out overloaded: %d dropped so far", d)
+			dropped = d
+		}
+		if n.Seq == 1 {
+			continue // the registration plan was delivered inline by submit
+		}
+		s.mu.Lock()
+		gid, ok := s.engineToGid[n.Group]
+		s.mu.Unlock()
+		if !ok {
+			continue // group already unregistered
+		}
+		ids, _ := n.Tag.([]uint32) // id ordering the snapshot was computed for
+		s.coord.Deliver(gid, ids, n.Meeting, n.Regions, n.Err)
+		if n.Coalesced > 1 {
+			s.logger.Printf("group %d: recompute covered %d coalesced reports", gid, n.Coalesced)
+		}
 	}
-	log.Printf("serving %d POIs with %s/%s on %s", len(pois), *method, *agg, ln.Addr())
+}
+
+// onGroupEmpty releases the engine group when its last member leaves.
+func (s *server) onGroupEmpty(gid uint32) {
+	s.mu.Lock()
+	eid, ok := s.gidToEngine[gid]
+	if ok {
+		delete(s.gidToEngine, gid)
+		delete(s.engineToGid, eid)
+	}
+	s.mu.Unlock()
+	if ok {
+		s.eng.Unregister(eid)
+	}
+}
+
+// serve accepts connections until the listener closes.
+func (s *server) serve(ln net.Listener) error {
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			log.Fatal(err)
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
 		}
 		go func() {
-			if err := coord.ServeConn(conn); err != nil {
-				log.Printf("conn %v: %v", conn.RemoteAddr(), err)
+			if err := s.coord.ServeConn(conn); err != nil {
+				s.logger.Printf("conn %v: %v", conn.RemoteAddr(), err)
 			}
 		}()
 	}
+}
+
+// close stops the engine and waits for the fan-out goroutine.
+func (s *server) close() {
+	s.eng.Close()
+	<-s.fanoutDone
 }
 
 // loadPOIs reads a poigen CSV or generates a synthetic set.

@@ -29,11 +29,45 @@
 // (WithBuffer) makes tile computation touch the POI index exactly once per
 // update.
 //
+// # The concurrent group engine
+//
+// Registered groups live in a sharded, lock-striped engine
+// (internal/engine): groups hash over WithShards independent registry
+// shards, each with a bounded work queue drained by WithWorkers
+// recomputation workers, so operations on different shards never contend
+// and total asynchronous compute parallelism is shards × workers.
+//
+// Group.Update recomputes synchronously on the caller's goroutine, as in
+// the quick start above. Under heavy traffic, use the asynchronous path:
+// Group.SubmitUpdate enqueues the fresh locations and returns
+// immediately, workers recompute in the background, and results arrive on
+// the notification stream:
+//
+//	sub := server.Subscribe(256)
+//	go func() {
+//	    for n := range sub.C {
+//	        // n.Group, n.Meeting, n.Regions, n.Changed, n.Coalesced
+//	    }
+//	}()
+//	group.SubmitUpdate(allCurrentLocations, dirs) // returns immediately
+//
+// Bursts of submissions for the same group coalesce: the engine keeps
+// only the latest location snapshot per group and recomputes it once
+// (Notification.Coalesced reports how many submissions a recomputation
+// covered), so a storm of escape reports costs one safe-region
+// computation instead of one per report. Per group there is at most one
+// in-flight recomputation and notifications carry strictly increasing
+// sequence numbers; subscription sends never block, with drops counted on
+// the Subscription. Server.Close releases the worker pool.
+//
 // The internal packages implement the full substrate from scratch: an
 // R-tree (internal/rtree), top-k group nearest neighbor search
-// (internal/gnn), the safe-region algorithms (internal/core), a compact
-// safe-region wire codec (internal/tileenc), synthetic road networks and
-// mobility models (internal/roadnet, internal/mobility), and the
+// (internal/gnn), the safe-region algorithms (internal/core), the sharded
+// concurrent group engine (internal/engine), a compact safe-region wire
+// codec (internal/tileenc), the client/server wire protocol and
+// coordinator (internal/proto, cmd/mpnserver), synthetic road networks
+// and mobility models (internal/roadnet, internal/mobility), and the
 // experiment harness reproducing every figure of the paper
-// (internal/experiments, cmd/mpnbench).
+// (internal/experiments, cmd/mpnbench; see also cmd/mpnbench -engine for
+// the concurrent-groups throughput benchmark).
 package mpn

@@ -1,0 +1,3 @@
+module mpn
+
+go 1.24

@@ -1,0 +1,703 @@
+// Package engine is the concurrent heart of the MPN server: a sharded,
+// lock-striped registry of monitored groups that turns the single-group
+// compute kernel (core.Planner via a PlanFunc) into a high-throughput
+// asynchronous service.
+//
+// Architecture:
+//
+//   - Groups are hashed over S independent shards. Each shard owns its
+//     slice of the registry under its own mutex, so registration, lookup
+//     and submission on different shards never contend.
+//   - Each shard has a bounded FIFO run queue drained by a pool of worker
+//     goroutines. Submitting a location update enqueues the group;
+//     workers pop groups and recompute the meeting point and safe regions
+//     via the PlanFunc, outside all registry locks.
+//   - Updates coalesce: a group holds at most one pending location
+//     snapshot and sits in the run queue at most once. A burst of
+//     submissions for the same group while a recomputation is queued or
+//     running collapses into a single recomputation over the latest
+//     locations (Notification.Coalesced reports how many submissions a
+//     recomputation covered).
+//   - Results fan out on subscription channels: every recomputation emits
+//     a Notification carrying the meeting point, the fresh safe regions,
+//     and whether the meeting point actually moved. Sends never block; a
+//     slow subscriber drops frames and the drop count is observable.
+//
+// The engine guarantees at most one in-flight asynchronous recomputation
+// per group, so successful notifications for one group are emitted in
+// strictly increasing Seq order (error notifications repeat the Seq of
+// the last successful plan), and a submission is never lost: if locations
+// arrive while the group is being recomputed, the worker re-enqueues the
+// group when it finishes.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mpn/internal/core"
+	"mpn/internal/geom"
+)
+
+// PlanFunc computes a meeting point and one safe region per user. It must
+// be safe for concurrent use (core.Planner is).
+type PlanFunc func(users []geom.Point, dirs []core.Direction) (geom.Point, []core.SafeRegion, core.Stats, error)
+
+// PlannerFunc adapts a core.Planner to a PlanFunc: CircleMSR when circle
+// is set, TileMSR otherwise. It is the one place the Plan result shape is
+// unpacked for the engine.
+func PlannerFunc(pl *core.Planner, circle bool) PlanFunc {
+	return func(users []geom.Point, dirs []core.Direction) (geom.Point, []core.SafeRegion, core.Stats, error) {
+		var p core.Plan
+		var err error
+		if circle {
+			p, err = pl.CircleMSR(users)
+		} else {
+			p, err = pl.TileMSR(users, dirs)
+		}
+		if err != nil {
+			return geom.Point{}, nil, core.Stats{}, err
+		}
+		return p.Best.Item.P, p.Regions, p.Stats, nil
+	}
+}
+
+// GroupID identifies a registered group.
+type GroupID uint64
+
+// Errors returned by the engine.
+var (
+	ErrClosed       = errors.New("engine: closed")
+	ErrUnknownGroup = errors.New("engine: unknown group")
+	ErrNoUsers      = errors.New("engine: empty user group")
+)
+
+// Options configure the engine. The zero value of any field selects its
+// default.
+type Options struct {
+	// Shards is the number of independent registry shards (default
+	// GOMAXPROCS, minimum 1).
+	Shards int
+	// Workers is the number of recomputation workers per shard (default
+	// 1). Total compute parallelism is Shards × Workers. The worker pool
+	// starts lazily on the first Submit, so a server using only the
+	// synchronous path spawns no goroutines.
+	Workers int
+	// QueueDepth bounds each shard's run queue (default 1024). Submit
+	// blocks while the shard queue is full — backpressure toward the
+	// transport. Coalescing keeps at most one entry per group, so a depth
+	// of at least the shard's group count never blocks.
+	QueueDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	return o
+}
+
+// Notification reports one completed recomputation.
+type Notification struct {
+	// Group is the recomputed group.
+	Group GroupID
+	// Seq is the group's recomputation sequence number, starting at 1
+	// with the registration plan. Per group, successful notifications
+	// arrive in strictly increasing Seq order; a notification with Err
+	// set repeats the Seq of the last successful plan.
+	Seq uint64
+	// Meeting is the fresh optimal meeting point.
+	Meeting geom.Point
+	// Regions are the fresh safe regions, in user order.
+	Regions []core.SafeRegion
+	// Stats counts the work of this recomputation alone.
+	Stats core.Stats
+	// Coalesced is the number of submissions this recomputation covered
+	// (>1 when a burst collapsed).
+	Coalesced int
+	// Changed reports whether Meeting differs from the previous plan's
+	// meeting point.
+	Changed bool
+	// Err is non-nil when the planner failed; Meeting and Regions then
+	// hold the previous plan.
+	Err error
+	// Tag is the opaque tag of the newest submission this recomputation
+	// covered (RegisterTag/SubmitTag), nil otherwise. The TCP server
+	// threads the member-id ordering through it so deliveries can be
+	// checked against membership churn.
+	Tag any
+}
+
+// Subscription is one listener on the engine's notification stream.
+type Subscription struct {
+	// C delivers notifications. It is closed by Subscription.Close and by
+	// Engine.Close.
+	C <-chan Notification
+
+	engine  *Engine
+	ch      chan Notification
+	dropped atomic.Uint64
+	once    sync.Once
+}
+
+// Dropped returns how many notifications were discarded because the
+// subscriber was not draining C fast enough.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Close detaches the subscription and closes C.
+func (s *Subscription) Close() {
+	s.engine.unsubscribe(s)
+	s.once.Do(func() { close(s.ch) })
+}
+
+// update is one submitted location snapshot.
+type update struct {
+	users []geom.Point
+	dirs  []core.Direction
+	count int // submissions coalesced into this snapshot
+	tag   any // opaque caller tag of the newest submission
+}
+
+// groupState is the engine-side state of one group. The registry shard
+// maps GroupID → *groupState; all mutable fields are guarded by mu.
+type groupState struct {
+	id   GroupID
+	size int
+
+	mu      sync.Mutex
+	pending *update // latest unprocessed locations, nil if none
+	queued  bool    // state sits in the shard run queue
+	running bool    // a worker is recomputing this group
+	removed bool    // unregistered; workers skip it
+
+	meeting geom.Point
+	regions []core.SafeRegion
+	stats   core.Stats // accumulated across recomputations
+	seq     uint64     // completed recomputations
+}
+
+// shard is one lock stripe of the registry plus its run queue.
+type shard struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond // run queue gained work or shard closed
+	notFull  *sync.Cond // run queue has space or shard closed
+	groups   map[GroupID]*groupState
+	ready    []*groupState // FIFO run queue
+	depth    int
+	closed   bool
+}
+
+func newShard(depth int) *shard {
+	sh := &shard{groups: make(map[GroupID]*groupState), depth: depth}
+	sh.notEmpty = sync.NewCond(&sh.mu)
+	sh.notFull = sync.NewCond(&sh.mu)
+	return sh
+}
+
+// push appends st to the run queue. When bounded is true it blocks while
+// the queue is at capacity (producer backpressure); workers re-enqueueing
+// after a compute pass bounded=false so they can never deadlock on their
+// own queue. Returns false when the shard closed.
+func (sh *shard) push(st *groupState, bounded bool) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if bounded {
+		for len(sh.ready) >= sh.depth && !sh.closed {
+			sh.notFull.Wait()
+		}
+	}
+	if sh.closed {
+		return false
+	}
+	sh.ready = append(sh.ready, st)
+	sh.notEmpty.Signal()
+	return true
+}
+
+// pop removes the next group to recompute, blocking until work arrives.
+// Returns nil when the shard is closed and drained.
+func (sh *shard) pop() *groupState {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for len(sh.ready) == 0 && !sh.closed {
+		sh.notEmpty.Wait()
+	}
+	if len(sh.ready) == 0 {
+		return nil
+	}
+	st := sh.ready[0]
+	sh.ready = sh.ready[1:]
+	sh.notFull.Signal()
+	return st
+}
+
+func (sh *shard) close() {
+	sh.mu.Lock()
+	sh.closed = true
+	sh.notEmpty.Broadcast()
+	sh.notFull.Broadcast()
+	sh.mu.Unlock()
+}
+
+// Engine is the sharded concurrent group engine. All methods are safe for
+// concurrent use.
+type Engine struct {
+	plan      PlanFunc
+	opts      Options
+	shards    []*shard
+	nextID    atomic.Uint64
+	wg        sync.WaitGroup
+	startOnce sync.Once
+	closed    atomic.Bool
+
+	subMu sync.RWMutex
+	subs  map[*Subscription]struct{}
+}
+
+// New builds an engine over the given plan function. The worker pool
+// starts lazily on the first Submit; Close releases it.
+func New(plan PlanFunc, opts Options) *Engine {
+	if plan == nil {
+		panic("engine: nil PlanFunc")
+	}
+	opts = opts.withDefaults()
+	e := &Engine{
+		plan:   plan,
+		opts:   opts,
+		shards: make([]*shard, opts.Shards),
+		subs:   make(map[*Subscription]struct{}),
+	}
+	for i := range e.shards {
+		e.shards[i] = newShard(opts.QueueDepth)
+	}
+	return e
+}
+
+// start spawns the worker pool (once, on first Submit). Workers started
+// after Close see closed, drained shards and exit immediately.
+func (e *Engine) start() {
+	for _, sh := range e.shards {
+		for w := 0; w < e.opts.Workers; w++ {
+			e.wg.Add(1)
+			go e.worker(sh)
+		}
+	}
+}
+
+// Options returns the resolved configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+func (e *Engine) shardFor(id GroupID) *shard {
+	// Fibonacci hashing spreads sequential ids across shards.
+	h := uint64(id) * 0x9e3779b97f4a7c15
+	return e.shards[h%uint64(len(e.shards))]
+}
+
+// Register adds a group, computes its first plan synchronously (so the
+// caller can read regions immediately), and emits the Seq-1 notification.
+func (e *Engine) Register(users []geom.Point, dirs []core.Direction) (GroupID, error) {
+	return e.RegisterTag(users, dirs, nil)
+}
+
+// RegisterTag is Register with an opaque tag carried on the registration
+// notification (see Notification.Tag).
+func (e *Engine) RegisterTag(users []geom.Point, dirs []core.Direction, tag any) (GroupID, error) {
+	if e.closed.Load() {
+		return 0, ErrClosed
+	}
+	if len(users) == 0 {
+		return 0, ErrNoUsers
+	}
+	meeting, regions, stats, err := e.plan(users, dirs)
+	if err != nil {
+		return 0, err
+	}
+	id := GroupID(e.nextID.Add(1))
+	st := &groupState{
+		id: id, size: len(users),
+		meeting: meeting, regions: regions, stats: stats, seq: 1,
+	}
+	sh := e.shardFor(id)
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return 0, ErrClosed
+	}
+	sh.groups[id] = st
+	sh.mu.Unlock()
+	e.emit(Notification{
+		Group: id, Seq: 1, Meeting: meeting, Regions: regions,
+		Stats: stats, Coalesced: 1, Changed: true, Tag: tag,
+	})
+	return id, nil
+}
+
+// Unregister removes a group. Queued or in-flight recomputations for it
+// are discarded.
+func (e *Engine) Unregister(id GroupID) {
+	sh := e.shardFor(id)
+	sh.mu.Lock()
+	st := sh.groups[id]
+	delete(sh.groups, id)
+	sh.mu.Unlock()
+	if st != nil {
+		st.mu.Lock()
+		st.removed = true
+		st.pending = nil
+		st.mu.Unlock()
+	}
+}
+
+// lookup returns the group's state, or nil.
+func (e *Engine) lookup(id GroupID) *groupState {
+	sh := e.shardFor(id)
+	sh.mu.Lock()
+	st := sh.groups[id]
+	sh.mu.Unlock()
+	return st
+}
+
+// validate checks a location snapshot against the group's size.
+func (st *groupState) validate(users []geom.Point) error {
+	if len(users) != st.size {
+		return fmt.Errorf("engine: group has %d users, got %d locations", st.size, len(users))
+	}
+	return nil
+}
+
+// Submit schedules an asynchronous recomputation from the users' current
+// locations. It returns once the update is recorded: bursts for the same
+// group coalesce into one recomputation over the latest snapshot, and the
+// result arrives on the subscription stream. Submit blocks only when the
+// shard's run queue is full.
+func (e *Engine) Submit(id GroupID, users []geom.Point, dirs []core.Direction) error {
+	return e.SubmitTag(id, users, dirs, nil)
+}
+
+// SubmitTag is Submit with an opaque tag: the notification for the
+// recomputation that covers this submission carries the tag of the
+// newest coalesced submission (see Notification.Tag).
+func (e *Engine) SubmitTag(id GroupID, users []geom.Point, dirs []core.Direction, tag any) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	e.startOnce.Do(e.start)
+	st := e.lookup(id)
+	if st == nil {
+		return ErrUnknownGroup
+	}
+	if err := st.validate(users); err != nil {
+		return err
+	}
+	up := &update{
+		users: append([]geom.Point(nil), users...),
+		dirs:  append([]core.Direction(nil), dirs...),
+		count: 1,
+		tag:   tag,
+	}
+	st.mu.Lock()
+	if st.removed {
+		st.mu.Unlock()
+		return ErrUnknownGroup
+	}
+	if st.pending != nil {
+		up.count += st.pending.count
+	}
+	st.pending = up
+	enqueue := !st.queued && !st.running
+	if enqueue {
+		st.queued = true
+	}
+	st.mu.Unlock()
+	if !enqueue {
+		return nil
+	}
+	if !e.shardFor(id).push(st, true) {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Update recomputes synchronously on the caller's goroutine and emits the
+// notification before returning. A pending snapshot that was already
+// queued when Update began is superseded — Update's locations are newer —
+// and discarded, so an older Submit cannot overwrite this result; a
+// Submit that arrives during the computation is kept and recomputed
+// after. Seq assignment stays strictly increasing through the shared
+// per-group state, but a synchronous Update racing an asynchronous
+// recomputation already in flight may emit out of Seq order (each runs
+// its own computation, last store wins).
+func (e *Engine) Update(id GroupID, users []geom.Point, dirs []core.Direction) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	st := e.lookup(id)
+	if st == nil {
+		return ErrUnknownGroup
+	}
+	if err := st.validate(users); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	superseded := st.pending
+	st.mu.Unlock()
+	meeting, regions, stats, err := e.plan(users, dirs)
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	covered := 1
+	if superseded != nil && st.pending == superseded {
+		// Still the same snapshot that predates this call: drop it and
+		// count its submissions as covered by this recomputation. The
+		// group may stay queued; the worker skips a nil pending.
+		covered += superseded.count
+		st.pending = nil
+	}
+	changed := meeting != st.meeting
+	st.meeting = meeting
+	st.regions = regions
+	st.stats.Add(stats)
+	st.seq++
+	n := Notification{
+		Group: st.id, Seq: st.seq, Meeting: meeting, Regions: regions,
+		Stats: stats, Coalesced: covered, Changed: changed,
+	}
+	removed := st.removed
+	st.mu.Unlock()
+	if !removed {
+		e.emit(n)
+	}
+	return nil
+}
+
+// worker drains one shard's run queue.
+func (e *Engine) worker(sh *shard) {
+	defer e.wg.Done()
+	for {
+		st := sh.pop()
+		if st == nil {
+			return
+		}
+		st.mu.Lock()
+		st.queued = false
+		if st.removed || st.pending == nil || st.running {
+			// running can't be set here (a group is enqueued at most
+			// once and only re-enqueued after running clears), but the
+			// guard keeps the invariant local.
+			st.mu.Unlock()
+			continue
+		}
+		up := st.pending
+		st.pending = nil
+		st.running = true
+		st.mu.Unlock()
+
+		meeting, regions, stats, err := e.plan(up.users, up.dirs)
+
+		st.mu.Lock()
+		var n Notification
+		emit := !st.removed
+		if err != nil {
+			// Keep the previous plan (and its Seq); surface the failure.
+			n = Notification{
+				Group: st.id, Seq: st.seq, Meeting: st.meeting,
+				Regions: st.regions, Coalesced: up.count, Err: err,
+				Tag: up.tag,
+			}
+		} else {
+			changed := meeting != st.meeting
+			st.meeting = meeting
+			st.regions = regions
+			st.stats.Add(stats)
+			st.seq++
+			n = Notification{
+				Group: st.id, Seq: st.seq, Meeting: meeting,
+				Regions: regions, Stats: stats, Coalesced: up.count,
+				Changed: changed, Tag: up.tag,
+			}
+		}
+		requeue := st.pending != nil && !st.removed
+		if requeue {
+			st.queued = true
+		}
+		st.running = false
+		st.mu.Unlock()
+
+		if emit {
+			e.emit(n)
+		}
+		if requeue {
+			// Unbounded push: a worker must never block on its own
+			// queue's capacity. Overshoot is at most one entry per
+			// worker.
+			sh.push(st, false)
+		}
+	}
+}
+
+// Subscribe attaches a notification listener with the given channel
+// buffer (minimum 1). Sends never block: when the buffer is full the
+// notification is dropped and counted.
+func (e *Engine) Subscribe(buffer int) *Subscription {
+	if buffer < 1 {
+		buffer = 1
+	}
+	ch := make(chan Notification, buffer)
+	s := &Subscription{engine: e, ch: ch, C: ch}
+	e.subMu.Lock()
+	if e.closed.Load() {
+		e.subMu.Unlock()
+		s.once.Do(func() { close(ch) })
+		return s
+	}
+	e.subs[s] = struct{}{}
+	e.subMu.Unlock()
+	return s
+}
+
+func (e *Engine) unsubscribe(s *Subscription) {
+	e.subMu.Lock()
+	delete(e.subs, s)
+	e.subMu.Unlock()
+}
+
+// emit fans a notification out to every subscriber without blocking.
+func (e *Engine) emit(n Notification) {
+	e.subMu.RLock()
+	for s := range e.subs {
+		select {
+		case s.ch <- n:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+	e.subMu.RUnlock()
+}
+
+// Meeting returns the group's current meeting point (zero if unknown).
+func (e *Engine) Meeting(id GroupID) geom.Point {
+	st := e.lookup(id)
+	if st == nil {
+		return geom.Point{}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.meeting
+}
+
+// Regions returns a copy of the group's safe regions.
+func (e *Engine) Regions(id GroupID) []core.SafeRegion {
+	st := e.lookup(id)
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]core.SafeRegion, len(st.regions))
+	copy(out, st.regions)
+	return out
+}
+
+// Region returns user i's safe region (zero region when out of range).
+func (e *Engine) Region(id GroupID, i int) core.SafeRegion {
+	st := e.lookup(id)
+	if st == nil {
+		return core.SafeRegion{}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if i < 0 || i >= len(st.regions) {
+		return core.SafeRegion{}
+	}
+	return st.regions[i]
+}
+
+// NeedsUpdate reports whether user i at loc escapes her safe region. It
+// is conservative: unknown groups and out-of-range indices need updates.
+func (e *Engine) NeedsUpdate(id GroupID, i int, loc geom.Point) bool {
+	st := e.lookup(id)
+	if st == nil {
+		return true
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if i < 0 || i >= len(st.regions) {
+		return true
+	}
+	return !st.regions[i].Contains(loc)
+}
+
+// Stats returns the group's accumulated computation counters.
+func (e *Engine) Stats(id GroupID) core.Stats {
+	st := e.lookup(id)
+	if st == nil {
+		return core.Stats{}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.stats
+}
+
+// Updates returns how many recomputations completed for the group
+// (registration counts as the first).
+func (e *Engine) Updates(id GroupID) int {
+	st := e.lookup(id)
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return int(st.seq)
+}
+
+// GroupSize returns the group's user count (0 if unknown).
+func (e *Engine) GroupSize(id GroupID) int {
+	st := e.lookup(id)
+	if st == nil {
+		return 0
+	}
+	return st.size
+}
+
+// NumGroups returns the registered group count across all shards.
+func (e *Engine) NumGroups() int {
+	n := 0
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		n += len(sh.groups)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Close stops the workers: recomputations already running or already in
+// a shard queue complete and emit their notifications, but a snapshot
+// accepted while its group's recomputation was in flight may be
+// discarded without one — Close is a shutdown, not a flush. Once the
+// workers exit, every subscription channel is closed. Subsequent
+// Submit/Update/Register calls return ErrClosed.
+func (e *Engine) Close() {
+	if !e.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, sh := range e.shards {
+		sh.close()
+	}
+	e.wg.Wait()
+	e.subMu.Lock()
+	for s := range e.subs {
+		delete(e.subs, s)
+		s.once.Do(func() { close(s.ch) })
+	}
+	e.subMu.Unlock()
+}

@@ -17,6 +17,22 @@ import (
 // implementation.
 type PlanFunc func(users []geom.Point) (geom.Point, []core.SafeRegion, error)
 
+// SubmitFunc hands a replan request to an asynchronous compute backend
+// (the sharded group engine). users[i] is the location of ids[i], the
+// group's members in ascending user-id order. Normally the backend
+// enqueues and answers later through Coordinator.Deliver, echoing ids so
+// the delivery can be checked against membership churn, and returns
+// ok=false. When the backend produced a plan synchronously — a group's
+// one-time registration — it returns the plan with ok=true and the
+// coordinator notifies the members inline, so the very first plan (the
+// one clients cannot recover from losing, since they never escape a
+// region they never received) does not depend on any lossy notification
+// path. SubmitFunc is called with the coordinator lock held — which is
+// what guarantees a group's snapshots reach the backend in report order —
+// so it must only enqueue (or at most compute that one registration
+// plan), never recompute steady-state reports inline.
+type SubmitFunc func(gid uint32, ids []uint32, users []geom.Point) (meeting geom.Point, regions []core.SafeRegion, ok bool)
+
 // Coordinator is the server side of the Fig. 3 protocol: it accepts
 // connections (one per user), assembles groups, and runs the
 // report → probe → notify exchange, recomputing plans via PlanFunc.
@@ -27,14 +43,28 @@ type PlanFunc func(users []geom.Point) (geom.Point, []core.SafeRegion, error)
 // otherwise, since clients may be writing to the server at the same
 // moment.
 type Coordinator struct {
-	plan   PlanFunc
+	plan   PlanFunc   // synchronous backend (nil in async mode)
+	submit SubmitFunc // asynchronous backend (nil in sync mode)
 	logger *log.Logger
+
+	// onEmpty, when set, runs (under the lock) when the last member of a
+	// group disconnects — the engine-backed server uses it to unregister
+	// the group from the compute backend before a reuse of the group id
+	// can observe the stale mapping.
+	onEmpty func(gid uint32)
 
 	mu     sync.Mutex
 	groups map[uint32]*group
 	// locs holds the last reported location per group and user.
 	locs map[uint32]map[uint32]geom.Point
 }
+
+// SetGroupEmptyHook registers fn to run whenever a group loses its last
+// member. Call it before serving connections. fn runs with the
+// coordinator lock held — so a re-registration under the same group id
+// cannot interleave with the teardown — and therefore must not call back
+// into the coordinator or block.
+func (c *Coordinator) SetGroupEmptyHook(fn func(gid uint32)) { c.onEmpty = fn }
 
 // outboxSize bounds the per-member outbound queue. A member this far
 // behind is considered dead and dropped.
@@ -102,6 +132,68 @@ func NewCoordinator(plan PlanFunc, logger *log.Logger) *Coordinator {
 		groups: map[uint32]*group{},
 		locs:   map[uint32]map[uint32]geom.Point{},
 	}
+}
+
+// NewAsyncCoordinator builds a coordinator whose replans are submitted to
+// an asynchronous backend instead of computed inline: the transport's
+// read loops never wait on the planner, and the coordinator lock is never
+// held across a computation. Results return through Deliver. logger may
+// be nil to disable logging.
+func NewAsyncCoordinator(submit SubmitFunc, logger *log.Logger) *Coordinator {
+	if logger == nil {
+		logger = log.New(io.Discard, "", 0)
+	}
+	return &Coordinator{
+		submit: submit,
+		logger: logger,
+		groups: map[uint32]*group{},
+		locs:   map[uint32]map[uint32]geom.Point{},
+	}
+}
+
+// Deliver fans a completed asynchronous plan out to the group's members
+// (step 3 of the protocol, decoupled from the submission that caused it).
+// ids must be the id ordering the SubmitFunc received for the snapshot
+// that was computed (regions[i] belongs to ids[i]); pass nil to skip the
+// membership check (error deliveries). A delivery that races membership
+// churn — the computed ids no longer exactly match the current members —
+// is dropped, so a rejoining user can never receive a region computed for
+// a departed one; the next escape report triggers a fresh replan from
+// current state.
+func (c *Coordinator) Deliver(gid uint32, ids []uint32, meeting geom.Point, regions []core.SafeRegion, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.groups[gid]
+	if g == nil {
+		return
+	}
+	current := memberIDs(g)
+	if err != nil {
+		c.logger.Printf("group %d: plan failed: %v", gid, err)
+		for _, uid := range current {
+			g.members[uid].send(Message{Type: TError, Group: gid, Text: err.Error()})
+		}
+		return
+	}
+	if len(current) != len(regions) || (ids != nil && !sameIDs(ids, current)) {
+		c.logger.Printf("group %d: dropping stale delivery (members %v, computed for %v, %d regions)",
+			gid, current, ids, len(regions))
+		return
+	}
+	c.notifyLocked(gid, g, current, meeting, regions)
+}
+
+// sameIDs reports whether two ascending id lists are identical.
+func sameIDs(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // ServeConn runs the read loop for one client connection until EOF or a
@@ -252,17 +344,21 @@ func (c *Coordinator) maybeReplanLocked(gid uint32, g *group) {
 	c.replanLocked(gid, g)
 }
 
-// replanLocked computes and distributes a fresh plan (step 3). Member
-// order is by ascending user id so regions match deterministically.
+// replanLocked obtains and distributes a fresh plan (step 3): inline with
+// the synchronous backend, via SubmitFunc + Deliver with the asynchronous
+// one. Member order is by ascending user id so regions match
+// deterministically.
 func (c *Coordinator) replanLocked(gid uint32, g *group) {
-	ids := make([]uint32, 0, len(g.members))
-	for uid := range g.members {
-		ids = append(ids, uid)
-	}
-	sortU32(ids)
+	ids := memberIDs(g)
 	users := make([]geom.Point, len(ids))
 	for i, uid := range ids {
 		users[i] = c.locs[gid][uid]
+	}
+	if c.submit != nil {
+		if meeting, regions, ok := c.submit(gid, ids, users); ok && len(regions) == len(ids) {
+			c.notifyLocked(gid, g, ids, meeting, regions)
+		}
+		return
 	}
 	meeting, regions, err := c.plan(users)
 	if err != nil {
@@ -272,6 +368,21 @@ func (c *Coordinator) replanLocked(gid uint32, g *group) {
 		}
 		return
 	}
+	c.notifyLocked(gid, g, ids, meeting, regions)
+}
+
+// memberIDs returns a group's user ids in ascending order.
+func memberIDs(g *group) []uint32 {
+	ids := make([]uint32, 0, len(g.members))
+	for uid := range g.members {
+		ids = append(ids, uid)
+	}
+	sortU32(ids)
+	return ids
+}
+
+// notifyLocked sends one Notify per member, regions aligned with ids.
+func (c *Coordinator) notifyLocked(gid uint32, g *group, ids []uint32, meeting geom.Point, regions []core.SafeRegion) {
 	for i, uid := range ids {
 		msg := Message{
 			Type: TNotify, Group: gid, User: uid,
@@ -301,6 +412,11 @@ func (c *Coordinator) removeMember(gid, uid uint32) {
 		if len(g.members) == 0 {
 			delete(c.groups, gid)
 			delete(c.locs, gid)
+			if c.onEmpty != nil {
+				// Under the lock: a re-registration of the same gid
+				// cannot interleave with the backend teardown.
+				c.onEmpty(gid)
+			}
 		}
 	}
 	c.mu.Unlock()

@@ -3,9 +3,9 @@ package mpn
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"mpn/internal/core"
+	"mpn/internal/engine"
 	"mpn/internal/geom"
 	"mpn/internal/tileenc"
 )
@@ -33,16 +33,35 @@ type Stats = core.Stats
 // ErrNoGroup is returned when operating on an empty user group.
 var ErrNoGroup = errors.New("mpn: empty user group")
 
+// GroupID identifies a registered group within a Server's engine; it
+// appears in notifications so subscribers can route them.
+type GroupID = engine.GroupID
+
+// Notification reports one completed recomputation on the engine's
+// subscription stream: the group, its recomputation sequence number, the
+// fresh meeting point and safe regions, how many submissions coalesced
+// into the recomputation, and whether the meeting point moved.
+type Notification = engine.Notification
+
+// Subscription is one listener on a Server's notification stream; read
+// Notification values from its C channel and Close it when done.
+type Subscription = engine.Subscription
+
 // Server owns a POI data set and answers meeting-point registrations. It
-// is safe for concurrent use by multiple groups.
+// is safe for concurrent use by multiple groups: registered groups live
+// in a sharded concurrent engine whose worker pool recomputes safe
+// regions asynchronously (see Group.SubmitUpdate and Subscribe).
 type Server struct {
 	cfg     config
 	planner *core.Planner
+	plan    engine.PlanFunc
+	engine  *engine.Engine
 }
 
 // NewServer indexes the POI set and returns a server. The default
 // configuration is the paper's best method (directed tiles, α=30, L=2,
-// buffering b=100, max-distance objective).
+// buffering b=100, max-distance objective). Close releases the engine's
+// worker goroutines.
 func NewServer(pois []Point, opts ...Option) (*Server, error) {
 	cfg := defaultConfig()
 	for _, o := range opts {
@@ -54,7 +73,15 @@ func NewServer(pois []Point, opts ...Option) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mpn: %w", err)
 	}
-	return &Server{cfg: cfg, planner: planner}, nil
+	s := &Server{
+		cfg:     cfg,
+		planner: planner,
+		plan:    engine.PlannerFunc(planner, cfg.method == Circle),
+	}
+	s.engine = engine.New(s.plan, engine.Options{
+		Shards: cfg.shards, Workers: cfg.workers, QueueDepth: cfg.queueDepth,
+	})
+	return s, nil
 }
 
 // NumPOIs returns the indexed data set size.
@@ -62,17 +89,32 @@ func (s *Server) NumPOIs() int { return s.planner.NumPOIs() }
 
 // Register creates a monitored group from the users' current locations and
 // computes its first meeting point and safe regions. dirs may be nil; it
-// is only consulted by the TileDirected method.
+// is only consulted by the TileDirected method. The registration plan is
+// also emitted to subscribers as the group's Seq-1 notification.
 func (s *Server) Register(users []Point, dirs []Direction) (*Group, error) {
 	if len(users) == 0 {
 		return nil, ErrNoGroup
 	}
-	g := &Group{server: s, size: len(users)}
-	if err := g.Update(users, dirs); err != nil {
+	id, err := s.engine.Register(users, dirs)
+	if err != nil {
 		return nil, err
 	}
-	return g, nil
+	return &Group{server: s, id: id, size: len(users)}, nil
 }
+
+// Subscribe attaches a listener to the server's notification stream with
+// the given channel buffer. Every recomputation — synchronous or
+// asynchronous, for any group — emits one Notification. Sends never
+// block: a subscriber that falls behind drops frames (Subscription
+// counts them).
+func (s *Server) Subscribe(buffer int) *Subscription {
+	return s.engine.Subscribe(buffer)
+}
+
+// Close stops the engine's workers — queued recomputations complete, but
+// a submission accepted while its group was being recomputed may be
+// discarded — and closes all subscription channels.
+func (s *Server) Close() { s.engine.Close() }
 
 // Plan computes a one-shot meeting point and safe regions without creating
 // a group. It is the stateless core of Register/Update.
@@ -80,103 +122,83 @@ func (s *Server) Plan(users []Point, dirs []Direction) (Point, []SafeRegion, Sta
 	if len(users) == 0 {
 		return Point{}, nil, Stats{}, ErrNoGroup
 	}
-	var plan core.Plan
-	var err error
-	switch s.cfg.method {
-	case Circle:
-		plan, err = s.planner.CircleMSR(users)
-	default:
-		plan, err = s.planner.TileMSR(users, dirs)
-	}
-	if err != nil {
-		return Point{}, nil, Stats{}, err
-	}
-	return plan.Best.Item.P, plan.Regions, plan.Stats, nil
+	return s.plan(users, dirs)
 }
 
-// Group is one monitored user group. Its methods are safe for concurrent
-// use.
+// Group is one monitored user group: a handle over the server engine's
+// sharded registry. Its methods are safe for concurrent use.
 type Group struct {
 	server *Server
+	id     engine.GroupID
 	size   int
-
-	mu      sync.RWMutex
-	meeting Point
-	regions []SafeRegion
-	stats   Stats
-	updates int
 }
+
+// ID returns the group's engine identifier, matching Notification.Group
+// on the subscription stream.
+func (g *Group) ID() GroupID { return g.id }
 
 // Size returns the number of users m.
 func (g *Group) Size() int { return g.size }
 
 // MeetingPoint returns the currently reported optimal meeting point.
 func (g *Group) MeetingPoint() Point {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return g.meeting
+	return g.server.engine.Meeting(g.id)
 }
 
 // Region returns user i's current safe region.
 func (g *Group) Region(i int) SafeRegion {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return g.regions[i]
+	return g.server.engine.Region(g.id, i)
 }
 
 // Regions returns a copy of all safe regions.
 func (g *Group) Regions() []SafeRegion {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	out := make([]SafeRegion, len(g.regions))
-	copy(out, g.regions)
-	return out
+	return g.server.engine.Regions(g.id)
 }
 
 // NeedsUpdate reports whether user i moving to loc escapes her safe region
 // — the client-side trigger of the Fig. 3 protocol.
 func (g *Group) NeedsUpdate(i int, loc Point) bool {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	if i < 0 || i >= len(g.regions) {
-		return true
-	}
-	return !g.regions[i].Contains(loc)
+	return g.server.engine.NeedsUpdate(g.id, i, loc)
 }
 
 // Update recomputes the meeting point and safe regions from all users'
-// current locations (the server-side step after an escape). dirs may be
-// nil unless the server uses TileDirected and per-user headings are
-// available.
+// current locations (the server-side step after an escape), on the
+// caller's goroutine. dirs may be nil unless the server uses TileDirected
+// and per-user headings are available. The result is visible through the
+// accessors when Update returns, and is also emitted to subscribers.
 func (g *Group) Update(users []Point, dirs []Direction) error {
 	if len(users) != g.size {
 		return fmt.Errorf("mpn: group has %d users, got %d locations", g.size, len(users))
 	}
-	meeting, regions, stats, err := g.server.Plan(users, dirs)
-	if err != nil {
-		return err
-	}
-	g.mu.Lock()
-	g.meeting = meeting
-	g.regions = regions
-	g.stats.Add(stats)
-	g.updates++
-	g.mu.Unlock()
-	return nil
+	return g.server.engine.Update(g.id, users, dirs)
 }
 
-// Updates returns how many times the group's result was recomputed.
+// SubmitUpdate schedules an asynchronous recomputation on the engine's
+// worker pool and returns immediately. Bursts of submissions for the same
+// group coalesce into a single recomputation over the latest locations;
+// results arrive on the Server.Subscribe stream. SubmitUpdate blocks only
+// when the group's shard queue is full (backpressure).
+func (g *Group) SubmitUpdate(users []Point, dirs []Direction) error {
+	if len(users) != g.size {
+		return fmt.Errorf("mpn: group has %d users, got %d locations", g.size, len(users))
+	}
+	return g.server.engine.Submit(g.id, users, dirs)
+}
+
+// Unregister removes the group from the server's engine; queued
+// recomputations for it are discarded and its accessors become
+// conservative zero values.
+func (g *Group) Unregister() { g.server.engine.Unregister(g.id) }
+
+// Updates returns how many times the group's result was recomputed
+// (registration counts as the first).
 func (g *Group) Updates() int {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return g.updates
+	return g.server.engine.Updates(g.id)
 }
 
 // Stats returns the accumulated computation counters.
 func (g *Group) Stats() Stats {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	return g.stats
+	return g.server.engine.Stats(g.id)
 }
 
 // EncodeRegion serializes a safe region for transmission: 24 bytes for a

@@ -65,6 +65,12 @@ func (m Method) String() string {
 type config struct {
 	method Method
 	core   core.Options
+
+	// Engine sizing; zero selects the engine's defaults (GOMAXPROCS
+	// shards, 1 worker per shard, queue depth 1024).
+	shards     int
+	workers    int
+	queueDepth int
 }
 
 func defaultConfig() config {
@@ -136,6 +142,45 @@ func WithBuffer(b int) Option {
 			return fmt.Errorf("mpn: buffer %d must be non-negative", b)
 		}
 		c.core.Buffer = b
+		return nil
+	}
+}
+
+// WithShards sets the number of independent registry shards in the
+// server's concurrent group engine (default GOMAXPROCS). Groups hash over
+// shards; operations on different shards never contend.
+func WithShards(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("mpn: shard count %d must be positive", n)
+		}
+		c.shards = n
+		return nil
+	}
+}
+
+// WithWorkers sets the number of recomputation workers per shard (default
+// 1). Total asynchronous compute parallelism is shards × workers.
+func WithWorkers(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("mpn: worker count %d must be positive", n)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// WithQueueDepth bounds each shard's pending-update queue (default 1024).
+// Submissions block while the shard queue is full, pushing backpressure
+// toward the transport; coalescing keeps at most one queue entry per
+// group, so a depth of at least the groups-per-shard count never blocks.
+func WithQueueDepth(depth int) Option {
+	return func(c *config) error {
+		if depth < 1 {
+			return fmt.Errorf("mpn: queue depth %d must be positive", depth)
+		}
+		c.queueDepth = depth
 		return nil
 	}
 }
