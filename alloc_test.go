@@ -1,0 +1,60 @@
+package mpn
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// TestSteadyStateUpdateAllocs gates the end-to-end allocation budget of
+// the hot server path: a registered group's synchronous Update with no
+// subscribers attached. After warm-up the engine borrows a pooled
+// workspace, the planner reuses all scratch, and the zero-subscriber fast
+// path skips notification assembly, so each recomputation may allocate
+// only the freshly exported safe regions — a small constant. This fence
+// keeps future PRs from silently re-introducing per-update churn.
+func TestSteadyStateUpdateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is perturbed by the race detector")
+	}
+	rng := rand.New(rand.NewSource(3))
+	pois := make([]Point, 4000)
+	for i := range pois {
+		pois[i] = Pt(rng.Float64(), rng.Float64())
+	}
+	server, err := NewServer(pois, WithTileLimit(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	users := []Point{Pt(0.5, 0.5), Pt(0.51, 0.52), Pt(0.49, 0.53)}
+	group, err := server.Register(users, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs := make([]Point, len(users))
+	step := 0
+	run := func() {
+		step++
+		jitter := 1e-5 * float64(step%5)
+		for i, u := range users {
+			locs[i] = Pt(u.X+jitter, u.Y-jitter)
+		}
+		if err := group.Update(locs, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		run() // warm the pooled workspace to its working size
+	}
+	// A GC clears sync.Pool victims; run one now so the measurement
+	// window starts with the warmed workspace freshly promoted and is
+	// unlikely to see another collection.
+	runtime.GC()
+	run()
+	allocs := testing.AllocsPerRun(100, run)
+	const budget = 8
+	if allocs > budget {
+		t.Errorf("steady-state Group.Update allocates %.1f/op, budget %d", allocs, budget)
+	}
+}

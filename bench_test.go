@@ -200,9 +200,10 @@ func BenchmarkAblationBuffering(b *testing.B) {
 	})
 }
 
-// BenchmarkPublicAPIPlan measures the end-user Plan call with the default
-// (directed, buffered) configuration at paper-scale n.
-func BenchmarkPublicAPIPlan(b *testing.B) {
+// benchServer builds a default server over paper-scale n with a fixed
+// random POI set.
+func benchServer(b *testing.B) (*Server, []Point) {
+	b.Helper()
 	rng := rand.New(rand.NewSource(1))
 	pois := make([]Point, 21287)
 	for i := range pois {
@@ -213,10 +214,44 @@ func BenchmarkPublicAPIPlan(b *testing.B) {
 		b.Fatal(err)
 	}
 	users := []Point{Pt(0.5, 0.5), Pt(0.51, 0.52), Pt(0.49, 0.53)}
+	return server, users
+}
+
+// BenchmarkPublicAPIPlan measures the end-user Plan call with the default
+// (directed, buffered) configuration at paper-scale n.
+func BenchmarkPublicAPIPlan(b *testing.B) {
+	server, users := benchServer(b)
+	defer server.Close()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, _, err := server.Plan(users, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSteadyStateUpdate measures the engine's synchronous
+// recomputation path as a long-lived group sees it: one registered group,
+// no subscribers, repeated Group.Update calls with slightly jittered
+// locations. This is the hot loop whose steady-state allocation rate the
+// workspace reuse drives to ~zero.
+func BenchmarkSteadyStateUpdate(b *testing.B) {
+	server, users := benchServer(b)
+	defer server.Close()
+	group, err := server.Register(users, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	locs := make([]Point, len(users))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jitter := 1e-5 * float64(i%7)
+		for j, u := range users {
+			locs[j] = Pt(u.X+jitter, u.Y-jitter)
+		}
+		if err := group.Update(locs, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

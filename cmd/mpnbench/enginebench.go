@@ -73,7 +73,8 @@ func runEngineBench(out io.Writer, cfg engineBenchConfig) error {
 	if err != nil {
 		return err
 	}
-	plan := engine.PlannerFunc(planner, false)
+	plan := engine.PlannerFunc(planner, false)     // mutex baseline: pooled workspace per call
+	planWS := engine.PlannerWSFunc(planner, false) // engine: one workspace per worker
 
 	fmt.Fprintf(out, "engine throughput: %d POIs, %d groups × %d users, %d producers, %v per config (α=%d, b=%d)\n\n",
 		len(pois), cfg.Groups, cfg.GroupSize, cfg.Producers, cfg.Duration, cfg.Alpha, cfg.Buffer)
@@ -89,7 +90,7 @@ func runEngineBench(out io.Writer, cfg engineBenchConfig) error {
 		shardSweep = append(shardSweep, procs)
 	}
 	for _, shards := range shardSweep {
-		subs, recs := runEngineConfig(plan, cfg, shards)
+		subs, recs := runEngineConfig(planWS, cfg, shards)
 		printEngineRow(out, fmt.Sprintf("engine %d shard × 1 worker", shards), subs, recs, cfg.Duration)
 	}
 	fmt.Fprintln(out)
@@ -155,8 +156,8 @@ func runMutexBaseline(plan engine.PlanFunc, cfg engineBenchConfig) (subs, recs i
 
 // runEngineConfig drives the sharded engine asynchronously: producers
 // submit, the worker pool recomputes, coalescing absorbs bursts.
-func runEngineConfig(plan engine.PlanFunc, cfg engineBenchConfig, shards int) (subs, recs int) {
-	eng := engine.New(plan, engine.Options{Shards: shards, Workers: 1, QueueDepth: 4 * cfg.Groups})
+func runEngineConfig(plan engine.PlanWSFunc, cfg engineBenchConfig, shards int) (subs, recs int) {
+	eng := engine.NewWS(plan, engine.Options{Shards: shards, Workers: 1, QueueDepth: 4 * cfg.Groups})
 	defer eng.Close()
 	rng := rand.New(rand.NewSource(1))
 	ids := make([]engine.GroupID, cfg.Groups)

@@ -1,0 +1,152 @@
+package main
+
+// The -json mode: machine-readable micro-benchmarks of the two hottest
+// server paths — one-shot safe-region planning (TileMSRInto on an owned
+// workspace, exactly what an engine worker runs per recomputation) and
+// the end-to-end synchronous engine update — swept over group size. The
+// ns/op, throughput, and allocs/op series are written as JSON so CI and
+// future PRs can diff against the committed baseline (BENCH_plan.json).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"mpn/internal/core"
+	"mpn/internal/engine"
+	"mpn/internal/geom"
+	"mpn/internal/workload"
+)
+
+type planBenchSeries struct {
+	// Name is "plan" (planner kernel, owned workspace) or "update"
+	// (engine synchronous recomputation, pooled workspace, no
+	// subscribers).
+	Name        string  `json:"name"`
+	GroupSize   int     `json:"group_size"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type planBenchReport struct {
+	Description string            `json:"description"`
+	GoMaxProcs  int               `json:"gomaxprocs"`
+	POIs        int               `json:"pois"`
+	TileLimit   int               `json:"tile_limit"`
+	Buffer      int               `json:"buffer"`
+	Series      []planBenchSeries `json:"series"`
+}
+
+// jsonBenchGroup returns a deterministic clustered group of m users with
+// headings, centered mid-domain.
+func jsonBenchGroup(m int) ([]geom.Point, []core.Direction) {
+	users := make([]geom.Point, m)
+	dirs := make([]core.Direction, m)
+	for i := range users {
+		users[i] = geom.Pt(0.5+0.01*float64(i), 0.5-0.008*float64(i))
+		dirs[i] = core.Direction{Angle: 0.3 * float64(i)}
+	}
+	return users, dirs
+}
+
+func toSeries(name string, m int, r testing.BenchmarkResult) planBenchSeries {
+	ns := float64(r.NsPerOp())
+	ops := 0.0
+	if ns > 0 {
+		ops = 1e9 / ns
+	}
+	return planBenchSeries{
+		Name: name, GroupSize: m,
+		NsPerOp: ns, OpsPerSec: ops,
+		AllocsPerOp: r.AllocsPerOp(), BytesPerOp: r.AllocedBytesPerOp(),
+	}
+}
+
+// runPlanJSONBench measures the plan and update series and writes the
+// JSON report.
+func runPlanJSONBench(out io.Writer, log io.Writer) error {
+	const (
+		tileLimit = 10
+		buffer    = 50
+	)
+	pcfg := workload.DefaultPOIConfig()
+	pois, err := workload.GeneratePOIs(pcfg)
+	if err != nil {
+		return err
+	}
+	opts := core.DefaultOptions()
+	opts.TileLimit = tileLimit
+	opts.Buffer = buffer
+	opts.Directed = true
+	planner, err := core.NewPlanner(pois, opts)
+	if err != nil {
+		return err
+	}
+
+	report := planBenchReport{
+		Description: "steady-state safe-region planning: ns/op, throughput, allocs/op by group size",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		POIs:        len(pois),
+		TileLimit:   tileLimit,
+		Buffer:      buffer,
+	}
+
+	for m := 2; m <= 6; m++ {
+		users, dirs := jsonBenchGroup(m)
+
+		// Planner kernel: one long-lived workspace, as an engine worker
+		// holds it.
+		r := testing.Benchmark(func(b *testing.B) {
+			ws := core.NewWorkspace()
+			locs := make([]geom.Point, len(users))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				jitter := 1e-5 * float64(i%7)
+				for j, u := range users {
+					locs[j] = geom.Pt(u.X+jitter, u.Y-jitter)
+				}
+				if _, err := planner.TileMSRInto(ws, locs, dirs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		s := toSeries("plan", m, r)
+		report.Series = append(report.Series, s)
+		fmt.Fprintf(log, "  plan   m=%d  %12.0f ns/op %8.0f plans/s %6d allocs/op\n",
+			m, s.NsPerOp, s.OpsPerSec, s.AllocsPerOp)
+
+		// End-to-end engine update: registered group, synchronous
+		// recomputation, no subscribers.
+		r = testing.Benchmark(func(b *testing.B) {
+			eng := engine.NewWS(engine.PlannerWSFunc(planner, false), engine.Options{Shards: 1})
+			defer eng.Close()
+			id, err := eng.Register(users, dirs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			locs := make([]geom.Point, len(users))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				jitter := 1e-5 * float64(i%7)
+				for j, u := range users {
+					locs[j] = geom.Pt(u.X+jitter, u.Y-jitter)
+				}
+				if err := eng.Update(id, locs, dirs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		s = toSeries("update", m, r)
+		report.Series = append(report.Series, s)
+		fmt.Fprintf(log, "  update m=%d  %12.0f ns/op %8.0f upd/s   %6d allocs/op\n",
+			m, s.NsPerOp, s.OpsPerSec, s.AllocsPerOp)
+	}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

@@ -7,6 +7,13 @@
 // Usage:
 //
 //	mpnbench [-scale quick|full|bench] [-fig all|13|14|15|16|17|18|19] [-o FILE]
+//	mpnbench -engine [-egroups N] [-edur D]   concurrent-engine throughput
+//	mpnbench -json [-o FILE]                  plan/update series → BENCH_plan.json
+//
+// The -json mode micro-benchmarks steady-state safe-region planning (the
+// workspace-reusing TileMSRInto kernel and the engine's synchronous
+// update path) across group sizes and writes the ns/op, throughput, and
+// allocs/op series as JSON — the repo's benchmark baseline format.
 //
 // The quick scale (default) keeps the POI cardinality and every algorithm
 // parameter at the paper's values but shortens trajectories so the whole
@@ -15,6 +22,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -38,7 +46,27 @@ func main() {
 	engineMode := flag.Bool("engine", false, "run the concurrent-engine throughput benchmark instead of the figures")
 	engineGroups := flag.Int("egroups", 0, "engine benchmark: live group count (0 = 64)")
 	engineDur := flag.Duration("edur", 0, "engine benchmark: measurement window per config (0 = 2s)")
+	jsonMode := flag.Bool("json", false, "write the plan/update benchmark series as JSON (default BENCH_plan.json; -o overrides)")
 	flag.Parse()
+
+	if *jsonMode {
+		path := *outPath
+		if path == "" {
+			path = "BENCH_plan.json"
+		}
+		fmt.Printf("plan/update benchmark series → %s\n", path)
+		// Buffer the whole report and write the file only after the sweep
+		// succeeds, so a failed or interrupted run never truncates an
+		// existing baseline.
+		var buf bytes.Buffer
+		if err := runPlanJSONBench(&buf, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *engineMode {
 		var out io.Writer = os.Stdout

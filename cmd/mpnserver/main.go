@@ -134,12 +134,12 @@ func newServer(cfg serverConfig) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan := engine.PlannerFunc(planner, cfg.method == "circle")
+	plan := engine.PlannerWSFunc(planner, cfg.method == "circle")
 	if cfg.logger == nil {
 		cfg.logger = log.New(os.Stderr, "", 0)
 	}
 	s := &server{
-		eng: engine.New(plan, engine.Options{
+		eng: engine.NewWS(plan, engine.Options{
 			Shards: cfg.shards, Workers: cfg.workers, QueueDepth: cfg.queue,
 		}),
 		logger:      cfg.logger,

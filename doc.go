@@ -58,7 +58,30 @@
 // computation instead of one per report. Per group there is at most one
 // in-flight recomputation and notifications carry strictly increasing
 // sequence numbers; subscription sends never block, with drops counted on
-// the Subscription. Server.Close releases the worker pool.
+// the Subscription. With no subscribers attached, notification payloads
+// are never assembled at all. Server.Close releases the worker pool.
+//
+// # Zero-allocation steady-state planning
+//
+// Every safe-region recomputation draws its scratch state — the R-tree
+// best-first heap and traversal stack, the GNN result buffer, candidate
+// and bound slices, hypothetical tile sets, tile orderings, and the
+// Sum-MPN memo tables — from a reusable core.Workspace rather than the
+// heap. Each engine worker owns one workspace for its whole lifetime and
+// the synchronous paths (Group.Update, Server.Plan) borrow one from a
+// pool, so steady-state planning allocates only the returned safe
+// regions: two allocations per plan (one region-header slice and one
+// shared tile arena), ~3 allocations per end-to-end update, down from
+// thousands. Returned plans are exported by copy and never alias
+// workspace memory, so they are safe to retain indefinitely. Long-lived
+// custom compute loops use core.NewWorkspace with the planner's
+// TileMSRInto/CircleMSRInto entry points; TestSteadyStateUpdateAllocs and
+// the core-level allocation fence gate the budget so regressions fail CI.
+//
+// cmd/mpnbench's -json mode benchmarks this path (planner kernel and
+// engine update, swept over group size) and writes the ns/op, throughput,
+// and allocs/op series to BENCH_plan.json — the committed baseline for
+// comparing future changes.
 //
 // The internal packages implement the full substrate from scratch: an
 // R-tree (internal/rtree), top-k group nearest neighbor search

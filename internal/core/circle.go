@@ -16,16 +16,28 @@ import (
 // result can never change and the radius is unbounded; we return circles
 // covering the whole plane via an effectively infinite radius derived from
 // the data diameter.
+// CircleMSR borrows a pooled Workspace; loops that recompute continuously
+// should own one and call CircleMSRInto directly.
 func (pl *Planner) CircleMSR(users []geom.Point) (Plan, error) {
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	return pl.CircleMSRInto(ws, users)
+}
+
+// CircleMSRInto is CircleMSR with all scratch state drawn from ws: the
+// top-2 GNN runs on the workspace's typed heap and result buffer, so the
+// only allocation in steady state is the returned region slice (which
+// does not alias ws and survives its reuse).
+func (pl *Planner) CircleMSRInto(ws *Workspace, users []geom.Point) (Plan, error) {
 	if len(users) == 0 {
 		return Plan{}, ErrNoUsers
 	}
 	var plan Plan
-	top := gnn.TopK(pl.tree, users, pl.opts.Aggregate, 2)
+	ws.topk = gnn.TopKInto(pl.tree, &ws.gnn, users, pl.opts.Aggregate, 2, ws.topk[:0])
 	plan.Stats.GNNCalls++
-	plan.Best = top[0]
+	plan.Best = ws.topk[0]
 
-	r := pl.circleRadius(users, top)
+	r := pl.circleRadius(users, ws.topk)
 	plan.Regions = make([]SafeRegion, len(users))
 	for i, u := range users {
 		plan.Regions[i] = CircleRegion(u, r)

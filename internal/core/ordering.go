@@ -37,7 +37,15 @@ type tileOrdering struct {
 // newTileOrdering starts the enumeration after the center tile (layer 0),
 // which Algorithm 3 inserts unconditionally before growing.
 func newTileOrdering(center geom.Point, delta float64, maxLayers int, directed bool, heading, theta float64) *tileOrdering {
-	o := &tileOrdering{
+	o := new(tileOrdering)
+	o.reset(center, delta, maxLayers, directed, heading, theta)
+	return o
+}
+
+// reset reinitializes the ordering in place, so workspace-resident
+// orderings are reusable across computations without allocating.
+func (o *tileOrdering) reset(center geom.Point, delta float64, maxLayers int, directed bool, heading, theta float64) {
+	*o = tileOrdering{
 		center:    center,
 		delta:     delta,
 		maxLayers: maxLayers,
@@ -50,7 +58,6 @@ func newTileOrdering(center geom.Point, delta float64, maxLayers int, directed b
 		// unconditionally by Tile-MSR, so layer 1 is always explored.
 	}
 	o.ringLen = ringLength(1)
-	return o
 }
 
 // ringLength returns the number of grid cells at Chebyshev distance k.

@@ -25,12 +25,26 @@ type Direction struct {
 //
 // dirs supplies each user's recent travel direction for the directed
 // ordering; it may be nil when Options.Directed is false.
+//
+// TileMSR borrows a pooled Workspace; loops that recompute continuously
+// should own one and call TileMSRInto directly.
 func (pl *Planner) TileMSR(users []geom.Point, dirs []Direction) (Plan, error) {
+	ws := GetWorkspace()
+	defer PutWorkspace(ws)
+	return pl.TileMSRInto(ws, users, dirs)
+}
+
+// TileMSRInto is TileMSR with all scratch state drawn from ws. The
+// returned plan is exported by copy (two allocations) and remains valid
+// after ws is reused or returned to the pool.
+func (pl *Planner) TileMSRInto(ws *Workspace, users []geom.Point, dirs []Direction) (Plan, error) {
 	if len(users) == 0 {
 		return Plan{}, ErrNoUsers
 	}
-	if pl.opts.Directed && len(dirs) != len(users) {
-		dirs = make([]Direction, len(users))
+	if len(dirs) != len(users) {
+		// Missing or mismatched headings: fall back to zero-value
+		// directions (Options.Theta, heading 0) exactly as a nil dirs.
+		dirs = nil
 	}
 
 	var plan Plan
@@ -41,27 +55,23 @@ func (pl *Planner) TileMSR(users []geom.Point, dirs []Direction) (Plan, error) {
 			k = 2
 		}
 	}
-	top := gnn.TopK(pl.tree, users, pl.opts.Aggregate, k)
+	ws.topk = gnn.TopKInto(pl.tree, &ws.gnn, users, pl.opts.Aggregate, k, ws.topk[:0])
+	top := ws.topk
 	plan.Stats.GNNCalls++
 	plan.Best = top[0]
 	rmax := pl.circleRadius(users, top)
 
-	t := &tilePlanning{
-		pl:    pl,
-		users: users,
-		po:    top[0].Item.P,
-		poID:  top[0].Item.ID,
-		poAgg: top[0].Dist,
-		stats: &plan.Stats,
-	}
+	t := &ws.tp
+	t.reset(pl, &ws.gnn.RTree, users, top[0], &plan.Stats)
 
 	// Degenerate case: a tie for the optimum leaves no safe radius. Each
 	// user gets a point region; the next movement triggers an update.
 	if rmax <= 0 {
-		plan.Regions = make([]SafeRegion, len(users))
 		for i, u := range users {
-			plan.Regions[i] = TileRegion(geom.Rect{Min: u, Max: u})
+			t.regions[i].Tiles = append(t.regions[i].Tiles, geom.Rect{Min: u, Max: u})
 		}
+		plan.Regions = exportTiles(t.regions)
+		t.release()
 		return plan, nil
 	}
 
@@ -70,13 +80,11 @@ func (pl *Planner) TileMSR(users []geom.Point, dirs []Direction) (Plan, error) {
 	}
 
 	delta := math.Sqrt2 * rmax
-	t.regions = make([]SafeRegion, len(users))
 	if pl.opts.Aggregate == gnn.Sum {
-		t.sumMemo = make([]map[int]float64, len(users))
+		t.resetSumMemo(len(users))
 	}
-	orderings := make([]*tileOrdering, len(users))
+	orderings := ws.resizeOrderings(len(users))
 	for i, u := range users {
-		t.regions[i] = TileRegion()
 		t.addTile(i, geom.RectAround(u, delta)) // seed: inscribed square of the rmax circle
 		var heading, theta float64 = 0, pl.opts.Theta
 		if dirs != nil {
@@ -85,12 +93,12 @@ func (pl *Planner) TileMSR(users []geom.Point, dirs []Direction) (Plan, error) {
 				theta = dirs[i].Theta
 			}
 		}
-		orderings[i] = newTileOrdering(u, delta, pl.maxLayers(), pl.opts.Directed, heading, theta)
+		orderings[i].reset(u, delta, pl.maxLayers(), pl.opts.Directed, heading, theta)
 	}
 
 	// Round-robin growth, α rounds (lines 5–11 of Algorithm 3).
 	live := len(users)
-	exhausted := make([]bool, len(users))
+	exhausted := ws.resizeExhausted(len(users))
 	for round := 0; round < pl.opts.TileLimit && live > 0; round++ {
 		for i := range users {
 			if exhausted[i] {
@@ -111,19 +119,26 @@ func (pl *Planner) TileMSR(users []geom.Point, dirs []Direction) (Plan, error) {
 		}
 	}
 
-	plan.Regions = t.regions
+	plan.Regions = exportTiles(t.regions)
+	t.release()
 	return plan, nil
 }
 
-// tilePlanning is the per-computation state of one Tile-MSR run.
+// tilePlanning is the per-computation state of one Tile-MSR run. It lives
+// inside a Workspace: every slice and map below is retained across runs
+// and re-truncated by reset, so a warmed-up workspace plans without
+// allocating.
 type tilePlanning struct {
 	pl    *Planner
+	rts   *rtree.Scratch // index traversal scratch (shared with the GNN)
 	users []geom.Point
 	po    geom.Point
 	poID  int
 	poAgg float64 // ‖p°,U‖ under the aggregate
 	stats *Stats
 
+	// regions is the scratch region set under construction; per-user tile
+	// slices keep their capacity across runs. exportTiles copies them out.
 	regions []SafeRegion
 
 	// Buffering state (Section 5.4): the best b+1 GNNs and the distance
@@ -133,15 +148,76 @@ type tilePlanning struct {
 
 	// Sum-MPN memoization (Section 6.3.1): per user, candidate POI id →
 	// min over the user's current region tiles of ‖p′,l‖ − ‖p°,l‖.
-	sumMemo []map[int]float64
+	// sumMemo is nil for MAX runs; sumMemoStore retains the maps (cleared,
+	// not dropped, between runs) so steady-state SUM planning reuses their
+	// buckets.
+	sumMemo      []map[int]float64
+	sumMemoStore []map[int]float64
 
-	// Scratch buffer for candidate retrieval.
+	// Scratch buffers for candidate retrieval and verification.
 	candBuf []candidate
+	ext     []float64
+	bounds  []float64
+	ts      tileSets     // hypothetical per-user tile sets
+	oneTile [1]geom.Rect // backing array for the ts.users[i] = {s} singleton
+	minDp   []float64    // gtVerifyMax per-user minima
+	itIdx   []int        // itVerifyMax mixed-radix counter
+
+	// Pruning queries passed (by stable pointer) to the R-tree search.
+	maxQ maxPruneQuery
+	sumQ sumPruneQuery
 }
 
 type candidate struct {
 	id int
 	p  geom.Point
+}
+
+// reset prepares the planning state for one computation, truncating every
+// scratch buffer while keeping its capacity.
+func (t *tilePlanning) reset(pl *Planner, rts *rtree.Scratch, users []geom.Point, best gnn.Result, stats *Stats) {
+	t.pl = pl
+	t.rts = rts
+	t.users = users
+	t.po = best.Item.P
+	t.poID = best.Item.ID
+	t.poAgg = best.Dist
+	t.stats = stats
+	t.buffered = nil
+	t.thresholds = t.thresholds[:0]
+	t.sumMemo = nil
+	t.candBuf = t.candBuf[:0]
+	t.maxQ.t = t
+	t.sumQ.t = t
+
+	m := len(users)
+	t.regions = grown(t.regions, m)
+	for i := range t.regions {
+		t.regions[i].Kind = KindTiles
+		t.regions[i].Circle = geom.Circle{}
+		t.regions[i].Tiles = t.regions[i].Tiles[:0]
+	}
+}
+
+// release drops the references a finished run would otherwise retain
+// until the next reset: without it, an idle worker's workspace pins the
+// caller's users slice, the planner, and — through the stats pointer —
+// the whole escaped Plan, including its exported regions.
+func (t *tilePlanning) release() {
+	t.pl = nil
+	t.users = nil
+	t.stats = nil
+	t.buffered = nil
+}
+
+// resetSumMemo activates the Sum-MPN memo tables for m users, clearing
+// (but retaining) the maps of previous runs.
+func (t *tilePlanning) resetSumMemo(m int) {
+	t.sumMemoStore = grown(t.sumMemoStore, m)
+	t.sumMemo = t.sumMemoStore
+	for _, mp := range t.sumMemo {
+		clear(mp)
+	}
 }
 
 // initBuffer stores the best b+1 meeting points (retrieved in the single
@@ -160,7 +236,7 @@ func (t *tilePlanning) initBuffer(b int, top []gnn.Result) {
 	if t.pl.opts.Aggregate == gnn.Sum {
 		denom = 2 * float64(len(t.users))
 	}
-	t.thresholds = make([]float64, 0, b)
+	t.thresholds = t.thresholds[:0]
 	for z := 1; z <= b; z++ {
 		if z < len(t.buffered) {
 			t.thresholds = append(t.thresholds, (t.buffered[z].Dist-t.poAgg)/denom)
@@ -264,21 +340,26 @@ func (t *tilePlanning) verifyAgainst(i int, s geom.Rect, cands []candidate) bool
 		}
 		return true
 	}
-	ts := tileSets{users: make([][]geom.Rect, len(t.users))}
-	for j := range t.users {
+	m := len(t.users)
+	t.ts.users = grown(t.ts.users, m)
+	ts := tileSets{users: t.ts.users}
+	t.oneTile[0] = s
+	for j := range ts.users {
 		if j == i {
-			ts.users[j] = []geom.Rect{s}
+			ts.users[j] = t.oneTile[:1]
 		} else {
 			ts.users[j] = t.regions[j].Tiles
 		}
 	}
+	t.minDp = grown(t.minDp, m)
+	t.itIdx = grown(t.itIdx, m)
 	for _, c := range cands {
 		t.stats.TileVerifies++
 		var ok bool
 		if t.pl.opts.GroupVerify {
-			ok = gtVerifyMax(ts, t.po, c.p)
+			ok = gtVerifyMaxInto(t.minDp, ts, t.po, c.p)
 		} else {
-			ok = itVerifyMax(ts, t.po, c.p)
+			ok = itVerifyMaxInto(t.itIdx, ts, t.po, c.p)
 		}
 		if !ok {
 			return false
@@ -307,7 +388,7 @@ func (t *tilePlanning) sumRegionF(j int, c candidate) float64 {
 	memo := t.sumMemo[j]
 	if memo == nil {
 		memo = make(map[int]float64)
-		t.sumMemo[j] = memo
+		t.sumMemo[j] = memo // aliases sumMemoStore, so the map survives resets
 	}
 	if f, ok := memo[c.id]; ok {
 		return f
@@ -320,6 +401,53 @@ func (t *tilePlanning) sumRegionF(j int, c candidate) float64 {
 	}
 	memo[c.id] = f
 	return f
+}
+
+// maxPruneQuery implements the Theorem 3 candidate retrieval as an
+// allocation-free rtree.PruneQuery over the planning state: keep a
+// subtree only if its MBR can hold a point within bounds[j] of every
+// user j.
+type maxPruneQuery struct{ t *tilePlanning }
+
+func (q *maxPruneQuery) Keep(r geom.Rect) bool {
+	t := q.t
+	for j, u := range t.users {
+		if r.MinDist(u) > t.bounds[j] {
+			return false
+		}
+	}
+	return true
+}
+
+func (q *maxPruneQuery) VisitItem(it rtree.Item) bool {
+	t := q.t
+	if it.ID != t.poID {
+		t.candBuf = append(t.candBuf, candidate{id: it.ID, p: it.P})
+	}
+	return true
+}
+
+// sumPruneQuery implements the Theorem 6 pruning rule: keep a subtree
+// only if the summed minimum user distances stay within the bound.
+type sumPruneQuery struct {
+	t     *tilePlanning
+	bound float64
+}
+
+func (q *sumPruneQuery) Keep(r geom.Rect) bool {
+	sum := 0.0
+	for _, u := range q.t.users {
+		sum += r.MinDist(u)
+	}
+	return sum <= q.bound
+}
+
+func (q *sumPruneQuery) VisitItem(it rtree.Item) bool {
+	t := q.t
+	if it.ID != t.poID {
+		t.candBuf = append(t.candBuf, candidate{id: it.ID, p: it.P})
+	}
+	return true
 }
 
 // collectCandidates retrieves the POIs that could displace p° given the
@@ -341,14 +469,15 @@ func (t *tilePlanning) collectCandidates(i int, s geom.Rect) []candidate {
 	}
 
 	// Extents r↑_j of the hypothetical regions.
-	ext := make([]float64, len(t.users))
+	t.ext = t.ext[:0]
 	for j, u := range t.users {
-		ext[j] = t.regions[j].MaxExtent(u)
+		e := t.regions[j].MaxExtent(u)
 		if j == i {
-			if v := s.MaxDist(u); v > ext[j] {
-				ext[j] = v
+			if v := s.MaxDist(u); v > e {
+				e = v
 			}
 		}
+		t.ext = append(t.ext, e)
 	}
 
 	if t.pl.opts.Aggregate == gnn.Max {
@@ -362,47 +491,19 @@ func (t *tilePlanning) collectCandidates(i int, s geom.Rect) []candidate {
 				dmax = v
 			}
 		}
-		bounds := make([]float64, len(t.users))
-		for j := range bounds {
-			bounds[j] = dmax + ext[j]
+		t.bounds = t.bounds[:0]
+		for _, e := range t.ext {
+			t.bounds = append(t.bounds, dmax+e)
 		}
-		t.pl.tree.PrunedSearch(
-			func(r geom.Rect) bool {
-				for j, u := range t.users {
-					if r.MinDist(u) > bounds[j] {
-						return false
-					}
-				}
-				return true
-			},
-			func(it rtree.Item) bool {
-				if it.ID != t.poID {
-					t.candBuf = append(t.candBuf, candidate{id: it.ID, p: it.P})
-				}
-				return true
-			},
-		)
+		t.pl.tree.PrunedSearchInto(t.rts, &t.maxQ)
 	} else {
 		// Theorem 6: prune p when Σ‖p,uj‖ > ‖p°,U‖sum + 2Σ r↑_j.
 		bound := t.poAgg
-		for _, e := range ext {
+		for _, e := range t.ext {
 			bound += 2 * e
 		}
-		t.pl.tree.PrunedSearch(
-			func(r geom.Rect) bool {
-				sum := 0.0
-				for _, u := range t.users {
-					sum += r.MinDist(u)
-				}
-				return sum <= bound
-			},
-			func(it rtree.Item) bool {
-				if it.ID != t.poID {
-					t.candBuf = append(t.candBuf, candidate{id: it.ID, p: it.P})
-				}
-				return true
-			},
-		)
+		t.sumQ.bound = bound
+		t.pl.tree.PrunedSearchInto(t.rts, &t.sumQ)
 	}
 	t.stats.CandidatesChecked += len(t.candBuf)
 	return t.candBuf

@@ -108,9 +108,15 @@ type tileSets struct {
 // those minima to evaluate max_{k≠a} in O(1)) gives the exact answer with
 // none of IT-Verify's exponential enumeration.
 func gtVerifyMax(ts tileSets, po, p geom.Point) bool {
+	return gtVerifyMaxInto(make([]float64, len(ts.users)), ts, po, p)
+}
+
+// gtVerifyMaxInto is gtVerifyMax with the per-user minima written into
+// caller-owned scratch (len(minDp) must equal len(ts.users)), so the hot
+// verification loop performs no allocations.
+func gtVerifyMaxInto(minDp []float64, ts tileSets, po, p geom.Point) bool {
 	m := len(ts.users)
 	// Per-user minimum dp.
-	minDp := make([]float64, m)
 	for k, tiles := range ts.users {
 		best := math.Inf(1)
 		for _, t := range tiles {
@@ -163,8 +169,16 @@ func gtVerifyMax(ts tileSets, po, p geom.Point) bool {
 // the Lemma 1 test applied per group. Exponential in the group size; used
 // by the ablation benchmark and as the test oracle for gtVerifyMax.
 func itVerifyMax(ts tileSets, po, p geom.Point) bool {
+	return itVerifyMaxInto(make([]int, len(ts.users)), ts, po, p)
+}
+
+// itVerifyMaxInto is itVerifyMax with the mixed-radix counter in
+// caller-owned scratch (len(idx) must equal len(ts.users)).
+func itVerifyMaxInto(idx []int, ts tileSets, po, p geom.Point) bool {
 	m := len(ts.users)
-	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = 0
+	}
 	const eps = 1e-12
 	for {
 		// Evaluate the current group.

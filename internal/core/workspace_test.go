@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mpn/internal/geom"
+	"mpn/internal/gnn"
+)
+
+// wsTestPOIs is a fixed random POI set shared by the workspace tests.
+func wsTestPOIs(n int, seed int64) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pois := make([]geom.Point, n)
+	for i := range pois {
+		pois[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	return pois
+}
+
+// wsTestGroup returns a clustered group of m users with random headings.
+func wsTestGroup(rng *rand.Rand, m int) ([]geom.Point, []Direction) {
+	base := geom.Pt(0.15+0.7*rng.Float64(), 0.15+0.7*rng.Float64())
+	users := make([]geom.Point, m)
+	dirs := make([]Direction, m)
+	for i := range users {
+		users[i] = geom.Pt(base.X+0.03*rng.Float64(), base.Y+0.03*rng.Float64())
+		dirs[i] = Direction{Angle: 2 * 3.14159 * rng.Float64()}
+	}
+	return users, dirs
+}
+
+// TestWorkspaceReuseDifferential asserts that TileMSRInto with a dirty,
+// heavily reused workspace produces plans (meeting point, regions, stats)
+// identical to computations on a fresh workspace, across both aggregates,
+// directed/undirected orderings, and buffered/unbuffered configurations.
+// The dirty workspace deliberately crosses configurations and group sizes
+// between trials, so stale scratch from one run shape cannot leak into
+// the next.
+func TestWorkspaceReuseDifferential(t *testing.T) {
+	pois := wsTestPOIs(3000, 7)
+	configs := []struct {
+		name string
+		mod  func(*Options)
+	}{
+		{"max-undirected-unbuffered", func(o *Options) {}},
+		{"max-directed-unbuffered", func(o *Options) { o.Directed = true }},
+		{"max-directed-buffered", func(o *Options) { o.Directed = true; o.Buffer = 50 }},
+		{"sum-undirected-unbuffered", func(o *Options) { o.Aggregate = gnn.Sum }},
+		{"sum-undirected-buffered", func(o *Options) { o.Aggregate = gnn.Sum; o.Buffer = 50 }},
+		{"sum-directed-buffered", func(o *Options) { o.Aggregate = gnn.Sum; o.Directed = true; o.Buffer = 50 }},
+	}
+	dirty := NewWorkspace()
+	rng := rand.New(rand.NewSource(11))
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			opts := DefaultOptions()
+			opts.TileLimit = 8
+			cfg.mod(&opts)
+			pl, err := NewPlanner(pois, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 6; trial++ {
+				users, dirs := wsTestGroup(rng, 2+trial%4)
+				if !opts.Directed {
+					dirs = nil
+				}
+				fresh, errF := pl.TileMSRInto(NewWorkspace(), users, dirs)
+				reused, errR := pl.TileMSRInto(dirty, users, dirs)
+				if (errF == nil) != (errR == nil) {
+					t.Fatalf("trial %d: fresh err %v, reused err %v", trial, errF, errR)
+				}
+				if !reflect.DeepEqual(fresh, reused) {
+					t.Errorf("trial %d (m=%d): reused workspace diverged\nfresh:  %+v\nreused: %+v",
+						trial, len(users), fresh, reused)
+				}
+				// Dirty the workspace further with an unrelated circle
+				// plan before the next trial.
+				if _, err := pl.CircleMSRInto(dirty, users[:1]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestCircleMSRIntoMatchesCircleMSR is the circle-method analog of the
+// differential test.
+func TestCircleMSRIntoMatchesCircleMSR(t *testing.T) {
+	pois := wsTestPOIs(2000, 9)
+	for _, agg := range []gnn.Aggregate{gnn.Max, gnn.Sum} {
+		opts := DefaultOptions()
+		opts.Aggregate = agg
+		pl, err := NewPlanner(pois, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := NewWorkspace()
+		rng := rand.New(rand.NewSource(13))
+		for trial := 0; trial < 5; trial++ {
+			users, _ := wsTestGroup(rng, 2+trial)
+			fresh, errF := pl.CircleMSR(users)
+			reused, errR := pl.CircleMSRInto(ws, users)
+			if errF != nil || errR != nil {
+				t.Fatalf("agg %v trial %d: errs %v / %v", agg, trial, errF, errR)
+			}
+			if !reflect.DeepEqual(fresh, reused) {
+				t.Errorf("agg %v trial %d: circle plans diverged", agg, trial)
+			}
+		}
+	}
+}
+
+// TestPlanDoesNotAliasWorkspace asserts that a returned plan survives
+// arbitrary workspace reuse: the regions of an earlier plan must not
+// change when the same workspace computes a different plan.
+func TestPlanDoesNotAliasWorkspace(t *testing.T) {
+	pois := wsTestPOIs(2000, 21)
+	opts := DefaultOptions()
+	opts.TileLimit = 8
+	opts.Buffer = 50
+	pl, err := NewPlanner(pois, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	rng := rand.New(rand.NewSource(23))
+	users, _ := wsTestGroup(rng, 3)
+	first, err := pl.TileMSRInto(ws, users, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot, err := pl.TileMSRInto(NewWorkspace(), users, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 4; trial++ {
+		others, _ := wsTestGroup(rng, 2+trial)
+		if _, err := pl.TileMSRInto(ws, others, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(first, snapshot) {
+		t.Error("plan mutated by later computations on the same workspace")
+	}
+}
+
+// TestTileMSRIntoSteadyStateAllocs gates the core planner's steady-state
+// allocation budget: after warm-up, one TileMSRInto on an owned workspace
+// may allocate only the exported plan regions (one header slice plus one
+// tile arena) and nothing else. This is the regression fence that keeps
+// future changes from silently re-introducing per-plan churn.
+func TestTileMSRIntoSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is perturbed by the race detector")
+	}
+	pois := wsTestPOIs(4000, 31)
+	opts := DefaultOptions()
+	opts.TileLimit = 10
+	opts.Directed = true
+	opts.Buffer = 50
+	pl, err := NewPlanner(pois, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWorkspace()
+	rng := rand.New(rand.NewSource(37))
+	users, dirs := wsTestGroup(rng, 3)
+	step := 0
+	locs := make([]geom.Point, len(users))
+	run := func() {
+		step++
+		jitter := 1e-5 * float64(step%5)
+		for i, u := range users {
+			locs[i] = geom.Pt(u.X+jitter, u.Y-jitter)
+		}
+		if _, err := pl.TileMSRInto(ws, locs, dirs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		run() // warm the workspace to its working size
+	}
+	allocs := testing.AllocsPerRun(100, run)
+	const budget = 4
+	if allocs > budget {
+		t.Errorf("steady-state TileMSRInto allocates %.1f/op, budget %d", allocs, budget)
+	}
+}

@@ -46,17 +46,36 @@ import (
 // be safe for concurrent use (core.Planner is).
 type PlanFunc func(users []geom.Point, dirs []core.Direction) (geom.Point, []core.SafeRegion, core.Stats, error)
 
+// PlanWSFunc is the workspace-aware variant of PlanFunc: the engine hands
+// it the calling goroutine's reusable core.Workspace, so steady-state
+// recomputations allocate only their returned regions. Implementations
+// must be safe for concurrent use with distinct workspaces.
+type PlanWSFunc func(ws *core.Workspace, users []geom.Point, dirs []core.Direction) (geom.Point, []core.SafeRegion, core.Stats, error)
+
 // PlannerFunc adapts a core.Planner to a PlanFunc: CircleMSR when circle
-// is set, TileMSR otherwise. It is the one place the Plan result shape is
-// unpacked for the engine.
+// is set, TileMSR otherwise. Each call borrows a pooled workspace; engines
+// should prefer PlannerWSFunc with NewWS, which reuses one workspace per
+// worker.
 func PlannerFunc(pl *core.Planner, circle bool) PlanFunc {
+	planWS := PlannerWSFunc(pl, circle)
 	return func(users []geom.Point, dirs []core.Direction) (geom.Point, []core.SafeRegion, core.Stats, error) {
+		ws := core.GetWorkspace()
+		defer core.PutWorkspace(ws)
+		return planWS(ws, users, dirs)
+	}
+}
+
+// PlannerWSFunc adapts a core.Planner to a PlanWSFunc: CircleMSRInto when
+// circle is set, TileMSRInto otherwise. It is the one place the Plan
+// result shape is unpacked for the engine.
+func PlannerWSFunc(pl *core.Planner, circle bool) PlanWSFunc {
+	return func(ws *core.Workspace, users []geom.Point, dirs []core.Direction) (geom.Point, []core.SafeRegion, core.Stats, error) {
 		var p core.Plan
 		var err error
 		if circle {
-			p, err = pl.CircleMSR(users)
+			p, err = pl.CircleMSRInto(ws, users)
 		} else {
-			p, err = pl.TileMSR(users, dirs)
+			p, err = pl.TileMSRInto(ws, users, dirs)
 		}
 		if err != nil {
 			return geom.Point{}, nil, core.Stats{}, err
@@ -251,7 +270,7 @@ func (sh *shard) close() {
 // Engine is the sharded concurrent group engine. All methods are safe for
 // concurrent use.
 type Engine struct {
-	plan      PlanFunc
+	plan      PlanWSFunc
 	opts      Options
 	shards    []*shard
 	nextID    atomic.Uint64
@@ -261,13 +280,29 @@ type Engine struct {
 
 	subMu sync.RWMutex
 	subs  map[*Subscription]struct{}
+	nsubs atomic.Int64 // len(subs), readable without subMu
 }
 
 // New builds an engine over the given plan function. The worker pool
-// starts lazily on the first Submit; Close releases it.
+// starts lazily on the first Submit; Close releases it. Workspace-aware
+// planners should use NewWS, which lets each worker reuse one
+// core.Workspace across recomputations.
 func New(plan PlanFunc, opts Options) *Engine {
 	if plan == nil {
 		panic("engine: nil PlanFunc")
+	}
+	return NewWS(func(_ *core.Workspace, users []geom.Point, dirs []core.Direction) (geom.Point, []core.SafeRegion, core.Stats, error) {
+		return plan(users, dirs)
+	}, opts)
+}
+
+// NewWS builds an engine over a workspace-aware plan function: each shard
+// worker owns one long-lived core.Workspace reused across all its
+// recomputations, and the synchronous Register/Update paths borrow one
+// from the core pool, so steady-state planning is allocation-free.
+func NewWS(plan PlanWSFunc, opts Options) *Engine {
+	if plan == nil {
+		panic("engine: nil PlanWSFunc")
 	}
 	opts = opts.withDefaults()
 	e := &Engine{
@@ -317,7 +352,9 @@ func (e *Engine) RegisterTag(users []geom.Point, dirs []core.Direction, tag any)
 	if len(users) == 0 {
 		return 0, ErrNoUsers
 	}
-	meeting, regions, stats, err := e.plan(users, dirs)
+	ws := core.GetWorkspace()
+	meeting, regions, stats, err := e.plan(ws, users, dirs)
+	core.PutWorkspace(ws)
 	if err != nil {
 		return 0, err
 	}
@@ -334,10 +371,12 @@ func (e *Engine) RegisterTag(users []geom.Point, dirs []core.Direction, tag any)
 	}
 	sh.groups[id] = st
 	sh.mu.Unlock()
-	e.emit(Notification{
-		Group: id, Seq: 1, Meeting: meeting, Regions: regions,
-		Stats: stats, Coalesced: 1, Changed: true, Tag: tag,
-	})
+	if e.hasSubscribers() {
+		e.emit(Notification{
+			Group: id, Seq: 1, Meeting: meeting, Regions: regions,
+			Stats: stats, Coalesced: 1, Changed: true, Tag: tag,
+		})
+	}
 	return id, nil
 }
 
@@ -450,7 +489,9 @@ func (e *Engine) Update(id GroupID, users []geom.Point, dirs []core.Direction) e
 	st.mu.Lock()
 	superseded := st.pending
 	st.mu.Unlock()
-	meeting, regions, stats, err := e.plan(users, dirs)
+	ws := core.GetWorkspace()
+	meeting, regions, stats, err := e.plan(ws, users, dirs)
+	core.PutWorkspace(ws)
 	if err != nil {
 		return err
 	}
@@ -468,21 +509,29 @@ func (e *Engine) Update(id GroupID, users []geom.Point, dirs []core.Direction) e
 	st.regions = regions
 	st.stats.Add(stats)
 	st.seq++
-	n := Notification{
-		Group: st.id, Seq: st.seq, Meeting: meeting, Regions: regions,
-		Stats: stats, Coalesced: covered, Changed: changed,
+	// Assemble the notification only when someone is listening: the
+	// zero-subscriber steady state pays for the recomputation alone.
+	emit := !st.removed && e.hasSubscribers()
+	var n Notification
+	if emit {
+		n = Notification{
+			Group: st.id, Seq: st.seq, Meeting: meeting, Regions: regions,
+			Stats: stats, Coalesced: covered, Changed: changed,
+		}
 	}
-	removed := st.removed
 	st.mu.Unlock()
-	if !removed {
+	if emit {
 		e.emit(n)
 	}
 	return nil
 }
 
-// worker drains one shard's run queue.
+// worker drains one shard's run queue. Each worker owns one long-lived
+// workspace, reused across every recomputation it performs, so a warm
+// worker plans without allocating scratch.
 func (e *Engine) worker(sh *shard) {
 	defer e.wg.Done()
+	ws := core.NewWorkspace()
 	for {
 		st := sh.pop()
 		if st == nil {
@@ -502,17 +551,19 @@ func (e *Engine) worker(sh *shard) {
 		st.running = true
 		st.mu.Unlock()
 
-		meeting, regions, stats, err := e.plan(up.users, up.dirs)
+		meeting, regions, stats, err := e.plan(ws, up.users, up.dirs)
 
 		st.mu.Lock()
 		var n Notification
-		emit := !st.removed
+		emit := !st.removed && e.hasSubscribers()
 		if err != nil {
 			// Keep the previous plan (and its Seq); surface the failure.
-			n = Notification{
-				Group: st.id, Seq: st.seq, Meeting: st.meeting,
-				Regions: st.regions, Coalesced: up.count, Err: err,
-				Tag: up.tag,
+			if emit {
+				n = Notification{
+					Group: st.id, Seq: st.seq, Meeting: st.meeting,
+					Regions: st.regions, Coalesced: up.count, Err: err,
+					Tag: up.tag,
+				}
 			}
 		} else {
 			changed := meeting != st.meeting
@@ -520,10 +571,12 @@ func (e *Engine) worker(sh *shard) {
 			st.regions = regions
 			st.stats.Add(stats)
 			st.seq++
-			n = Notification{
-				Group: st.id, Seq: st.seq, Meeting: meeting,
-				Regions: regions, Stats: stats, Coalesced: up.count,
-				Changed: changed, Tag: up.tag,
+			if emit {
+				n = Notification{
+					Group: st.id, Seq: st.seq, Meeting: meeting,
+					Regions: regions, Stats: stats, Coalesced: up.count,
+					Changed: changed, Tag: up.tag,
+				}
 			}
 		}
 		requeue := st.pending != nil && !st.removed
@@ -561,6 +614,7 @@ func (e *Engine) Subscribe(buffer int) *Subscription {
 		return s
 	}
 	e.subs[s] = struct{}{}
+	e.nsubs.Store(int64(len(e.subs)))
 	e.subMu.Unlock()
 	return s
 }
@@ -568,8 +622,17 @@ func (e *Engine) Subscribe(buffer int) *Subscription {
 func (e *Engine) unsubscribe(s *Subscription) {
 	e.subMu.Lock()
 	delete(e.subs, s)
+	e.nsubs.Store(int64(len(e.subs)))
 	e.subMu.Unlock()
 }
+
+// hasSubscribers reports whether any subscription is attached, without
+// taking subMu. Recomputation paths consult it before assembling a
+// Notification: with no listeners the payload is never built or copied. A
+// subscription attached concurrently with an in-flight recomputation may
+// miss that one notification — the stream is already lossy by design
+// (sends never block and drop on full buffers).
+func (e *Engine) hasSubscribers() bool { return e.nsubs.Load() > 0 }
 
 // emit fans a notification out to every subscriber without blocking.
 func (e *Engine) emit(n Notification) {
@@ -699,5 +762,6 @@ func (e *Engine) Close() {
 		delete(e.subs, s)
 		s.once.Do(func() { close(s.ch) })
 	}
+	e.nsubs.Store(0)
 	e.subMu.Unlock()
 }

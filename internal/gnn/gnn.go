@@ -82,25 +82,62 @@ type Result struct {
 	Dist float64
 }
 
+// Scratch carries the reusable state of one goroutine's GNN searches: the
+// R-tree traversal scratch (shared with any other index searches the
+// caller performs) and the query object passed to the best-first
+// traversal. The zero value is ready to use. Not safe for concurrent use.
+type Scratch struct {
+	// RTree is the underlying index traversal scratch; callers may share
+	// it with their own rtree searches between TopKInto calls.
+	RTree rtree.Scratch
+
+	q topkQuery
+}
+
+// topkQuery implements rtree.BestFirstQuery for the aggregate top-k
+// search. It lives in the Scratch so the traversal performs no per-call
+// closure or interface allocations.
+type topkQuery struct {
+	users  []geom.Point
+	agg    Aggregate
+	target int // stop once len(out) reaches this
+	out    []Result
+}
+
+func (q *topkQuery) NodeLB(r geom.Rect) float64     { return q.agg.RectLowerBound(r, q.users) }
+func (q *topkQuery) ItemDist(it rtree.Item) float64 { return q.agg.PointDist(it.P, q.users) }
+func (q *topkQuery) Visit(it rtree.Item, d float64) bool {
+	q.out = append(q.out, Result{Item: it, Dist: d})
+	return len(q.out) < q.target
+}
+
+// TopKInto is TopK appending into the caller-owned slice out (typically
+// workspace memory truncated to zero length) and returning it, with all
+// traversal state drawn from s. After out and s have grown to the
+// query's working size, repeated searches allocate nothing.
+func TopKInto(t *rtree.Tree, s *Scratch, users []geom.Point, agg Aggregate, k int, out []Result) []Result {
+	if k <= 0 || len(users) == 0 {
+		return out
+	}
+	s.q = topkQuery{users: users, agg: agg, target: len(out) + k, out: out}
+	t.BestFirstInto(&s.RTree, &s.q)
+	out = s.q.out
+	s.q.users, s.q.out = nil, nil // drop references to caller memory
+	return out
+}
+
 // TopK returns the k best meeting points for users under the aggregate,
 // in increasing aggregate-distance order. Fewer than k results are
 // returned only when the tree holds fewer than k points. TopK(…, 1)[0] is
 // the optimal meeting point p° of Definition 2 / Definition 8, and
 // TopK(…, 2)[1] is the runner-up needed by Circle-MSR (Algorithm 1).
+// Hot paths reuse a Scratch via TopKInto instead.
 func TopK(t *rtree.Tree, users []geom.Point, agg Aggregate, k int) []Result {
 	if k <= 0 || len(users) == 0 {
 		return nil
 	}
-	out := make([]Result, 0, k)
-	t.BestFirst(
-		func(r geom.Rect) float64 { return agg.RectLowerBound(r, users) },
-		func(it rtree.Item) float64 { return agg.PointDist(it.P, users) },
-		func(it rtree.Item, d float64) bool {
-			out = append(out, Result{Item: it, Dist: d})
-			return len(out) < k
-		},
-	)
-	return out
+	var s Scratch
+	return TopKInto(t, &s, users, agg, k, make([]Result, 0, k))
 }
 
 // BruteTopK computes TopK by exhaustive scan. It is the reference

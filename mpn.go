@@ -54,7 +54,7 @@ type Subscription = engine.Subscription
 type Server struct {
 	cfg     config
 	planner *core.Planner
-	plan    engine.PlanFunc
+	planWS  engine.PlanWSFunc
 	engine  *engine.Engine
 }
 
@@ -76,9 +76,9 @@ func NewServer(pois []Point, opts ...Option) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		planner: planner,
-		plan:    engine.PlannerFunc(planner, cfg.method == Circle),
+		planWS:  engine.PlannerWSFunc(planner, cfg.method == Circle),
 	}
-	s.engine = engine.New(s.plan, engine.Options{
+	s.engine = engine.NewWS(s.planWS, engine.Options{
 		Shards: cfg.shards, Workers: cfg.workers, QueueDepth: cfg.queueDepth,
 	})
 	return s, nil
@@ -117,12 +117,16 @@ func (s *Server) Subscribe(buffer int) *Subscription {
 func (s *Server) Close() { s.engine.Close() }
 
 // Plan computes a one-shot meeting point and safe regions without creating
-// a group. It is the stateless core of Register/Update.
+// a group. It is the stateless core of Register/Update; scratch state is
+// borrowed from the planning workspace pool, so repeated calls reach a
+// steady state of a few allocations per plan (just the returned regions).
 func (s *Server) Plan(users []Point, dirs []Direction) (Point, []SafeRegion, Stats, error) {
 	if len(users) == 0 {
 		return Point{}, nil, Stats{}, ErrNoGroup
 	}
-	return s.plan(users, dirs)
+	ws := core.GetWorkspace()
+	defer core.PutWorkspace(ws)
+	return s.planWS(ws, users, dirs)
 }
 
 // Group is one monitored user group: a handle over the server engine's
@@ -201,8 +205,9 @@ func (g *Group) Stats() Stats {
 	return g.server.engine.Stats(g.id)
 }
 
-// EncodeRegion serializes a safe region for transmission: 24 bytes for a
-// circle, the compact tile codec otherwise. DecodeRegion reverses it.
+// EncodeRegion serializes a safe region for transmission: 25 bytes for a
+// circle (1 tag byte + 3 little-endian float64s), the compact tile codec
+// otherwise. DecodeRegion reverses it.
 func EncodeRegion(r SafeRegion) []byte {
 	if r.Kind == core.KindCircle {
 		buf := make([]byte, 0, 25)

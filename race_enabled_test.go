@@ -1,0 +1,7 @@
+//go:build race
+
+package mpn
+
+// raceEnabled lets allocation-budget tests skip under the race detector,
+// whose instrumentation perturbs allocation accounting.
+const raceEnabled = true
