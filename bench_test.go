@@ -256,3 +256,39 @@ func BenchmarkSteadyStateUpdate(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSteadyStateUpdateIncremental is BenchmarkSteadyStateUpdate on
+// a WithIncremental server: the identical jittered report stream leaves
+// every member inside her retained region, so each update pays only the
+// result-set recomputation and the containment re-verification instead
+// of regrowing all regions — the paper's claim that most reports should
+// cost next to nothing, measured end to end.
+func BenchmarkSteadyStateUpdateIncremental(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pois := make([]Point, 21287)
+	for i := range pois {
+		pois[i] = Pt(rng.Float64(), rng.Float64())
+	}
+	server, err := NewServer(pois, WithIncremental())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer server.Close()
+	users := []Point{Pt(0.5, 0.5), Pt(0.51, 0.52), Pt(0.49, 0.53)}
+	group, err := server.Register(users, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	locs := make([]Point, len(users))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jitter := 1e-5 * float64(i%7)
+		for j, u := range users {
+			locs[j] = Pt(u.X+jitter, u.Y-jitter)
+		}
+		if err := group.Update(locs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+// Command benchgate is the benchmark-regression gate: it compares a
+// freshly produced cmd/mpnbench -json report against the committed
+// baseline (BENCH_plan.json) and exits non-zero when any series
+// regresses beyond tolerance — more than -tol relative ns/op increase
+// (default 0.25), or any allocs/op increase at all (allocation counts
+// are deterministic, so even +1 is a real regression).
+//
+// The baseline is typically produced on a different machine than the
+// gate run (a developer box vs a CI runner), so raw ns/op ratios mostly
+// measure hardware. With -normalize (the default) every per-series ratio
+// is divided by the median of all ratios first: a uniformly slower
+// machine scales every series alike and normalizes away, while a
+// regression in one code path sticks out against the others. The median
+// (rather than a mean) keeps a large genuine improvement or regression
+// in a minority of series from dragging the scale and flagging the
+// untouched majority. The remaining blind spot is a uniform shift in
+// code shared by every series, which normalization would also cancel —
+// so the scale itself is bounded, symmetrically: deviating from 1 by
+// more than -warn-scale in either direction prints a loud warning, more
+// than -max-scale fails (hardware accounts for a few ×; more than that
+// is the code, or a baseline overdue for a refresh). Disable
+// normalization (-normalize=false) when baseline and current come from
+// the same machine. The allocs/op half of the gate is
+// machine-independent and always exact.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_plan.json -current bench_current.json [-tol 0.25]
+//
+// Series are matched by (name, group_size). A series present in the
+// baseline but missing from the current report fails the gate (coverage
+// must not silently shrink); a series only in the current report is
+// reported but passes (it has no baseline yet — refresh the baseline to
+// start gating it).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"mpn/internal/benchfmt"
+)
+
+type key struct {
+	name string
+	m    int
+}
+
+func load(path string) (map[key]benchfmt.Series, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r benchfmt.Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[key]benchfmt.Series, len(r.Series))
+	for _, s := range r.Series {
+		out[key{s.Name, s.GroupSize}] = s
+	}
+	return out, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_plan.json", "committed baseline report")
+	currentPath := flag.String("current", "", "freshly produced report to gate")
+	tol := flag.Float64("tol", 0.25, "maximum tolerated relative ns/op regression")
+	normalize := flag.Bool("normalize", true, "divide ns/op ratios by their median to cancel uniform machine-speed differences")
+	warnScale := flag.Float64("warn-scale", 1.5, "warn when the machine-speed scale (or its inverse) exceeds this — a uniform shift could be hiding in the normalization")
+	maxScale := flag.Float64("max-scale", 3.0, "fail when the machine-speed scale (or its inverse) exceeds this — a uniform shift that large is the code or a stale baseline, not hardware")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	// Machine-speed scale: the median of cur/base ns ratios over the
+	// series present in both reports. 1.0 when not normalizing.
+	scale := 1.0
+	if *normalize {
+		var ratios []float64
+		for k, base := range baseline {
+			if cur, ok := current[k]; ok && base.NsPerOp > 0 && cur.NsPerOp > 0 {
+				ratios = append(ratios, cur.NsPerOp/base.NsPerOp)
+			}
+		}
+		if len(ratios) > 0 {
+			sort.Float64s(ratios)
+			mid := len(ratios) / 2
+			if len(ratios)%2 == 1 {
+				scale = ratios[mid]
+			} else {
+				scale = (ratios[mid-1] + ratios[mid]) / 2
+			}
+		}
+		fmt.Printf("machine-speed scale (median cur/base): %.3f — deltas below are relative to it\n", scale)
+	}
+
+	failures := 0
+	if dev := math.Max(scale, 1/scale); dev > *maxScale {
+		fmt.Printf("FAIL: scale %.2f deviates from 1 beyond -max-scale %.2f — most series shifted together; that is the code (or a stale baseline), not the runner\n",
+			scale, *maxScale)
+		failures++
+	} else if dev > *warnScale {
+		fmt.Printf("WARNING: scale %.2f deviates from 1 beyond -warn-scale %.2f — a uniform shift could be hiding in the normalization; compare on matching hardware or refresh the baseline\n",
+			scale, *warnScale)
+	}
+	fmt.Printf("%-22s %3s  %14s %14s %8s  %s\n",
+		"series", "m", "base ns/op", "cur ns/op", "delta", "allocs base→cur")
+	for _, base := range sortedSeries(baseline) {
+		k := key{base.Name, base.GroupSize}
+		cur, ok := current[k]
+		if !ok {
+			fmt.Printf("%-22s %3d  MISSING from current report\n", base.Name, base.GroupSize)
+			failures++
+			continue
+		}
+		delta := 0.0
+		if base.NsPerOp > 0 {
+			delta = cur.NsPerOp/base.NsPerOp/scale - 1
+		}
+		verdict := ""
+		if delta > *tol {
+			verdict = fmt.Sprintf("  FAIL ns/op +%.0f%% > %.0f%%", 100*delta, 100**tol)
+			failures++
+		}
+		if cur.AllocsPerOp > base.AllocsPerOp {
+			verdict += fmt.Sprintf("  FAIL allocs/op %d→%d", base.AllocsPerOp, cur.AllocsPerOp)
+			failures++
+		}
+		fmt.Printf("%-22s %3d  %14.0f %14.0f %+7.1f%%  %d→%d%s\n",
+			base.Name, base.GroupSize, base.NsPerOp, cur.NsPerOp, 100*delta,
+			base.AllocsPerOp, cur.AllocsPerOp, verdict)
+	}
+	for _, cur := range sortedSeries(current) {
+		if _, ok := baseline[key{cur.Name, cur.GroupSize}]; !ok {
+			fmt.Printf("%-22s %3d  new series (no baseline; refresh BENCH_plan.json to gate it)\n",
+				cur.Name, cur.GroupSize)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("\nbenchgate: %d regression(s) beyond tolerance\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchgate: all series within tolerance")
+}
+
+// sortedSeries returns the map's series in a stable name-then-size order.
+func sortedSeries(m map[key]benchfmt.Series) []benchfmt.Series {
+	out := make([]benchfmt.Series, 0, len(m))
+	for _, s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].GroupSize < out[j].GroupSize
+	})
+	return out
+}

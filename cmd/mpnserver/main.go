@@ -58,6 +58,7 @@ func main() {
 	shards := flag.Int("shards", 0, "engine registry shards (0 = GOMAXPROCS)")
 	workers := flag.Int("workers", 0, "recompute workers per shard (0 = 1)")
 	queue := flag.Int("queue", 0, "per-shard work queue depth (0 = 1024)")
+	incremental := flag.Bool("incremental", false, "incremental safe-region maintenance: keep retained regions and regrow only what a report invalidates")
 	flag.Parse()
 
 	pois, err := loadPOIs(*poiPath, *n, *seed)
@@ -68,7 +69,8 @@ func main() {
 		pois: pois, method: *method, agg: *agg,
 		alpha: *alpha, buffer: *buffer,
 		shards: *shards, workers: *workers, queue: *queue,
-		logger: log.Default(),
+		incremental: *incremental,
+		logger:      log.Default(),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -80,8 +82,12 @@ func main() {
 		log.Fatal(err)
 	}
 	eo := srv.eng.Options()
-	log.Printf("serving %d POIs with %s/%s on %s (%d shards × %d workers)",
-		len(pois), *method, *agg, ln.Addr(), eo.Shards, eo.Workers)
+	mode := "full-replan"
+	if *incremental {
+		mode = "incremental"
+	}
+	log.Printf("serving %d POIs with %s/%s on %s (%d shards × %d workers, %s)",
+		len(pois), *method, *agg, ln.Addr(), eo.Shards, eo.Workers, mode)
 	if err := srv.serve(ln); err != nil {
 		log.Fatal(err)
 	}
@@ -94,6 +100,7 @@ type serverConfig struct {
 	method, agg            string
 	alpha, buffer          int
 	shards, workers, queue int
+	incremental            bool
 	logger                 *log.Logger
 }
 
@@ -138,10 +145,14 @@ func newServer(cfg serverConfig) (*server, error) {
 	if cfg.logger == nil {
 		cfg.logger = log.New(os.Stderr, "", 0)
 	}
+	eopts := engine.Options{
+		Shards: cfg.shards, Workers: cfg.workers, QueueDepth: cfg.queue,
+	}
+	if cfg.incremental {
+		eopts.Replan = engine.PlannerIncFunc(planner, cfg.method == "circle")
+	}
 	s := &server{
-		eng: engine.NewWS(plan, engine.Options{
-			Shards: cfg.shards, Workers: cfg.workers, QueueDepth: cfg.queue,
-		}),
+		eng:         engine.NewWS(plan, eopts),
 		logger:      cfg.logger,
 		gidToEngine: map[uint32]engine.GroupID{},
 		engineToGid: map[engine.GroupID]uint32{},

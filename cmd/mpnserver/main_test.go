@@ -69,8 +69,16 @@ func (u *e2eUser) waitNotify(t *testing.T) geom.Point {
 // TestEndToEndTCP drives the full engine-backed server over loopback TCP:
 // a group registers, one member escapes her safe region and reports, and
 // every member receives a recomputed meeting point with a re-encoded safe
-// region that contains her fresh location.
+// region that contains her fresh location. It runs twice: against the
+// default full-replan server and against -incremental maintenance (the
+// recomputed meeting point must match an independent planner run either
+// way, because the incremental path recomputes the result set fresh).
 func TestEndToEndTCP(t *testing.T) {
+	t.Run("full", func(t *testing.T) { testEndToEndTCP(t, false) })
+	t.Run("incremental", func(t *testing.T) { testEndToEndTCP(t, true) })
+}
+
+func testEndToEndTCP(t *testing.T, incremental bool) {
 	rng := rand.New(rand.NewSource(7))
 	pois := make([]geom.Point, 800)
 	for i := range pois {
@@ -79,7 +87,8 @@ func TestEndToEndTCP(t *testing.T) {
 	srv, err := newServer(serverConfig{
 		pois: pois, method: "tiled", agg: "max",
 		alpha: 5, buffer: 20, shards: 2, workers: 1,
-		logger: log.New(io.Discard, "", 0),
+		incremental: incremental,
+		logger:      log.New(io.Discard, "", 0),
 	})
 	if err != nil {
 		t.Fatal(err)

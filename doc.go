@@ -80,8 +80,44 @@
 //
 // cmd/mpnbench's -json mode benchmarks this path (planner kernel and
 // engine update, swept over group size) and writes the ns/op, throughput,
-// and allocs/op series to BENCH_plan.json — the committed baseline for
-// comparing future changes.
+// and allocs/op series to BENCH_plan.json — the committed baseline that
+// cmd/benchgate enforces in CI (a series failing by more than 25% ns/op,
+// or allocating more, fails the build).
+//
+// # Incremental vs full replanning
+//
+// By default every report recomputes the whole plan: a fresh result set
+// and fresh regions for all m members. WithIncremental turns on
+// incremental maintenance, the protocol the paper's independent safe
+// regions exist for. The server retains each group's last plan; on a
+// report it recomputes the result set (one GNN traversal — the
+// irreducible cost of knowing whether the optimum moved) and then:
+//
+//   - Result set unchanged, every member still inside her region: the
+//     whole retained plan stands (Notification.Outcome = ReplanKept).
+//     Nothing is regrown; subscribers receive the retained regions
+//     unchanged. (The wire protocol still encodes every region on every
+//     notification — region deltas are listed in ROADMAP.md as future
+//     work.)
+//   - Result set unchanged, some members escaped: only the escapees'
+//     regions are regrown, verified against the other members' retained
+//     regions (ReplanPartial). The clean majority stays silent.
+//   - Result set churned (or the retained regions leave an escapee no
+//     room): full replan (ReplanFull).
+//
+// Incremental and full plans are equivalent — both are valid safe-region
+// sets for the same optimal meeting point, so correctness is unaffected —
+// but not byte-identical: a retained region was grown around an older
+// location, so a full replan at the current locations would shape it
+// differently. Plans produced on the ReplanFull path are byte-identical
+// to what the non-incremental server would compute. Group.UpdateFull
+// (synchronous) and Group.SubmitUpdateFull (asynchronous) are the escape
+// hatch that forces the full path for one update, e.g. to hand a
+// rejoining client fresh regions; the forced-full demand survives
+// submission coalescing. In the
+// steady-state benchmark the kept path turns a multi-millisecond
+// recomputation into ~10µs, and a single escaping member costs a regrow
+// of one region instead of m.
 //
 // The internal packages implement the full substrate from scratch: an
 // R-tree (internal/rtree), top-k group nearest neighbor search

@@ -1,0 +1,32 @@
+// Package benchfmt defines the machine-readable benchmark report format
+// shared by its producer (cmd/mpnbench -json, committed as
+// BENCH_plan.json) and its consumer (cmd/benchgate), so the schema
+// cannot silently drift between the two: a field rename that decoded to
+// a zero value on one side would otherwise disable the gate for that
+// field without any error.
+package benchfmt
+
+// Series is one benchmark series: a named measurement at one group size.
+type Series struct {
+	// Name identifies the measured path: "plan" (planner kernel, owned
+	// workspace), "update" (engine synchronous recomputation),
+	// "update_inc" (incremental engine, in-region jitter: the kept-plan
+	// fast path), or "update_escape"/"update_inc_escape" (one member
+	// oscillating out of her region, full-replan vs incremental engine).
+	Name        string  `json:"name"`
+	GroupSize   int     `json:"group_size"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the full benchmark report with its workload parameters.
+type Report struct {
+	Description string   `json:"description"`
+	GoMaxProcs  int      `json:"gomaxprocs"`
+	POIs        int      `json:"pois"`
+	TileLimit   int      `json:"tile_limit"`
+	Buffer      int      `json:"buffer"`
+	Series      []Series `json:"series"`
+}

@@ -48,17 +48,41 @@ func (pl *Planner) TileMSRInto(ws *Workspace, users []geom.Point, dirs []Directi
 	}
 
 	var plan Plan
-	k := 2
-	if pl.opts.Buffer > 0 {
-		k = pl.opts.Buffer + 1
-		if k < 2 {
-			k = 2
-		}
-	}
-	ws.topk = gnn.TopKInto(pl.tree, &ws.gnn, users, pl.opts.Aggregate, k, ws.topk[:0])
-	top := ws.topk
+	ws.topk = gnn.TopKInto(pl.tree, &ws.gnn, users, pl.opts.Aggregate, pl.topK(), ws.topk[:0])
 	plan.Stats.GNNCalls++
-	plan.Best = top[0]
+	plan.Best = ws.topk[0]
+	pl.growTiles(ws, &plan, users, dirs, ws.topk, nil, nil)
+	return plan, nil
+}
+
+// topK is the GNN depth of one tile computation: the runner-up for the
+// safe-radius bound, or the best b+1 when buffering is enabled.
+func (pl *Planner) topK() int {
+	if pl.opts.Buffer > 0 && pl.opts.Buffer+1 > 2 {
+		return pl.opts.Buffer + 1
+	}
+	return 2
+}
+
+// growTiles grows tile-based safe regions over the already-retrieved
+// top-k GNN result and exports them into plan.
+//
+// With a nil dirty mask every user's region is grown from scratch — the
+// full Tile-MSR of Algorithm 3. With a mask, only users marked dirty are
+// grown: each clean user i keeps retained[i]'s tiles verbatim, and every
+// hypothetical group of the verification step is formed against those
+// retained tiles, so each accepted tile is verified against the mixed
+// region set. Unlike the full run, a dirty user's seed tile is not
+// inserted unconditionally: Theorem 1 justifies the unverified seed only
+// when every region's extent is bounded by the fresh safe radius, which
+// retained regions need not satisfy, so the seed is submitted to
+// Divide-Verify like any other tile. Note that with several dirty users
+// the earliest seeds are accepted vacuously — while a later dirty user's
+// set is still empty, no complete tile group exists, and both verifiers
+// report safe — so a tile's own acceptance check does NOT by itself
+// cover all groups the final region set forms through it; soundness is
+// transitive (see TileMSRIncInto for the full argument).
+func (pl *Planner) growTiles(ws *Workspace, plan *Plan, users []geom.Point, dirs []Direction, top []gnn.Result, retained []SafeRegion, dirty []bool) {
 	rmax := pl.circleRadius(users, top)
 
 	t := &ws.tp
@@ -66,13 +90,26 @@ func (pl *Planner) TileMSRInto(ws *Workspace, users []geom.Point, dirs []Directi
 
 	// Degenerate case: a tie for the optimum leaves no safe radius. Each
 	// user gets a point region; the next movement triggers an update.
+	// (Incremental callers fall back to a full replan before reaching
+	// here, so dirty is always nil on this path.)
 	if rmax <= 0 {
 		for i, u := range users {
 			t.regions[i].Tiles = append(t.regions[i].Tiles, geom.Rect{Min: u, Max: u})
 		}
 		plan.Regions = exportTiles(t.regions)
 		t.release()
-		return plan, nil
+		return
+	}
+
+	// Seed clean users' regions with their retained tiles before any
+	// verification, so hypothetical groups and the lazily-built Sum memo
+	// tables see the mixed region set from the start.
+	if dirty != nil {
+		for i := range users {
+			if !dirty[i] {
+				t.regions[i].Tiles = append(t.regions[i].Tiles, retained[i].Tiles...)
+			}
+		}
 	}
 
 	if pl.opts.Buffer > 0 {
@@ -84,8 +121,20 @@ func (pl *Planner) TileMSRInto(ws *Workspace, users []geom.Point, dirs []Directi
 		t.resetSumMemo(len(users))
 	}
 	orderings := ws.resizeOrderings(len(users))
+	live := 0
+	exhausted := ws.resizeExhausted(len(users))
 	for i, u := range users {
-		t.addTile(i, geom.RectAround(u, delta)) // seed: inscribed square of the rmax circle
+		if dirty != nil && !dirty[i] {
+			exhausted[i] = true
+			continue
+		}
+		live++
+		seed := geom.RectAround(u, delta)
+		if dirty == nil {
+			t.addTile(i, seed) // seed: inscribed square of the rmax circle
+		} else {
+			t.divideVerify(i, seed, pl.opts.SplitLevel)
+		}
 		var heading, theta float64 = 0, pl.opts.Theta
 		if dirs != nil {
 			heading = dirs[i].Angle
@@ -97,8 +146,6 @@ func (pl *Planner) TileMSRInto(ws *Workspace, users []geom.Point, dirs []Directi
 	}
 
 	// Round-robin growth, α rounds (lines 5–11 of Algorithm 3).
-	live := len(users)
-	exhausted := ws.resizeExhausted(len(users))
 	for round := 0; round < pl.opts.TileLimit && live > 0; round++ {
 		for i := range users {
 			if exhausted[i] {
@@ -121,7 +168,6 @@ func (pl *Planner) TileMSRInto(ws *Workspace, users []geom.Point, dirs []Directi
 
 	plan.Regions = exportTiles(t.regions)
 	t.release()
-	return plan, nil
 }
 
 // tilePlanning is the per-computation state of one Tile-MSR run. It lives

@@ -176,6 +176,15 @@ func itVerifyMax(ts tileSets, po, p geom.Point) bool {
 // caller-owned scratch (len(idx) must equal len(ts.users)).
 func itVerifyMaxInto(idx []int, ts tileSets, po, p geom.Point) bool {
 	m := len(ts.users)
+	// A user with no tiles yet means no complete tile group exists:
+	// vacuously safe, matching gtVerifyMax (whose per-user minimum over
+	// the empty set is +Inf). The incremental partial regrow reaches this
+	// state while seeding the first of several dirty users.
+	for _, tiles := range ts.users {
+		if len(tiles) == 0 {
+			return true
+		}
+	}
 	for i := range idx {
 		idx[i] = 0
 	}

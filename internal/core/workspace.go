@@ -33,6 +33,7 @@ type Workspace struct {
 
 	orderings []tileOrdering
 	exhausted []bool
+	dirty     []bool
 }
 
 // NewWorkspace returns an empty workspace. Long-lived computation loops
@@ -78,6 +79,13 @@ func (ws *Workspace) resizeExhausted(m int) []bool {
 		ws.exhausted[i] = false
 	}
 	return ws.exhausted
+}
+
+// resizeDirty returns the workspace's dirty-user mask sized to m; the
+// incremental planner writes every element before reading.
+func (ws *Workspace) resizeDirty(m int) []bool {
+	ws.dirty = grown(ws.dirty, m)
+	return ws.dirty
 }
 
 // exportTiles deep-copies the scratch regions into exactly two fresh

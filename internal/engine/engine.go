@@ -52,6 +52,15 @@ type PlanFunc func(users []geom.Point, dirs []core.Direction) (geom.Point, []cor
 // must be safe for concurrent use with distinct workspaces.
 type PlanWSFunc func(ws *core.Workspace, users []geom.Point, dirs []core.Direction) (geom.Point, []core.SafeRegion, core.Stats, error)
 
+// ReplanWSFunc is the incremental variant of PlanWSFunc: the engine
+// additionally hands it the group's retained core.PlanState, which the
+// implementation reads to decide how much of the previous plan survives
+// the update and overwrites with the fresh plan. The engine serializes
+// calls per group (each group's state is guarded by its replan lock), so
+// implementations may mutate st freely; they must be safe for concurrent
+// use across groups with distinct workspaces and states.
+type ReplanWSFunc func(ws *core.Workspace, st *core.PlanState, users []geom.Point, dirs []core.Direction) (geom.Point, []core.SafeRegion, core.Stats, core.IncOutcome, error)
+
 // PlannerFunc adapts a core.Planner to a PlanFunc: CircleMSR when circle
 // is set, TileMSR otherwise. Each call borrows a pooled workspace; engines
 // should prefer PlannerWSFunc with NewWS, which reuses one workspace per
@@ -84,6 +93,27 @@ func PlannerWSFunc(pl *core.Planner, circle bool) PlanWSFunc {
 	}
 }
 
+// PlannerIncFunc adapts a core.Planner to a ReplanWSFunc:
+// CircleMSRIncInto when circle is set, TileMSRIncInto otherwise. Wire it
+// into Options.Replan to give the engine incremental safe-region
+// maintenance.
+func PlannerIncFunc(pl *core.Planner, circle bool) ReplanWSFunc {
+	return func(ws *core.Workspace, st *core.PlanState, users []geom.Point, dirs []core.Direction) (geom.Point, []core.SafeRegion, core.Stats, core.IncOutcome, error) {
+		var p core.Plan
+		var out core.IncOutcome
+		var err error
+		if circle {
+			p, out, err = pl.CircleMSRIncInto(ws, st, users)
+		} else {
+			p, out, err = pl.TileMSRIncInto(ws, st, users, dirs)
+		}
+		if err != nil {
+			return geom.Point{}, nil, core.Stats{}, out, err
+		}
+		return p.Best.Item.P, p.Regions, p.Stats, out, nil
+	}
+}
+
 // GroupID identifies a registered group.
 type GroupID uint64
 
@@ -110,6 +140,13 @@ type Options struct {
 	// transport. Coalescing keeps at most one entry per group, so a depth
 	// of at least the shard's group count never blocks.
 	QueueDepth int
+	// Replan, when non-nil, enables incremental safe-region maintenance:
+	// the engine retains each group's last plan state and hands it to
+	// Replan on every recomputation (registration included), so updates
+	// that leave the result set unchanged regrow only the regions they
+	// invalidate (see Notification.Outcome). When nil, every
+	// recomputation goes through the full planner.
+	Replan ReplanWSFunc
 }
 
 func (o Options) withDefaults() Options {
@@ -146,6 +183,13 @@ type Notification struct {
 	// Changed reports whether Meeting differs from the previous plan's
 	// meeting point.
 	Changed bool
+	// Outcome reports how much of the previous plan this recomputation
+	// reused when the engine runs an incremental replanner (see
+	// Options.Replan): core.IncKept (nothing changed, regions are the
+	// retained plan), core.IncPartial (only invalidated regions were
+	// regrown), or core.IncFull (from-scratch replan — always the value
+	// on non-incremental engines).
+	Outcome core.IncOutcome
 	// Err is non-nil when the planner failed; Meeting and Regions then
 	// hold the previous plan.
 	Err error
@@ -182,8 +226,9 @@ func (s *Subscription) Close() {
 type update struct {
 	users []geom.Point
 	dirs  []core.Direction
-	count int // submissions coalesced into this snapshot
-	tag   any // opaque caller tag of the newest submission
+	count int  // submissions coalesced into this snapshot
+	full  bool // some coalesced submission demanded a full replan
+	tag   any  // opaque caller tag of the newest submission
 }
 
 // groupState is the engine-side state of one group. The registry shard
@@ -202,6 +247,14 @@ type groupState struct {
 	regions []core.SafeRegion
 	stats   core.Stats // accumulated across recomputations
 	seq     uint64     // completed recomputations
+
+	// replanMu serializes incremental recomputations for this group and
+	// guards planState. It is held across the whole planning call — per
+	// group there is at most one asynchronous recomputation in flight, so
+	// it only ever contends with a racing synchronous Update. Never
+	// acquired while holding mu.
+	replanMu  sync.Mutex
+	planState core.PlanState // retained plan, used only when Options.Replan is set
 }
 
 // shard is one lock stripe of the registry plus its run queue.
@@ -271,6 +324,7 @@ func (sh *shard) close() {
 // concurrent use.
 type Engine struct {
 	plan      PlanWSFunc
+	replan    ReplanWSFunc // non-nil iff Options.Replan was set
 	opts      Options
 	shards    []*shard
 	nextID    atomic.Uint64
@@ -299,14 +353,17 @@ func New(plan PlanFunc, opts Options) *Engine {
 // NewWS builds an engine over a workspace-aware plan function: each shard
 // worker owns one long-lived core.Workspace reused across all its
 // recomputations, and the synchronous Register/Update paths borrow one
-// from the core pool, so steady-state planning is allocation-free.
+// from the core pool, so steady-state planning is allocation-free. plan
+// may be nil only when Options.Replan is set (every recomputation then
+// goes through the incremental replanner).
 func NewWS(plan PlanWSFunc, opts Options) *Engine {
-	if plan == nil {
+	if plan == nil && opts.Replan == nil {
 		panic("engine: nil PlanWSFunc")
 	}
 	opts = opts.withDefaults()
 	e := &Engine{
 		plan:   plan,
+		replan: opts.Replan,
 		opts:   opts,
 		shards: make([]*shard, opts.Shards),
 		subs:   make(map[*Subscription]struct{}),
@@ -353,7 +410,19 @@ func (e *Engine) RegisterTag(users []geom.Point, dirs []core.Direction, tag any)
 		return 0, ErrNoUsers
 	}
 	ws := core.GetWorkspace()
-	meeting, regions, stats, err := e.plan(ws, users, dirs)
+	var pstate core.PlanState
+	var meeting geom.Point
+	var regions []core.SafeRegion
+	var stats core.Stats
+	var err error
+	if e.replan != nil {
+		// Seed the retained plan state through the replanner (the zero
+		// state forces the full path), so the first escape report can
+		// already be served incrementally.
+		meeting, regions, stats, _, err = e.replan(ws, &pstate, users, dirs)
+	} else {
+		meeting, regions, stats, err = e.plan(ws, users, dirs)
+	}
 	core.PutWorkspace(ws)
 	if err != nil {
 		return 0, err
@@ -362,6 +431,7 @@ func (e *Engine) RegisterTag(users []geom.Point, dirs []core.Direction, tag any)
 	st := &groupState{
 		id: id, size: len(users),
 		meeting: meeting, regions: regions, stats: stats, seq: 1,
+		planState: pstate,
 	}
 	sh := e.shardFor(id)
 	sh.mu.Lock()
@@ -393,6 +463,12 @@ func (e *Engine) Unregister(id GroupID) {
 		st.removed = true
 		st.pending = nil
 		st.mu.Unlock()
+		// Drop the retained plan so the dead state pins no regions. An
+		// in-flight recomputation may still record into it; the state is
+		// unreachable once that finishes (and its result is discarded).
+		st.replanMu.Lock()
+		st.planState.Invalidate()
+		st.replanMu.Unlock()
 	}
 }
 
@@ -419,13 +495,26 @@ func (st *groupState) validate(users []geom.Point) error {
 // result arrives on the subscription stream. Submit blocks only when the
 // shard's run queue is full.
 func (e *Engine) Submit(id GroupID, users []geom.Point, dirs []core.Direction) error {
-	return e.SubmitTag(id, users, dirs, nil)
+	return e.submit(id, users, dirs, nil, false)
+}
+
+// SubmitFull is Submit with the incremental state invalidated when the
+// recomputation runs: the plan is recomputed from scratch even if every
+// member is inside her retained region. The demand survives coalescing —
+// if the submission collapses into a burst, the burst's recomputation is
+// full.
+func (e *Engine) SubmitFull(id GroupID, users []geom.Point, dirs []core.Direction) error {
+	return e.submit(id, users, dirs, nil, true)
 }
 
 // SubmitTag is Submit with an opaque tag: the notification for the
 // recomputation that covers this submission carries the tag of the
 // newest coalesced submission (see Notification.Tag).
 func (e *Engine) SubmitTag(id GroupID, users []geom.Point, dirs []core.Direction, tag any) error {
+	return e.submit(id, users, dirs, tag, false)
+}
+
+func (e *Engine) submit(id GroupID, users []geom.Point, dirs []core.Direction, tag any, full bool) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
@@ -441,6 +530,7 @@ func (e *Engine) SubmitTag(id GroupID, users []geom.Point, dirs []core.Direction
 		users: append([]geom.Point(nil), users...),
 		dirs:  append([]core.Direction(nil), dirs...),
 		count: 1,
+		full:  full,
 		tag:   tag,
 	}
 	st.mu.Lock()
@@ -450,6 +540,7 @@ func (e *Engine) SubmitTag(id GroupID, users []geom.Point, dirs []core.Direction
 	}
 	if st.pending != nil {
 		up.count += st.pending.count
+		up.full = up.full || st.pending.full
 	}
 	st.pending = up
 	enqueue := !st.queued && !st.running
@@ -466,6 +557,25 @@ func (e *Engine) SubmitTag(id GroupID, users []geom.Point, dirs []core.Direction
 	return nil
 }
 
+// compute runs one recomputation over the snapshot, routing through the
+// incremental replanner when one is configured. The group's replan lock
+// is held across the whole planning call: it guards the retained plan
+// state, serializing a synchronous Update against the at-most-one
+// asynchronous recomputation in flight. forceFull invalidates the
+// retained state first, so the replanner takes the from-scratch path.
+func (e *Engine) compute(st *groupState, ws *core.Workspace, users []geom.Point, dirs []core.Direction, forceFull bool) (geom.Point, []core.SafeRegion, core.Stats, core.IncOutcome, error) {
+	if e.replan == nil {
+		meeting, regions, stats, err := e.plan(ws, users, dirs)
+		return meeting, regions, stats, core.IncFull, err
+	}
+	st.replanMu.Lock()
+	defer st.replanMu.Unlock()
+	if forceFull {
+		st.planState.Invalidate()
+	}
+	return e.replan(ws, &st.planState, users, dirs)
+}
+
 // Update recomputes synchronously on the caller's goroutine and emits the
 // notification before returning. A pending snapshot that was already
 // queued when Update began is superseded — Update's locations are newer —
@@ -476,6 +586,18 @@ func (e *Engine) SubmitTag(id GroupID, users []geom.Point, dirs []core.Direction
 // recomputation already in flight may emit out of Seq order (each runs
 // its own computation, last store wins).
 func (e *Engine) Update(id GroupID, users []geom.Point, dirs []core.Direction) error {
+	return e.update(id, users, dirs, false)
+}
+
+// UpdateFull is Update with the incremental state invalidated first, so
+// the plan is recomputed from scratch even when every member is inside
+// her retained region — the synchronous forced-full escape hatch. On a
+// non-incremental engine it is identical to Update.
+func (e *Engine) UpdateFull(id GroupID, users []geom.Point, dirs []core.Direction) error {
+	return e.update(id, users, dirs, true)
+}
+
+func (e *Engine) update(id GroupID, users []geom.Point, dirs []core.Direction, forceFull bool) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
@@ -489,8 +611,13 @@ func (e *Engine) Update(id GroupID, users []geom.Point, dirs []core.Direction) e
 	st.mu.Lock()
 	superseded := st.pending
 	st.mu.Unlock()
+	if superseded != nil && superseded.full {
+		// This call may discard that snapshot below; honor its forced-full
+		// demand rather than dropping it.
+		forceFull = true
+	}
 	ws := core.GetWorkspace()
-	meeting, regions, stats, err := e.plan(ws, users, dirs)
+	meeting, regions, stats, outcome, err := e.compute(st, ws, users, dirs, forceFull)
 	core.PutWorkspace(ws)
 	if err != nil {
 		return err
@@ -517,6 +644,7 @@ func (e *Engine) Update(id GroupID, users []geom.Point, dirs []core.Direction) e
 		n = Notification{
 			Group: st.id, Seq: st.seq, Meeting: meeting, Regions: regions,
 			Stats: stats, Coalesced: covered, Changed: changed,
+			Outcome: outcome,
 		}
 	}
 	st.mu.Unlock()
@@ -551,7 +679,7 @@ func (e *Engine) worker(sh *shard) {
 		st.running = true
 		st.mu.Unlock()
 
-		meeting, regions, stats, err := e.plan(ws, up.users, up.dirs)
+		meeting, regions, stats, outcome, err := e.compute(st, ws, up.users, up.dirs, up.full)
 
 		st.mu.Lock()
 		var n Notification
@@ -575,7 +703,7 @@ func (e *Engine) worker(sh *shard) {
 				n = Notification{
 					Group: st.id, Seq: st.seq, Meeting: meeting,
 					Regions: regions, Stats: stats, Coalesced: up.count,
-					Changed: changed, Tag: up.tag,
+					Changed: changed, Outcome: outcome, Tag: up.tag,
 				}
 			}
 		}

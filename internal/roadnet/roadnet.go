@@ -7,7 +7,6 @@
 package roadnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"math/rand"
@@ -225,17 +224,47 @@ type spEntry struct {
 	dist float64
 }
 
-type spQueue []spEntry
+// spPush appends e and restores the min-heap order on dist. A typed
+// sift-up instead of container/heap avoids boxing every entry through
+// the interface{} API (one heap allocation per push), the same idiom as
+// the R-tree's best-first queue.
+func spPush(q []spEntry, e spEntry) []spEntry {
+	q = append(q, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if q[parent].dist <= q[i].dist {
+			break
+		}
+		q[parent], q[i] = q[i], q[parent]
+		i = parent
+	}
+	return q
+}
 
-func (q spQueue) Len() int            { return len(q) }
-func (q spQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q spQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *spQueue) Push(x interface{}) { *q = append(*q, x.(spEntry)) }
-func (q *spQueue) Pop() interface{} {
-	old := *q
-	e := old[len(old)-1]
-	*q = old[:len(old)-1]
-	return e
+// spPop removes and returns the minimum entry.
+func spPop(q []spEntry) (spEntry, []spEntry) {
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && q[r].dist < q[l].dist {
+			least = r
+		}
+		if q[i].dist <= q[least].dist {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	return top, q
 }
 
 // ShortestPath returns the node sequence and length of the shortest path
@@ -252,9 +281,10 @@ func (n *Network) ShortestPath(a, b int) (path []int, length float64, ok bool) {
 		prev[i] = -1
 	}
 	dist[a] = 0
-	q := spQueue{{node: a}}
+	q := []spEntry{{node: a}}
 	for len(q) > 0 {
-		e := heap.Pop(&q).(spEntry)
+		var e spEntry
+		e, q = spPop(q)
 		if e.dist > dist[e.node] {
 			continue
 		}
@@ -266,7 +296,7 @@ func (n *Network) ShortestPath(a, b int) (path []int, length float64, ok bool) {
 			if nd < dist[ed.To] {
 				dist[ed.To] = nd
 				prev[ed.To] = e.node
-				heap.Push(&q, spEntry{node: ed.To, dist: nd})
+				q = spPush(q, spEntry{node: ed.To, dist: nd})
 			}
 		}
 	}

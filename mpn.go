@@ -40,8 +40,23 @@ type GroupID = engine.GroupID
 // Notification reports one completed recomputation on the engine's
 // subscription stream: the group, its recomputation sequence number, the
 // fresh meeting point and safe regions, how many submissions coalesced
-// into the recomputation, and whether the meeting point moved.
+// into the recomputation, whether the meeting point moved, and — on
+// servers with WithIncremental — how much of the previous plan the
+// recomputation reused (Notification.Outcome).
 type Notification = engine.Notification
+
+// ReplanOutcome reports how an incremental recomputation satisfied an
+// update: ReplanFull (from-scratch replan), ReplanPartial (only
+// invalidated regions regrown), or ReplanKept (the whole retained plan
+// was still valid). Non-incremental servers always report ReplanFull.
+type ReplanOutcome = core.IncOutcome
+
+// Replan outcomes carried on Notification.Outcome.
+const (
+	ReplanFull    = core.IncFull
+	ReplanPartial = core.IncPartial
+	ReplanKept    = core.IncKept
+)
 
 // Subscription is one listener on a Server's notification stream; read
 // Notification values from its C channel and Close it when done.
@@ -78,9 +93,13 @@ func NewServer(pois []Point, opts ...Option) (*Server, error) {
 		planner: planner,
 		planWS:  engine.PlannerWSFunc(planner, cfg.method == Circle),
 	}
-	s.engine = engine.NewWS(s.planWS, engine.Options{
+	eopts := engine.Options{
 		Shards: cfg.shards, Workers: cfg.workers, QueueDepth: cfg.queueDepth,
-	})
+	}
+	if cfg.incremental {
+		eopts.Replan = engine.PlannerIncFunc(planner, cfg.method == Circle)
+	}
+	s.engine = engine.NewWS(s.planWS, eopts)
 	return s, nil
 }
 
@@ -177,6 +196,19 @@ func (g *Group) Update(users []Point, dirs []Direction) error {
 	return g.server.engine.Update(g.id, users, dirs)
 }
 
+// UpdateFull is Update with the server's retained incremental state for
+// this group invalidated first, forcing a from-scratch replan of every
+// member's region — the escape hatch when a client wants fresh regions
+// regardless of what the incremental maintenance would keep (for
+// example, after rejoining from a long disconnect). On servers without
+// WithIncremental it is identical to Update.
+func (g *Group) UpdateFull(users []Point, dirs []Direction) error {
+	if len(users) != g.size {
+		return fmt.Errorf("mpn: group has %d users, got %d locations", g.size, len(users))
+	}
+	return g.server.engine.UpdateFull(g.id, users, dirs)
+}
+
 // SubmitUpdate schedules an asynchronous recomputation on the engine's
 // worker pool and returns immediately. Bursts of submissions for the same
 // group coalesce into a single recomputation over the latest locations;
@@ -187,6 +219,19 @@ func (g *Group) SubmitUpdate(users []Point, dirs []Direction) error {
 		return fmt.Errorf("mpn: group has %d users, got %d locations", g.size, len(users))
 	}
 	return g.server.engine.Submit(g.id, users, dirs)
+}
+
+// SubmitUpdateFull is SubmitUpdate with the retained incremental state
+// invalidated when the recomputation runs — the asynchronous counterpart
+// of UpdateFull, for callers on the Subscribe/SubmitUpdate pattern whose
+// read loops must never block on a replan. The forced-full demand
+// survives coalescing: if the submission collapses into a burst, the
+// burst's one recomputation is full.
+func (g *Group) SubmitUpdateFull(users []Point, dirs []Direction) error {
+	if len(users) != g.size {
+		return fmt.Errorf("mpn: group has %d users, got %d locations", g.size, len(users))
+	}
+	return g.server.engine.SubmitFull(g.id, users, dirs)
 }
 
 // Unregister removes the group from the server's engine; queued

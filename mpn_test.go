@@ -256,3 +256,74 @@ func TestStringers(t *testing.T) {
 		t.Fatal("Method strings")
 	}
 }
+
+func TestWithIncrementalLifecycle(t *testing.T) {
+	for _, method := range []Method{Circle, Tile, TileDirected} {
+		s, err := NewServer(testPOIs(800, 5),
+			WithMethod(method), WithTileLimit(6), WithBuffer(20), WithIncremental())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub := s.Subscribe(16)
+		users := []Point{Pt(0.4, 0.4), Pt(0.45, 0.42), Pt(0.42, 0.46)}
+		g, err := s.Register(users, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := <-sub.C; n.Outcome != ReplanFull || n.Seq != 1 {
+			t.Fatalf("%v registration: %+v", method, n)
+		}
+
+		// A duplicate report keeps the whole plan.
+		if err := g.Update(users, nil); err != nil {
+			t.Fatal(err)
+		}
+		if n := <-sub.C; n.Outcome != ReplanKept {
+			t.Fatalf("%v duplicate report: outcome %v", method, n.Outcome)
+		}
+		for i, u := range users {
+			if g.NeedsUpdate(i, u) {
+				t.Fatalf("%v: kept plan misses user %d", method, i)
+			}
+		}
+
+		// The forced-full escape hatch replans from scratch regardless,
+		// on both the synchronous and the asynchronous path.
+		if err := g.UpdateFull(users, nil); err != nil {
+			t.Fatal(err)
+		}
+		if n := <-sub.C; n.Outcome != ReplanFull {
+			t.Fatalf("%v forced full: outcome %v", method, n.Outcome)
+		}
+		if err := g.UpdateFull(users[:1], nil); err == nil {
+			t.Fatalf("%v: UpdateFull accepted a short location slice", method)
+		}
+		if err := g.SubmitUpdateFull(users, nil); err != nil {
+			t.Fatal(err)
+		}
+		if n := <-sub.C; n.Outcome != ReplanFull {
+			t.Fatalf("%v forced full (async): outcome %v", method, n.Outcome)
+		}
+		if err := g.SubmitUpdateFull(users[:1], nil); err == nil {
+			t.Fatalf("%v: SubmitUpdateFull accepted a short location slice", method)
+		}
+
+		// A whole-group teleport churns the result set: full replan with
+		// fresh regions around the new locations.
+		moved := []Point{Pt(0.72, 0.7), Pt(0.76, 0.72), Pt(0.74, 0.75)}
+		if err := g.Update(moved, nil); err != nil {
+			t.Fatal(err)
+		}
+		n := <-sub.C
+		if n.Outcome != ReplanFull {
+			t.Fatalf("%v teleport: outcome %v", method, n.Outcome)
+		}
+		for i, u := range moved {
+			if !n.Regions[i].Contains(u) {
+				t.Fatalf("%v teleport region %d misses its user", method, i)
+			}
+		}
+		sub.Close()
+		s.Close()
+	}
+}

@@ -63,8 +63,9 @@ func (m Method) String() string {
 
 // config is the resolved server configuration.
 type config struct {
-	method Method
-	core   core.Options
+	method      Method
+	core        core.Options
+	incremental bool
 
 	// Engine sizing; zero selects the engine's defaults (GOMAXPROCS
 	// shards, 1 worker per shard, queue depth 1024).
@@ -142,6 +143,23 @@ func WithBuffer(b int) Option {
 			return fmt.Errorf("mpn: buffer %d must be non-negative", b)
 		}
 		c.core.Buffer = b
+		return nil
+	}
+}
+
+// WithIncremental enables incremental safe-region maintenance: the
+// server retains each group's last plan, and an update whose recomputed
+// result set is unchanged regrows only the regions it invalidates —
+// every member still inside her region keeps it verbatim (the paper's
+// independent-safe-region protocol), falling back to a full replan when
+// the optimum churns. Notification.Outcome reports which path each
+// recomputation took; Group.UpdateFull forces the full path for one
+// update. Incremental and full plans are equivalent (both are valid
+// safe-region sets for the same meeting point) but not byte-identical:
+// retained regions were grown around older locations.
+func WithIncremental() Option {
+	return func(c *config) error {
+		c.incremental = true
 		return nil
 	}
 }
