@@ -18,6 +18,7 @@ import (
 	"mpn/internal/core"
 	"mpn/internal/engine"
 	"mpn/internal/geom"
+	"mpn/internal/nbrcache"
 	"mpn/internal/workload"
 )
 
@@ -252,7 +253,105 @@ func runPlanJSONBench(out io.Writer, log io.Writer) error {
 			m, s.NsPerOp, s.OpsPerSec, s.AllocsPerOp, 100*partialFrac)
 	}
 
+	runMultiGroupBench(&report, planner, log)
+
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)
+}
+
+// Multi-group workload shape: mgGroups incremental groups of mgM members
+// each on one engine, every update an in-region jitter (the kept-path
+// steady state whose floor is the GNN index traversal). Clustered groups
+// all fall in one cache tile around (0.504, 0.504); dispersed groups get
+// one tile each.
+const (
+	mgGroups = 8
+	mgM      = 3
+)
+
+func multiGroupUsers(g int, clustered bool) ([]geom.Point, []core.Direction) {
+	var base geom.Point
+	if clustered {
+		base = geom.Pt(0.5030+0.0006*float64(g%4), 0.5028+0.0006*float64(g/4))
+	} else {
+		base = geom.Pt(0.11+0.094*float64(g), 0.13+0.087*float64(g))
+	}
+	users := make([]geom.Point, mgM)
+	dirs := make([]core.Direction, mgM)
+	for i := range users {
+		users[i] = geom.Pt(base.X+0.0011*float64(i), base.Y-0.0009*float64(i))
+		dirs[i] = core.Direction{Angle: 0.4 * float64(i)}
+	}
+	return users, dirs
+}
+
+// runMultiGroupBench appends the multi_group series: the cross-group
+// sharing regime (clustered, one tile for all groups), the no-sharing
+// regime (uniform, one tile per group), each with the shared GNN cache
+// on and off, plus a forced-miss series (a one-entry cache budget
+// evicts on every lookup) pricing the worst-case miss path. Cache
+// hit/miss/rejected counters are attached to the cached series so a
+// hit-rate regression shows up in the committed artifacts.
+func runMultiGroupBench(report *benchfmt.Report, planner *core.Planner, log io.Writer) {
+	bench := func(clustered bool, cache *nbrcache.Cache) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			replan := engine.PlannerIncCachedFunc(planner, false, cache)
+			eng := engine.NewWS(engine.PlannerWSFunc(planner, false), engine.Options{
+				Shards: 1, Replan: replan,
+			})
+			defer eng.Close()
+			ids := make([]engine.GroupID, mgGroups)
+			users := make([][]geom.Point, mgGroups)
+			dirs := make([][]core.Direction, mgGroups)
+			for g := range ids {
+				users[g], dirs[g] = multiGroupUsers(g, clustered)
+				id, err := eng.Register(users[g], dirs[g])
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids[g] = id
+			}
+			locs := make([]geom.Point, mgM)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g := i % mgGroups
+				jitter := 1e-5 * float64(i%7)
+				for j, u := range users[g] {
+					locs[j] = geom.Pt(u.X+jitter, u.Y-jitter)
+				}
+				if err := eng.Update(ids[g], locs, dirs[g]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	emit := func(name string, clustered bool, cache *nbrcache.Cache) {
+		before := cache.Stats()
+		s := toSeries(name, mgM, bench(clustered, cache))
+		after := cache.Stats()
+		s.CacheHits = after.Hits - before.Hits
+		s.CacheMisses = after.Misses - before.Misses
+		s.CacheRejected = after.Rejected - before.Rejected
+		report.Series = append(report.Series, s)
+		extra := ""
+		if cache != nil {
+			total := s.CacheHits + s.CacheMisses + s.CacheRejected
+			if total > 0 {
+				extra = fmt.Sprintf(" (cache %.0f%% hit, %d miss, %d rejected)",
+					100*float64(s.CacheHits)/float64(total), s.CacheMisses, s.CacheRejected)
+			}
+		}
+		fmt.Fprintf(log, "  %-26s G=%d m=%d %10.0f ns/op %8.0f upd/s %4d allocs/op%s\n",
+			name, mgGroups, mgM, s.NsPerOp, s.OpsPerSec, s.AllocsPerOp, extra)
+	}
+
+	emit("multi_group_clustered", true, nil)
+	emit("multi_group_clustered_cached", true, nbrcache.New(nbrcache.Config{}))
+	emit("multi_group_uniform", false, nil)
+	emit("multi_group_uniform_cached", false, nbrcache.New(nbrcache.Config{}))
+	// One-entry budget: every lookup evicts the previous group's entry,
+	// so each update pays populate + certify + evict — the miss ceiling.
+	emit("multi_group_miss", false, nbrcache.New(nbrcache.Config{MaxBytes: 1, Stripes: 1}))
 }

@@ -43,6 +43,8 @@ func main() {
 	outPath := flag.String("o", "", "write tables to this file instead of stdout")
 	steps := flag.Int("steps", 0, "override trajectory length (0 = scale default)")
 	groups := flag.Int("groups", 0, "override group count averaged over (0 = scale default)")
+	incremental := flag.Bool("incremental", true, "replay figures under the paper's incremental maintenance protocol (false = historical full-replan accounting)")
+	cacheBytes := flag.Int64("gnncache", 0, "shared GNN neighborhood cache byte budget per figure run (0 = no cache)")
 	engineMode := flag.Bool("engine", false, "run the concurrent-engine throughput benchmark instead of the figures")
 	engineGroups := flag.Int("egroups", 0, "engine benchmark: live group count (0 = 64)")
 	engineDur := flag.Duration("edur", 0, "engine benchmark: measurement window per config (0 = 2s)")
@@ -124,9 +126,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(out, "workloads ready in %v: %d POIs, 2×%d trajectories × %d steps, %d groups\n\n",
+	suite.Incremental = *incremental
+	suite.GNNCacheBytes = *cacheBytes
+	protocol := "incremental maintenance"
+	if !*incremental {
+		protocol = "full replan per update"
+	}
+	fmt.Fprintf(out, "workloads ready in %v: %d POIs, 2×%d trajectories × %d steps, %d groups (%s)\n\n",
 		time.Since(start).Round(time.Millisecond), len(suite.POIs),
-		scale.NumTrajectories, scale.Steps, scale.NumGroups)
+		scale.NumTrajectories, scale.Steps, scale.NumGroups, protocol)
 
 	gens := map[string]func() ([]experiments.Figure, error){
 		"13": suite.Fig13, "14": suite.Fig14, "15": suite.Fig15,

@@ -39,6 +39,7 @@ import (
 	"mpn/internal/engine"
 	"mpn/internal/geom"
 	"mpn/internal/gnn"
+	"mpn/internal/nbrcache"
 	"mpn/internal/proto"
 	"mpn/internal/workload"
 )
@@ -59,6 +60,7 @@ func main() {
 	workers := flag.Int("workers", 0, "recompute workers per shard (0 = 1)")
 	queue := flag.Int("queue", 0, "per-shard work queue depth (0 = 1024)")
 	incremental := flag.Bool("incremental", false, "incremental safe-region maintenance: keep retained regions and regrow only what a report invalidates")
+	cacheBytes := flag.Int64("gnncache", 0, "shared GNN neighborhood cache byte budget, 0 disables (co-located groups reuse each other's index traversals)")
 	flag.Parse()
 
 	pois, err := loadPOIs(*poiPath, *n, *seed)
@@ -70,6 +72,7 @@ func main() {
 		alpha: *alpha, buffer: *buffer,
 		shards: *shards, workers: *workers, queue: *queue,
 		incremental: *incremental,
+		cacheBytes:  *cacheBytes,
 		logger:      log.Default(),
 	})
 	if err != nil {
@@ -101,6 +104,7 @@ type serverConfig struct {
 	alpha, buffer          int
 	shards, workers, queue int
 	incremental            bool
+	cacheBytes             int64
 	logger                 *log.Logger
 }
 
@@ -141,7 +145,11 @@ func newServer(cfg serverConfig) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan := engine.PlannerWSFunc(planner, cfg.method == "circle")
+	var cache *nbrcache.Cache // nil degrades the cached adapters below
+	if cfg.cacheBytes > 0 {
+		cache = nbrcache.New(nbrcache.Config{MaxBytes: cfg.cacheBytes})
+	}
+	plan := engine.PlannerCachedWSFunc(planner, cfg.method == "circle", cache)
 	if cfg.logger == nil {
 		cfg.logger = log.New(os.Stderr, "", 0)
 	}
@@ -149,7 +157,7 @@ func newServer(cfg serverConfig) (*server, error) {
 		Shards: cfg.shards, Workers: cfg.workers, QueueDepth: cfg.queue,
 	}
 	if cfg.incremental {
-		eopts.Replan = engine.PlannerIncFunc(planner, cfg.method == "circle")
+		eopts.Replan = engine.PlannerIncCachedFunc(planner, cfg.method == "circle", cache)
 	}
 	s := &server{
 		eng:         engine.NewWS(plan, eopts),

@@ -88,6 +88,7 @@ func testEndToEndTCP(t *testing.T, incremental bool) {
 		pois: pois, method: "tiled", agg: "max",
 		alpha: 5, buffer: 20, shards: 2, workers: 1,
 		incremental: incremental,
+		cacheBytes:  1 << 20, // exercise the shared GNN cache on the deployed path
 		logger:      log.New(io.Discard, "", 0),
 	})
 	if err != nil {

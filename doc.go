@@ -119,6 +119,54 @@
 // recomputation into ~10µs, and a single escaping member costs a regrow
 // of one region instead of m.
 //
+// The partial path is guarded by an up-front cost heuristic: a regrown
+// tile is verified against every tile the clean members retained, so
+// when the retained regions hold more tiles than the frontier a fresh
+// plan would build (about TileLimit+1 tiles per member, scaled by a
+// measured crossover ratio), the partial regrow is predicted slower
+// than replanning and the server replans everyone outright — still
+// reported as ReplanFull and still byte-identical to the
+// non-incremental plan. WithIncrementalCostRatio tunes the crossover; a
+// negative ratio always attempts the partial regrow.
+//
+// # The shared GNN neighborhood cache
+//
+// Every recomputation — full, partial, or kept — starts with a top-k
+// GNN search over the POI R-tree, and with buffering on it is the only
+// index traversal an update performs; at scale, co-located groups
+// repeat the same traversals endlessly. WithSharedGNNCache(maxBytes)
+// installs one concurrency-safe, lock-striped cache (internal/nbrcache)
+// shared by all engine shards and the synchronous paths. Entries are
+// keyed by the group centroid's quantized tile plus the aggregate and
+// k, and store the J nearest POIs to the tile center together with a
+// guarantee radius (every uncached POI is provably farther) and the
+// R-tree version they were computed against.
+//
+// Three properties make a hit safe:
+//
+//   - Exactness per group: a hit recomputes every cached candidate's
+//     true aggregate distance for the requesting group's actual member
+//     locations, and the selection is certified by the triangle
+//     inequality against the guarantee radius — if certification fails
+//     (the group is too spread for the entry), the lookup falls back to
+//     a real traversal. Cached plans are byte-identical to uncached
+//     ones; a differential fence asserts this across aggregates, region
+//     shapes, and hit/miss/stale paths.
+//   - Verification downstream: safe-region tiles are still
+//     Divide-Verified against the group's own members, so planner
+//     correctness never rests on the cache at all.
+//   - Self-invalidation: any POI mutation (core.Planner.InsertPOI) bumps
+//     the R-tree's monotone version; an entry recording an older version
+//     is discarded on its next lookup, with no scanning.
+//
+// The cache is bounded by an LRU byte budget (lock-striped, evictions
+// counted) and observable through Server.GNNCacheStats. On the
+// cmd/mpnbench multi_group series — eight co-located incremental groups
+// jittering inside their regions — the shared cache turns every
+// steady-state update's index traversal into a few hundred distance
+// computations, roughly doubling planning throughput and reaching a
+// 100% hit rate after the first group's miss populates the tile.
+//
 // The internal packages implement the full substrate from scratch: an
 // R-tree (internal/rtree), top-k group nearest neighbor search
 // (internal/gnn), the safe-region algorithms (internal/core), the sharded

@@ -11,14 +11,27 @@ type Series struct {
 	// Name identifies the measured path: "plan" (planner kernel, owned
 	// workspace), "update" (engine synchronous recomputation),
 	// "update_inc" (incremental engine, in-region jitter: the kept-plan
-	// fast path), or "update_escape"/"update_inc_escape" (one member
-	// oscillating out of her region, full-replan vs incremental engine).
+	// fast path), "update_escape"/"update_inc_escape" (one member
+	// oscillating out of her region, full-replan vs incremental engine),
+	// or the "multi_group_*" family (G co-located or dispersed groups on
+	// one incremental engine, with and without the shared GNN cache;
+	// "multi_group_miss" forces an eviction+miss on every lookup to
+	// price the worst-case miss path).
 	Name        string  `json:"name"`
 	GroupSize   int     `json:"group_size"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	OpsPerSec   float64 `json:"ops_per_sec"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+
+	// CacheHits/CacheMisses/CacheRejected report the shared GNN cache
+	// counters accumulated over the series' benchmark run (cached series
+	// only; omitted otherwise), so a hit-rate regression is visible in
+	// the committed artifacts even though only ns/op and allocs/op are
+	// gated.
+	CacheHits     uint64 `json:"cache_hits,omitempty"`
+	CacheMisses   uint64 `json:"cache_misses,omitempty"`
+	CacheRejected uint64 `json:"cache_rejected,omitempty"`
 }
 
 // Report is the full benchmark report with its workload parameters.

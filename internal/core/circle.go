@@ -3,6 +3,7 @@ package core
 import (
 	"mpn/internal/geom"
 	"mpn/internal/gnn"
+	"mpn/internal/nbrcache"
 )
 
 // CircleMSR implements Algorithm 1 (Circle-MSR): it retrieves the best two
@@ -29,11 +30,23 @@ func (pl *Planner) CircleMSR(users []geom.Point) (Plan, error) {
 // only allocation in steady state is the returned region slice (which
 // does not alias ws and survives its reuse).
 func (pl *Planner) CircleMSRInto(ws *Workspace, users []geom.Point) (Plan, error) {
+	return pl.circleMSR(ws, nil, users)
+}
+
+// CircleMSRCachedInto is CircleMSRInto with the top-2 result set
+// retrieved through the shared neighborhood cache; the returned plan is
+// byte-identical to CircleMSRInto's. A nil cache degrades to
+// CircleMSRInto.
+func (pl *Planner) CircleMSRCachedInto(ws *Workspace, cache *nbrcache.Cache, users []geom.Point) (Plan, error) {
+	return pl.circleMSR(ws, cache, users)
+}
+
+func (pl *Planner) circleMSR(ws *Workspace, cache *nbrcache.Cache, users []geom.Point) (Plan, error) {
 	if len(users) == 0 {
 		return Plan{}, ErrNoUsers
 	}
 	var plan Plan
-	ws.topk = gnn.TopKInto(pl.tree, &ws.gnn, users, pl.opts.Aggregate, 2, ws.topk[:0])
+	ws.topk = pl.lookupTopK(ws, cache, users, 2)
 	plan.Stats.GNNCalls++
 	plan.Best = ws.topk[0]
 

@@ -5,6 +5,7 @@ import (
 
 	"mpn/internal/geom"
 	"mpn/internal/gnn"
+	"mpn/internal/nbrcache"
 )
 
 // IncOutcome reports how an incremental replanning call satisfied an
@@ -129,6 +130,19 @@ func (st *PlanState) Record(p Plan) {
 // Plan.Regions aliases the retained (immutable, previously exported)
 // regions.
 func (pl *Planner) TileMSRIncInto(ws *Workspace, st *PlanState, users []geom.Point, dirs []Direction) (Plan, IncOutcome, error) {
+	return pl.tileMSRInc(ws, nil, st, users, dirs)
+}
+
+// TileMSRIncCachedInto is TileMSRIncInto with every top-k retrieval —
+// the per-update result-set check and any full-replan fallback —
+// routed through the shared neighborhood cache. Outcomes and plans are
+// byte-identical to TileMSRIncInto's. A nil cache degrades to
+// TileMSRIncInto.
+func (pl *Planner) TileMSRIncCachedInto(ws *Workspace, cache *nbrcache.Cache, st *PlanState, users []geom.Point, dirs []Direction) (Plan, IncOutcome, error) {
+	return pl.tileMSRInc(ws, cache, st, users, dirs)
+}
+
+func (pl *Planner) tileMSRInc(ws *Workspace, cache *nbrcache.Cache, st *PlanState, users []geom.Point, dirs []Direction) (Plan, IncOutcome, error) {
 	if len(users) == 0 {
 		return Plan{}, IncFull, ErrNoUsers
 	}
@@ -136,7 +150,7 @@ func (pl *Planner) TileMSRIncInto(ws *Workspace, st *PlanState, users []geom.Poi
 		dirs = nil
 	}
 	if !st.usable(users, KindTiles) {
-		plan, err := pl.TileMSRInto(ws, users, dirs)
+		plan, err := pl.tileMSR(ws, cache, users, dirs)
 		if err != nil {
 			return plan, IncFull, err
 		}
@@ -145,7 +159,7 @@ func (pl *Planner) TileMSRIncInto(ws *Workspace, st *PlanState, users []geom.Poi
 	}
 
 	var plan Plan
-	ws.topk = gnn.TopKInto(pl.tree, &ws.gnn, users, pl.opts.Aggregate, pl.topK(), ws.topk[:0])
+	ws.topk = pl.lookupTopK(ws, cache, users, pl.topK())
 	plan.Stats.GNNCalls++
 	plan.Best = ws.topk[0]
 
@@ -171,6 +185,16 @@ func (pl *Planner) TileMSRIncInto(ws *Workspace, st *PlanState, users []geom.Poi
 		return plan, IncKept, nil
 	}
 
+	if pl.regrowPredictedSlower(st.regions, dirty, len(users)) {
+		// Cost heuristic: the retained regions carry so many tiles that
+		// regrowing the dirty members against them is predicted to cost
+		// more than replanning everyone from scratch. Skip the partial
+		// attempt up front.
+		pl.growTiles(ws, &plan, users, dirs, ws.topk, nil, nil)
+		st.Record(plan)
+		return plan, IncFull, nil
+	}
+
 	pl.growTiles(ws, &plan, users, dirs, ws.topk, st.regions, dirty)
 	for i, u := range users {
 		if dirty[i] && !plan.Regions[i].Contains(u) {
@@ -184,6 +208,38 @@ func (pl *Planner) TileMSRIncInto(ws *Workspace, st *PlanState, users []geom.Poi
 	}
 	st.Record(plan)
 	return plan, IncPartial, nil
+}
+
+// regrowPredictedSlower is the up-front cost heuristic of the partial
+// regrow (see Options.IncCostRatio): it compares the retained clean
+// regions' tile count against the frontier a fresh plan would build —
+// about TileLimit+1 tiles per member. Every tile the dirty members
+// submit is verified against hypothetical groups over the retained
+// tiles (and, for SUM, rebuilds their memo minima), so when the
+// retained set outweighs the fresh frontier the partial regrow does
+// more verification work per accepted tile than a full replan spends in
+// total. Calibration on the cmd/mpnbench escape workload (21,287 POIs,
+// α=10, b=50, minimal-escape oscillation): kept/frontier was 0.97 at
+// m=3 and 0.95 at m=5 — where the partial regrow wins 1.4–1.9× — but
+// 1.25 at m=4, where displaced-geometry candidates made the partial
+// ~2.1× SLOWER than replanning (2.44ms vs 1.17ms per update);
+// DefaultIncCostRatio sits between the two regimes.
+func (pl *Planner) regrowPredictedSlower(retained []SafeRegion, dirty []bool, m int) bool {
+	ratio := pl.opts.IncCostRatio
+	if ratio < 0 {
+		return false
+	}
+	if ratio == 0 {
+		ratio = DefaultIncCostRatio
+	}
+	kept := 0
+	for i := range retained {
+		if !dirty[i] {
+			kept += len(retained[i].Tiles)
+		}
+	}
+	frontier := float64(m) * float64(pl.opts.TileLimit+1)
+	return float64(kept) > ratio*frontier
 }
 
 // CircleMSRIncInto is the incremental variant of CircleMSRInto. The top-2
@@ -207,11 +263,23 @@ func (pl *Planner) TileMSRIncInto(ws *Workspace, st *PlanState, users []geom.Poi
 // the center. When the condition fails the call falls back to a full
 // replan, handing everyone fresh circles.
 func (pl *Planner) CircleMSRIncInto(ws *Workspace, st *PlanState, users []geom.Point) (Plan, IncOutcome, error) {
+	return pl.circleMSRInc(ws, nil, st, users)
+}
+
+// CircleMSRIncCachedInto is CircleMSRIncInto with the top-2 retrieval
+// routed through the shared neighborhood cache; outcomes and plans are
+// byte-identical to CircleMSRIncInto's. A nil cache degrades to
+// CircleMSRIncInto.
+func (pl *Planner) CircleMSRIncCachedInto(ws *Workspace, cache *nbrcache.Cache, st *PlanState, users []geom.Point) (Plan, IncOutcome, error) {
+	return pl.circleMSRInc(ws, cache, st, users)
+}
+
+func (pl *Planner) circleMSRInc(ws *Workspace, cache *nbrcache.Cache, st *PlanState, users []geom.Point) (Plan, IncOutcome, error) {
 	if len(users) == 0 {
 		return Plan{}, IncFull, ErrNoUsers
 	}
 	var plan Plan
-	ws.topk = gnn.TopKInto(pl.tree, &ws.gnn, users, pl.opts.Aggregate, 2, ws.topk[:0])
+	ws.topk = pl.lookupTopK(ws, cache, users, 2)
 	plan.Stats.GNNCalls++
 	plan.Best = ws.topk[0]
 	r := pl.circleRadius(users, ws.topk)

@@ -7,6 +7,7 @@ import (
 
 	"mpn/internal/geom"
 	"mpn/internal/gnn"
+	"mpn/internal/nbrcache"
 	"mpn/internal/rtree"
 )
 
@@ -58,7 +59,24 @@ type Options struct {
 	// MaxLayers caps the tile-grid layer explored by the orderings, as a
 	// safety bound on degenerate configurations. Zero means 4·TileLimit.
 	MaxLayers int
+
+	// IncCostRatio tunes the incremental planner's up-front cost
+	// heuristic: a partial regrow is skipped in favor of a full replan
+	// when the retained clean regions hold more than IncCostRatio times
+	// the tile frontier a fresh plan would build (m·(TileLimit+1)
+	// tiles), because every regrown tile is verified against the whole
+	// retained set. Zero selects DefaultIncCostRatio (the measured
+	// crossover); a negative value disables the heuristic and always
+	// attempts the partial regrow.
+	IncCostRatio float64
 }
+
+// DefaultIncCostRatio is the measured crossover of the partial-regrow
+// cost heuristic (see Options.IncCostRatio and the calibration note on
+// regrowPredictedSlower): on the cmd/mpnbench escape workload the
+// partial regrow wins while retained tiles stay below ~1.0× the fresh
+// frontier and loses ~2× by 1.25×; 1.1 splits the measured regimes.
+const DefaultIncCostRatio = 1.1
 
 // DefaultOptions returns the paper's default configuration (Table 2):
 // α=30, L=2, undirected ordering, GT-Verify, index pruning on, buffering
@@ -166,6 +184,32 @@ func NewPlanner(points []geom.Point, opts Options) (*Planner, error) {
 
 // Options returns the planner's configuration.
 func (pl *Planner) Options() Options { return pl.opts }
+
+// InsertPOI appends a point to the data set and the index, returning
+// its id. The R-tree's mutation version is bumped, so shared
+// neighborhood-cache entries computed against the old index
+// self-invalidate on their next lookup. InsertPOI is NOT safe
+// concurrently with planning calls: callers maintaining a live POI set
+// must serialize mutations against planning (for example an RWMutex
+// with planners on the read side).
+func (pl *Planner) InsertPOI(p geom.Point) int {
+	id := len(pl.points)
+	pl.points = append(pl.points, p)
+	pl.tree.Insert(rtree.Item{P: p, ID: id})
+	return id
+}
+
+// lookupTopK retrieves the top-k result set for users: through the
+// shared neighborhood cache when one is supplied, with a plain
+// aggregate GNN traversal otherwise. The cached retrieval is
+// byte-identical to the traversal (see internal/nbrcache); either way
+// the results land in ws.topk.
+func (pl *Planner) lookupTopK(ws *Workspace, cache *nbrcache.Cache, users []geom.Point, k int) []gnn.Result {
+	if cache != nil {
+		return cache.TopKInto(pl.tree, &ws.gnn, &ws.nbr, users, pl.opts.Aggregate, k, ws.topk[:0])
+	}
+	return gnn.TopKInto(pl.tree, &ws.gnn, users, pl.opts.Aggregate, k, ws.topk[:0])
+}
 
 // Tree exposes the underlying R-tree (read-only use).
 func (pl *Planner) Tree() *rtree.Tree { return pl.tree }

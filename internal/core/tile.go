@@ -6,6 +6,7 @@ import (
 
 	"mpn/internal/geom"
 	"mpn/internal/gnn"
+	"mpn/internal/nbrcache"
 	"mpn/internal/rtree"
 )
 
@@ -38,6 +39,23 @@ func (pl *Planner) TileMSR(users []geom.Point, dirs []Direction) (Plan, error) {
 // returned plan is exported by copy (two allocations) and remains valid
 // after ws is reused or returned to the pool.
 func (pl *Planner) TileMSRInto(ws *Workspace, users []geom.Point, dirs []Direction) (Plan, error) {
+	return pl.tileMSR(ws, nil, users, dirs)
+}
+
+// TileMSRCachedInto is TileMSRInto with the top-k result set retrieved
+// through the shared neighborhood cache: when another co-located group
+// (or a previous update of this one) already paid the index traversal
+// for the same centroid tile, this computation reuses its certified
+// candidate set instead of touching the R-tree. The returned plan is
+// byte-identical to TileMSRInto's on every path — cached retrieval is
+// exact (see internal/nbrcache) and every accepted tile is still
+// Divide-Verified against this group's actual members. A nil cache
+// degrades to TileMSRInto.
+func (pl *Planner) TileMSRCachedInto(ws *Workspace, cache *nbrcache.Cache, users []geom.Point, dirs []Direction) (Plan, error) {
+	return pl.tileMSR(ws, cache, users, dirs)
+}
+
+func (pl *Planner) tileMSR(ws *Workspace, cache *nbrcache.Cache, users []geom.Point, dirs []Direction) (Plan, error) {
 	if len(users) == 0 {
 		return Plan{}, ErrNoUsers
 	}
@@ -48,7 +66,7 @@ func (pl *Planner) TileMSRInto(ws *Workspace, users []geom.Point, dirs []Directi
 	}
 
 	var plan Plan
-	ws.topk = gnn.TopKInto(pl.tree, &ws.gnn, users, pl.opts.Aggregate, pl.topK(), ws.topk[:0])
+	ws.topk = pl.lookupTopK(ws, cache, users, pl.topK())
 	plan.Stats.GNNCalls++
 	plan.Best = ws.topk[0]
 	pl.growTiles(ws, &plan, users, dirs, ws.topk, nil, nil)

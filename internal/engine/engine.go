@@ -40,6 +40,7 @@ import (
 
 	"mpn/internal/core"
 	"mpn/internal/geom"
+	"mpn/internal/nbrcache"
 )
 
 // PlanFunc computes a meeting point and one safe region per user. It must
@@ -98,14 +99,43 @@ func PlannerWSFunc(pl *core.Planner, circle bool) PlanWSFunc {
 // into Options.Replan to give the engine incremental safe-region
 // maintenance.
 func PlannerIncFunc(pl *core.Planner, circle bool) ReplanWSFunc {
+	return PlannerIncCachedFunc(pl, circle, nil)
+}
+
+// PlannerCachedWSFunc is PlannerWSFunc with every recomputation's top-k
+// retrieval routed through one shared neighborhood cache: all shard
+// workers (and the synchronous paths) consult the same cache, so
+// co-located groups anywhere in the engine reuse each other's index
+// traversals. Plans are byte-identical to the uncached adapter's; a nil
+// cache degrades to PlannerWSFunc.
+func PlannerCachedWSFunc(pl *core.Planner, circle bool, cache *nbrcache.Cache) PlanWSFunc {
+	return func(ws *core.Workspace, users []geom.Point, dirs []core.Direction) (geom.Point, []core.SafeRegion, core.Stats, error) {
+		var p core.Plan
+		var err error
+		if circle {
+			p, err = pl.CircleMSRCachedInto(ws, cache, users)
+		} else {
+			p, err = pl.TileMSRCachedInto(ws, cache, users, dirs)
+		}
+		if err != nil {
+			return geom.Point{}, nil, core.Stats{}, err
+		}
+		return p.Best.Item.P, p.Regions, p.Stats, nil
+	}
+}
+
+// PlannerIncCachedFunc is PlannerIncFunc over the shared neighborhood
+// cache (see PlannerCachedWSFunc); a nil cache yields the plain
+// incremental adapter.
+func PlannerIncCachedFunc(pl *core.Planner, circle bool, cache *nbrcache.Cache) ReplanWSFunc {
 	return func(ws *core.Workspace, st *core.PlanState, users []geom.Point, dirs []core.Direction) (geom.Point, []core.SafeRegion, core.Stats, core.IncOutcome, error) {
 		var p core.Plan
 		var out core.IncOutcome
 		var err error
 		if circle {
-			p, out, err = pl.CircleMSRIncInto(ws, st, users)
+			p, out, err = pl.CircleMSRIncCachedInto(ws, cache, st, users)
 		} else {
-			p, out, err = pl.TileMSRIncInto(ws, st, users, dirs)
+			p, out, err = pl.TileMSRIncCachedInto(ws, cache, st, users, dirs)
 		}
 		if err != nil {
 			return geom.Point{}, nil, core.Stats{}, out, err

@@ -24,6 +24,7 @@ import (
 	"mpn/internal/geom"
 	"mpn/internal/gnn"
 	"mpn/internal/mobility"
+	"mpn/internal/nbrcache"
 	"mpn/internal/sim"
 	"mpn/internal/stats"
 	"mpn/internal/workload"
@@ -112,6 +113,16 @@ type Suite struct {
 	Params workload.Params
 	POIs   []geom.Point
 	Sets   []*workload.TrajectorySet // GeoLife-style, Oldenburg-style
+
+	// Incremental replays every run under the paper's incremental
+	// maintenance protocol (sim.Config.Incremental): the server retains
+	// each group's plan and regrows only what an update invalidates, so
+	// the CPU-per-update figures measure the protocol the paper actually
+	// proposes. False replays the historical full-replan accounting.
+	Incremental bool
+	// GNNCacheBytes, when positive, gives every run a shared
+	// neighborhood cache of that byte budget (see internal/nbrcache).
+	GNNCacheBytes int64
 }
 
 // NewSuite generates the POI set and both trajectory workloads.
@@ -161,6 +172,10 @@ func (s *Suite) runAvg(pois []geom.Point, set *workload.TrajectorySet, m int, cf
 	groups, err := set.Groups(m, s.Scale.NumGroups)
 	if err != nil {
 		return result{}, err
+	}
+	cfg.Incremental = s.Incremental
+	if s.GNNCacheBytes > 0 {
+		cfg.SharedCache = nbrcache.New(nbrcache.Config{MaxBytes: s.GNNCacheBytes})
 	}
 	var uf, pk, cpu []float64
 	for _, g := range groups {

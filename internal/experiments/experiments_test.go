@@ -154,3 +154,28 @@ func TestFigureTable(t *testing.T) {
 		}
 	}
 }
+
+// TestIncrementalHarness replays Fig13 under the paper's incremental
+// maintenance protocol with a shared GNN cache: the harness must
+// produce the same figure structure with sane (non-negative) metrics.
+func TestIncrementalHarness(t *testing.T) {
+	s := tinySuite(t)
+	s.Incremental = true
+	s.GNNCacheBytes = 1 << 20
+	figs, err := s.Fig13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 6 {
+		t.Fatalf("incremental Fig13 produced %d sub-figures want 6", len(figs))
+	}
+	for _, f := range figs {
+		for _, row := range f.Rows {
+			for _, series := range f.Series {
+				if v := row.Get(series); v < 0 {
+					t.Fatalf("%s: negative metric %v", f.ID, v)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Package heapq is a generic slice-backed binary min-heap: the one
+// sift-up/sift-down implementation behind the R-tree's best-first
+// priority queue and the road network's Dijkstra queue, which used to be
+// two hand-maintained copies of the same code.
+//
+// Elements order themselves through a Less method on the concrete type,
+// so instantiations are monomorphized per element type with no
+// interface{} boxing — the property the original typed copies existed
+// for. Whether the generic form also matches their *speed* on the
+// hottest path (R-tree best-first) is decided by measurement, not
+// assumption: see BenchmarkBestFirstInto in internal/rtree and the
+// adoption note on the pqEntry heap in rtree/search.go.
+package heapq
+
+// Ordered constrains heap elements to types that can compare themselves.
+type Ordered[T any] interface {
+	// Less reports whether the receiver sorts strictly before other.
+	Less(other T) bool
+}
+
+// Push appends e to the heap q and restores min-heap order, returning
+// the grown slice. The input must already be heap-ordered.
+func Push[T Ordered[T]](q []T, e T) []T {
+	q = append(q, e)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q[i].Less(q[parent]) {
+			break
+		}
+		q[parent], q[i] = q[i], q[parent]
+		i = parent
+	}
+	return q
+}
+
+// Pop removes and returns the minimum element, returning the shrunk
+// slice. The input must be non-empty and heap-ordered.
+func Pop[T Ordered[T]](q []T) (T, []T) {
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		least := l
+		if r := l + 1; r < n && q[r].Less(q[l]) {
+			least = r
+		}
+		if !q[least].Less(q[i]) {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	return top, q
+}

@@ -1,0 +1,358 @@
+package nbrcache
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"mpn/internal/geom"
+	"mpn/internal/gnn"
+	"mpn/internal/rtree"
+)
+
+func buildTree(n int, seed int64) (*rtree.Tree, []geom.Point) {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	items := make([]rtree.Item, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+		items[i] = rtree.Item{P: pts[i], ID: i}
+	}
+	return rtree.Bulk(items, rtree.DefaultMaxEntries), pts
+}
+
+func randGroup(rng *rand.Rand, m int, spread float64) []geom.Point {
+	c := geom.Pt(0.1+0.8*rng.Float64(), 0.1+0.8*rng.Float64())
+	users := make([]geom.Point, m)
+	for i := range users {
+		users[i] = geom.Pt(c.X+spread*(rng.Float64()-0.5), c.Y+spread*(rng.Float64()-0.5))
+	}
+	return users
+}
+
+// TestCachedTopKMatchesTraversal is the cache's own differential fence:
+// whatever mix of misses, hits and rejected certifications a lookup
+// stream produces, every result must byte-match the plain traversal.
+func TestCachedTopKMatchesTraversal(t *testing.T) {
+	tree, _ := buildTree(4000, 1)
+	for _, agg := range []gnn.Aggregate{gnn.Max, gnn.Sum} {
+		for _, k := range []int{1, 2, 9, 51} {
+			c := New(Config{})
+			rng := rand.New(rand.NewSource(int64(k) + 100*int64(agg)))
+			var cs Scratch
+			var gs, gsRef gnn.Scratch
+			var out, ref []gnn.Result
+			for step := 0; step < 200; step++ {
+				// Tight groups revisit a handful of tiles so later lookups
+				// hit entries populated by earlier, different groups.
+				rng2 := rand.New(rand.NewSource(int64(step % 11)))
+				users := randGroup(rng2, 2+rng.Intn(4), 0.01)
+				out = c.TopKInto(tree, &gs, &cs, users, agg, k, out[:0])
+				ref = gnn.TopKInto(tree, &gsRef, users, agg, k, ref[:0])
+				if !reflect.DeepEqual(out, ref) {
+					t.Fatalf("agg=%v k=%d step %d: cached %v != traversal %v", agg, k, step, out, ref)
+				}
+			}
+			st := c.Stats()
+			if st.Hits == 0 {
+				t.Fatalf("agg=%v k=%d: stream produced no hits (%+v)", agg, k, st)
+			}
+			if st.Misses == 0 {
+				t.Fatalf("agg=%v k=%d: stream produced no misses (%+v)", agg, k, st)
+			}
+		}
+	}
+}
+
+// TestSpreadGroupsRejected: a group whose every member is far from its
+// centroid tile's center cannot be certified by the entry depth; after
+// the first lookup populates the tile, subsequent lookups find the
+// pre-existing entry, fail certification (counted Rejected), fall back
+// to the traversal, and still return exact results. The members sit on
+// a rotating symmetric cross so the centroid — and hence the tile —
+// stays pinned while the geometry varies.
+func TestSpreadGroupsRejected(t *testing.T) {
+	tree, _ := buildTree(4000, 2)
+	c := New(Config{})
+	rng := rand.New(rand.NewSource(3))
+	var cs Scratch
+	var gs, gsRef gnn.Scratch
+	var out, ref []gnn.Result
+	center := geom.Pt(0.3527, 0.5531)
+	const radius = 0.25 // every member this far out: min_i ‖u_i,q‖ ≈ radius
+	for step := 0; step < 50; step++ {
+		theta := rng.Float64() * math.Pi / 2
+		users := make([]geom.Point, 4)
+		for i := range users {
+			a := theta + float64(i)*math.Pi/2
+			users[i] = geom.Pt(center.X+radius*math.Cos(a), center.Y+radius*math.Sin(a))
+		}
+		out = c.TopKInto(tree, &gs, &cs, users, gnn.Max, 8, out[:0])
+		ref = gnn.TopKInto(tree, &gsRef, users, gnn.Max, 8, ref[:0])
+		if !reflect.DeepEqual(out, ref) {
+			t.Fatalf("step %d: cached result diverged", step)
+		}
+	}
+	st := c.Stats()
+	if st.Rejected == 0 {
+		t.Fatalf("wide-spread groups never rejected: %+v", st)
+	}
+	if got := st.Hits + st.Misses + st.Rejected; got != 50 {
+		t.Fatalf("counters double- or under-count lookups: %d != 50 (%+v)", got, st)
+	}
+}
+
+// TestStaleVersionInvalidates: a POI mutation must invalidate entries —
+// the next lookup observes the version bump, repopulates, and reflects
+// the new point.
+func TestStaleVersionInvalidates(t *testing.T) {
+	tree, _ := buildTree(2000, 4)
+	c := New(Config{})
+	var cs Scratch
+	var gs, gsRef gnn.Scratch
+	users := []geom.Point{geom.Pt(0.5, 0.5), geom.Pt(0.505, 0.497)}
+
+	out := c.TopKInto(tree, &gs, &cs, users, gnn.Max, 4, nil)
+	if len(out) != 4 {
+		t.Fatalf("got %d results", len(out))
+	}
+	// Second lookup: a hit from the entry just populated.
+	out = c.TopKInto(tree, &gs, &cs, users, gnn.Max, 4, out[:0])
+	if st := c.Stats(); st.Hits == 0 {
+		t.Fatalf("warm lookup did not hit: %+v", st)
+	}
+
+	// Insert a POI that must become the new best answer.
+	tree.Insert(rtree.Item{P: geom.Pt(0.5001, 0.4999), ID: tree.Len()})
+	out = c.TopKInto(tree, &gs, &cs, users, gnn.Max, 4, out[:0])
+	ref := gnn.TopKInto(tree, &gsRef, users, gnn.Max, 4, nil)
+	if !reflect.DeepEqual(out, ref) {
+		t.Fatalf("post-mutation cached %v != traversal %v", out, ref)
+	}
+	if out[0].Item.ID != tree.Len()-1 {
+		t.Fatalf("inserted POI not the new optimum: %+v", out[0])
+	}
+	if st := c.Stats(); st.Stale == 0 {
+		t.Fatalf("mutation not observed as staleness: %+v", st)
+	}
+}
+
+// TestEvictionBoundsAndCorrectness: a cache under a tiny byte budget
+// must evict, stay within (one entry of) budget, and never serve an
+// evicted entry — lookups after eviction are misses that repopulate and
+// still match the traversal exactly.
+func TestEvictionBoundsAndCorrectness(t *testing.T) {
+	tree, _ := buildTree(3000, 5)
+	// Budget fits roughly two entries per stripe; one stripe keeps the
+	// LRU churn deterministic-ish.
+	c := New(Config{MaxBytes: 2 * (entryOverhead + 24*(2*4+16)), Stripes: 1})
+	var cs Scratch
+	var gs, gsRef gnn.Scratch
+	var out, ref []gnn.Result
+	for step := 0; step < 300; step++ {
+		// Cycle through many distinct tiles to force eviction.
+		tileIdx := step % 23
+		c2 := geom.Pt(0.05+0.04*float64(tileIdx), 0.5)
+		users := []geom.Point{c2, geom.Pt(c2.X+0.002, c2.Y-0.002)}
+		out = c.TopKInto(tree, &gs, &cs, users, gnn.Max, 2, out[:0])
+		ref = gnn.TopKInto(tree, &gsRef, users, gnn.Max, 2, ref[:0])
+		if !reflect.DeepEqual(out, ref) {
+			t.Fatalf("step %d: cached result diverged after eviction churn", step)
+		}
+		st := c.Stats()
+		if st.Bytes > c.stripes[0].budget+entryOverhead+24*1000 {
+			t.Fatalf("step %d: bytes %d far beyond budget %d", step, st.Bytes, c.stripes[0].budget)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("budget churn produced no evictions: %+v", st)
+	}
+	if st.Entries > 2 {
+		t.Fatalf("stripe holds %d entries beyond its two-entry budget", st.Entries)
+	}
+}
+
+// TestNilCacheDelegates: a nil *Cache is a valid degraded cache.
+func TestNilCacheDelegates(t *testing.T) {
+	tree, _ := buildTree(500, 7)
+	var c *Cache
+	var cs Scratch
+	var gs, gsRef gnn.Scratch
+	users := []geom.Point{geom.Pt(0.3, 0.3)}
+	out := c.TopKInto(tree, &gs, &cs, users, gnn.Sum, 3, nil)
+	ref := gnn.TopKInto(tree, &gsRef, users, gnn.Sum, 3, nil)
+	if !reflect.DeepEqual(out, ref) {
+		t.Fatal("nil cache diverged from traversal")
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Fatalf("nil cache stats %+v", st)
+	}
+}
+
+// TestCompleteDataSetAlwaysCertifies: when the entry depth covers the
+// whole data set, every group certifies regardless of spread.
+func TestCompleteDataSetAlwaysCertifies(t *testing.T) {
+	tree, _ := buildTree(20, 8) // J = k·4+16 ≥ 20 for k ≥ 1
+	c := New(Config{})
+	rng := rand.New(rand.NewSource(9))
+	var cs Scratch
+	var gs, gsRef gnn.Scratch
+	var out, ref []gnn.Result
+	for step := 0; step < 40; step++ {
+		users := randGroup(rng, 3, 0.9)
+		for _, k := range []int{1, 5, 25} { // 25 > n: short results too
+			out = c.TopKInto(tree, &gs, &cs, users, gnn.Max, k, out[:0])
+			ref = gnn.TopKInto(tree, &gsRef, users, gnn.Max, k, ref[:0])
+			if !reflect.DeepEqual(out, ref) {
+				t.Fatalf("step %d k=%d: diverged", step, k)
+			}
+		}
+	}
+	if st := c.Stats(); st.Rejected != 0 {
+		t.Fatalf("complete entries rejected certification: %+v", st)
+	}
+}
+
+// TestConcurrentStress hammers one shared cache from many goroutines —
+// lookups over co-located and disjoint groups, Stats snapshots, and
+// periodic POI insertions — under the discipline a live server must
+// follow (an RWMutex serializing index mutation against traversal).
+// Every result is compared against a traversal taken under the same
+// read lock. Run with -race.
+func TestConcurrentStress(t *testing.T) {
+	tree, _ := buildTree(3000, 10)
+	c := New(Config{MaxBytes: 64 << 10, Stripes: 4})
+	var treeMu sync.RWMutex
+
+	const workers = 8
+	const steps = 400
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var cs Scratch
+			var gs, gsRef gnn.Scratch
+			var out, ref []gnn.Result
+			for s := 0; s < steps; s++ {
+				var users []geom.Point
+				if s%2 == 0 {
+					// Half the lookups share a hotspot with every worker.
+					users = []geom.Point{
+						geom.Pt(0.42+0.001*float64(w%3), 0.42),
+						geom.Pt(0.423, 0.418),
+					}
+				} else {
+					users = randGroup(rng, 2+rng.Intn(3), 0.02)
+				}
+				agg := gnn.Max
+				if s%3 == 0 {
+					agg = gnn.Sum
+				}
+				treeMu.RLock()
+				out = c.TopKInto(tree, &gs, &cs, users, agg, 1+s%6, out[:0])
+				ref = gnn.TopKInto(tree, &gsRef, users, agg, 1+s%6, ref[:0])
+				treeMu.RUnlock()
+				if !reflect.DeepEqual(out, ref) {
+					errs <- "cached result diverged under concurrency"
+					return
+				}
+				if s%50 == 0 {
+					_ = c.Stats()
+				}
+			}
+		}(w)
+	}
+	// Mutator: periodically insert POIs, invalidating entries.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 20; i++ {
+			treeMu.Lock()
+			tree.Insert(rtree.Item{P: geom.Pt(rng.Float64(), rng.Float64()), ID: tree.Len()})
+			treeMu.Unlock()
+		}
+	}()
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+	st := c.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("stress stream too uniform: %+v", st)
+	}
+}
+
+// TestDuplicatePOITiesNeverCertified: duplicated POI coordinates
+// produce exact aggregate-distance ties whose order the traversal's
+// heap decides; the cache must refuse to certify such selections and
+// fall back, keeping cached results byte-identical anyway.
+func TestDuplicatePOITiesNeverCertified(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	items := make([]rtree.Item, 0, 4004)
+	for i := 0; i < 4000; i++ {
+		items = append(items, rtree.Item{P: geom.Pt(rng.Float64(), rng.Float64()), ID: i})
+	}
+	// Two duplicate pairs right next to the probe group: they land in
+	// the top ranks of every nearby lookup.
+	dup1 := geom.Pt(0.7012, 0.7015)
+	dup2 := geom.Pt(0.7021, 0.7008)
+	for i, p := range []geom.Point{dup1, dup1, dup2, dup2} {
+		items = append(items, rtree.Item{P: p, ID: 4000 + i})
+	}
+	tree := rtree.Bulk(items, rtree.DefaultMaxEntries)
+
+	c := New(Config{})
+	var cs Scratch
+	var gs, gsRef gnn.Scratch
+	var out, ref []gnn.Result
+	users := []geom.Point{geom.Pt(0.7011, 0.7013), geom.Pt(0.7019, 0.7010)}
+	for step := 0; step < 10; step++ {
+		for _, k := range []int{2, 5} {
+			out = c.TopKInto(tree, &gs, &cs, users, gnn.Max, k, out[:0])
+			ref = gnn.TopKInto(tree, &gsRef, users, gnn.Max, k, ref[:0])
+			if !reflect.DeepEqual(out, ref) {
+				t.Fatalf("step %d k=%d: tie-bearing cached result diverged", step, k)
+			}
+		}
+	}
+	if st := c.Stats(); st.Hits != 0 {
+		t.Fatalf("tie-bearing selections were certified as hits: %+v", st)
+	}
+}
+
+// TestCrossTreeIsolation: entries are pinned to the tree they were
+// computed from — two different trees (both at version 0) sharing one
+// cache and one tile key must never serve each other's neighborhoods.
+func TestCrossTreeIsolation(t *testing.T) {
+	treeA, _ := buildTree(1500, 13)
+	treeB, _ := buildTree(1500, 14) // different point set, same version 0
+	c := New(Config{})
+	var cs Scratch
+	var gs, gsRef gnn.Scratch
+	users := []geom.Point{geom.Pt(0.5, 0.5), geom.Pt(0.503, 0.498)}
+	for step := 0; step < 4; step++ {
+		tree := treeA
+		if step%2 == 1 {
+			tree = treeB
+		}
+		out := c.TopKInto(tree, &gs, &cs, users, gnn.Max, 4, nil)
+		ref := gnn.TopKInto(tree, &gsRef, users, gnn.Max, 4, nil)
+		if !reflect.DeepEqual(out, ref) {
+			t.Fatalf("step %d: lookup served another tree's neighborhood", step)
+		}
+	}
+	if st := c.Stats(); st.Hits != 0 {
+		// Alternating trees on one key: every lookup must be a miss (the
+		// other tree's entry is stale by identity).
+		t.Fatalf("cross-tree lookups hit: %+v", st)
+	}
+}

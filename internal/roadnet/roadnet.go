@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"mpn/internal/geom"
+	"mpn/internal/heapq"
 )
 
 // Node is a road junction.
@@ -218,54 +219,18 @@ func (n *Network) NearestNode(p geom.Point) int {
 	return best
 }
 
-// spEntry is a Dijkstra priority-queue element.
+// spEntry is a Dijkstra priority-queue element. The queue itself is the
+// generic internal/heapq min-heap: this path runs during trajectory
+// generation, not per update, so unlike the R-tree's best-first queue
+// (see the measurement note in rtree/search.go) it can afford the
+// generic instantiation in exchange for not duplicating the sift code.
 type spEntry struct {
 	node int
 	dist float64
 }
 
-// spPush appends e and restores the min-heap order on dist. A typed
-// sift-up instead of container/heap avoids boxing every entry through
-// the interface{} API (one heap allocation per push), the same idiom as
-// the R-tree's best-first queue.
-func spPush(q []spEntry, e spEntry) []spEntry {
-	q = append(q, e)
-	i := len(q) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if q[parent].dist <= q[i].dist {
-			break
-		}
-		q[parent], q[i] = q[i], q[parent]
-		i = parent
-	}
-	return q
-}
-
-// spPop removes and returns the minimum entry.
-func spPop(q []spEntry) (spEntry, []spEntry) {
-	top := q[0]
-	n := len(q) - 1
-	q[0] = q[n]
-	q = q[:n]
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		least := l
-		if r := l + 1; r < n && q[r].dist < q[l].dist {
-			least = r
-		}
-		if q[i].dist <= q[least].dist {
-			break
-		}
-		q[i], q[least] = q[least], q[i]
-		i = least
-	}
-	return top, q
-}
+// Less orders entries by distance for heapq.
+func (e spEntry) Less(o spEntry) bool { return e.dist < o.dist }
 
 // ShortestPath returns the node sequence and length of the shortest path
 // from a to b (Dijkstra). ok is false only if a and b are disconnected,
@@ -284,7 +249,7 @@ func (n *Network) ShortestPath(a, b int) (path []int, length float64, ok bool) {
 	q := []spEntry{{node: a}}
 	for len(q) > 0 {
 		var e spEntry
-		e, q = spPop(q)
+		e, q = heapq.Pop(q)
 		if e.dist > dist[e.node] {
 			continue
 		}
@@ -296,7 +261,7 @@ func (n *Network) ShortestPath(a, b int) (path []int, length float64, ok bool) {
 			if nd < dist[ed.To] {
 				dist[ed.To] = nd
 				prev[ed.To] = e.node
-				q = spPush(q, spEntry{node: ed.To, dist: nd})
+				q = heapq.Push(q, spEntry{node: ed.To, dist: nd})
 			}
 		}
 	}

@@ -13,6 +13,7 @@ package rtree
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"mpn/internal/geom"
 )
@@ -55,7 +56,19 @@ type Tree struct {
 	size       int
 	maxEntries int
 	minEntries int
+
+	// version counts structural mutations (see Version). It is atomic so
+	// concurrent readers holding cached results keyed by version can check
+	// staleness without a lock, but the tree itself is still not safe for
+	// mutation concurrent with searches.
+	version atomic.Uint64
 }
+
+// Version returns the tree's monotone mutation counter: it starts at 0
+// for a freshly built (New or Bulk) tree and increases on every Insert.
+// Result caches key their entries by it so a cached traversal
+// self-invalidates after any POI mutation without scanning the tree.
+func (t *Tree) Version() uint64 { return t.version.Load() }
 
 // New returns an empty tree with the given maximum node fan-out. A
 // maxEntries below 4 is raised to 4.
@@ -83,8 +96,9 @@ func (t *Tree) Height() int {
 	return h
 }
 
-// Insert adds an item to the tree.
+// Insert adds an item to the tree and bumps the mutation version.
 func (t *Tree) Insert(it Item) {
+	t.version.Add(1)
 	r := geom.Rect{Min: it.P, Max: it.P}
 	split := t.insert(t.root, entry{mbr: r, item: it})
 	if split != nil {

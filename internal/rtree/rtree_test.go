@@ -244,3 +244,37 @@ func BenchmarkKNN(b *testing.B) {
 		tr.KNN(geom.Pt(rng.Float64(), rng.Float64()), 10)
 	}
 }
+
+// knnQuery is a scratch-resident BestFirstQuery for the benchmark below:
+// a plain kNN without the per-call closure allocations of KNN, so the
+// measurement isolates the traversal (and its heap) itself.
+type knnQuery struct {
+	q     geom.Point
+	k     int
+	found int
+}
+
+func (s *knnQuery) NodeLB(r geom.Rect) float64 { return r.MinDist(s.q) }
+func (s *knnQuery) ItemDist(it Item) float64   { return it.P.Dist(s.q) }
+func (s *knnQuery) Visit(it Item, d float64) bool {
+	s.found++
+	return s.found < s.k
+}
+
+// BenchmarkBestFirstInto is the reference measurement of the best-first
+// traversal — the hottest loop of every GNN search — used to decide
+// whether the typed priority queue may be replaced by a generic helper
+// (see the heap comment in search.go).
+func BenchmarkBestFirstInto(b *testing.B) {
+	items := randomItems(21287, 23)
+	tr := Bulk(items, DefaultMaxEntries)
+	rng := rand.New(rand.NewSource(24))
+	var s Scratch
+	var q knnQuery
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q = knnQuery{q: geom.Pt(rng.Float64(), rng.Float64()), k: 50}
+		tr.BestFirstInto(&s, &q)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"mpn/internal/geom"
 	"mpn/internal/gnn"
 	"mpn/internal/mobility"
+	"mpn/internal/nbrcache"
 	"mpn/internal/tileenc"
 )
 
@@ -66,6 +67,17 @@ type Config struct {
 	// MaxSteps truncates the trajectories (0 = full length), letting the
 	// harness trade fidelity for wall-clock time.
 	MaxSteps int
+	// Incremental routes every recomputation through the incremental
+	// planners (TileMSRIncInto / CircleMSRIncInto), retaining the group's
+	// plan state across updates — the maintenance protocol the paper's
+	// independent safe regions propose. The default (false) keeps the
+	// historical full-replan accounting, where every update regrows all
+	// m regions from scratch.
+	Incremental bool
+	// SharedCache, when non-nil, serves GNN result-set retrievals from
+	// the shared neighborhood cache (see internal/nbrcache). Plans are
+	// unaffected; only the index-traversal cost changes.
+	SharedCache *nbrcache.Cache
 }
 
 // Metrics aggregates one run's costs.
@@ -89,6 +101,12 @@ type Metrics struct {
 	RegionBytes int
 	// PlanStats accumulates planner work counters.
 	PlanStats core.Stats
+	// FullReplans, PartialReplans and KeptPlans break Updates down by
+	// incremental outcome. Without Config.Incremental every update is a
+	// full replan.
+	FullReplans    int
+	PartialReplans int
+	KeptPlans      int
 }
 
 // UpdateFrequency returns updates per 1,000 timestamps, the paper's
@@ -160,6 +178,7 @@ func Run(points []geom.Point, group []mobility.Trajectory, cfg Config) (Metrics,
 		group:   group,
 		cfg:     cfg,
 		m:       len(group),
+		ws:      core.NewWorkspace(),
 	}
 
 	var met Metrics
@@ -191,6 +210,12 @@ type session struct {
 	cfg     Config
 	m       int
 	regions []core.SafeRegion
+
+	// Incremental-protocol state: the retained plan and the reusable
+	// workspace (the real server's workers hold one each; the simulated
+	// server holds one per run).
+	state core.PlanState
+	ws    *core.Workspace
 }
 
 // update executes the three-step protocol of Fig. 3 at timestamp t and
@@ -222,26 +247,49 @@ func (s *session) update(t int, met *Metrics, initial bool) {
 	}
 
 	// Step 3: recompute the meeting point and safe regions (timed — this
-	// is the paper's "running time per update").
+	// is the paper's "running time per update"). With Config.Incremental
+	// the recomputation runs the paper's maintenance protocol: the
+	// retained plan state is validated against the fresh locations and
+	// only what the movement invalidated is regrown. Either way the
+	// shared neighborhood cache, when configured, serves the result-set
+	// retrieval (a nil cache degrades the *CachedInto entry points to the
+	// plain ones).
 	start := time.Now()
-	var plan core.Plan
-	var err error
-	switch s.cfg.Method {
-	case MethodCircle:
-		plan, err = s.planner.CircleMSR(users)
-	case MethodTile:
-		plan, err = s.planner.TileMSR(users, nil)
-	default:
-		dirs := make([]core.Direction, s.m)
+	var dirs []core.Direction
+	if s.cfg.Method == MethodTileD {
+		// Heading estimation stays inside the timed window: it is part of
+		// the per-update server cost the figures have always charged to
+		// Tile-D.
+		dirs = make([]core.Direction, s.m)
 		for i, tr := range s.group {
 			dirs[i] = core.Direction{
 				Angle: mobility.Heading(tr, t, s.cfg.HeadingWindow),
 				Theta: mobility.DeviationBound(tr, t, s.cfg.HeadingWindow, s.cfg.MinTheta),
 			}
 		}
-		plan, err = s.planner.TileMSR(users, dirs)
+	}
+	var plan core.Plan
+	out := core.IncFull
+	var err error
+	switch {
+	case s.cfg.Method == MethodCircle && s.cfg.Incremental:
+		plan, out, err = s.planner.CircleMSRIncCachedInto(s.ws, s.cfg.SharedCache, &s.state, users)
+	case s.cfg.Method == MethodCircle:
+		plan, err = s.planner.CircleMSRCachedInto(s.ws, s.cfg.SharedCache, users)
+	case s.cfg.Incremental:
+		plan, out, err = s.planner.TileMSRIncCachedInto(s.ws, s.cfg.SharedCache, &s.state, users, dirs)
+	default:
+		plan, err = s.planner.TileMSRCachedInto(s.ws, s.cfg.SharedCache, users, dirs)
 	}
 	met.ServerCPU += time.Since(start)
+	switch out {
+	case core.IncKept:
+		met.KeptPlans++
+	case core.IncPartial:
+		met.PartialReplans++
+	default:
+		met.FullReplans++
+	}
 	if err != nil {
 		// Cannot happen with validated inputs; fall back to point regions
 		// so the simulation can proceed.

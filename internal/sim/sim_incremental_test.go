@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+
+	"mpn/internal/gnn"
+	"mpn/internal/nbrcache"
+)
+
+// TestRunIncrementalProtocol replays one workload under the incremental
+// maintenance protocol and checks the outcome accounting: every update
+// is classified, the non-incremental run classifies everything as a
+// full replan, and the incremental run actually reuses plans (partial
+// or kept outcomes appear — the protocol the paper proposes).
+func TestRunIncrementalProtocol(t *testing.T) {
+	pois, group := testWorkload(t, 3)
+
+	base := MethodConfig(MethodTile, gnn.Max, 0)
+	base.Core.TileLimit = 8
+	base.MaxSteps = 400
+
+	full, err := Run(pois, group, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.FullReplans != full.Updates || full.PartialReplans != 0 || full.KeptPlans != 0 {
+		t.Fatalf("non-incremental outcome mix %d/%d/%d over %d updates",
+			full.FullReplans, full.PartialReplans, full.KeptPlans, full.Updates)
+	}
+
+	inc := base
+	inc.Incremental = true
+	incMet, err := Run(pois, group, inc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := incMet.FullReplans + incMet.PartialReplans + incMet.KeptPlans; got != incMet.Updates {
+		t.Fatalf("incremental outcomes %d do not sum to updates %d", got, incMet.Updates)
+	}
+	if incMet.PartialReplans+incMet.KeptPlans == 0 {
+		t.Fatalf("incremental run never reused a plan: %d full / %d partial / %d kept",
+			incMet.FullReplans, incMet.PartialReplans, incMet.KeptPlans)
+	}
+}
+
+// TestRunCacheInvariance: the shared neighborhood cache changes only
+// where the result sets come from, never what they are — update
+// frequency, packets, and region bytes must match the uncached run
+// exactly, incremental or not.
+func TestRunCacheInvariance(t *testing.T) {
+	pois, group := testWorkload(t, 3)
+	for _, incremental := range []bool{false, true} {
+		cfg := MethodConfig(MethodTile, gnn.Max, 0)
+		cfg.Core.TileLimit = 8
+		cfg.MaxSteps = 300
+		cfg.Incremental = incremental
+
+		plain, err := Run(pois, group, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.SharedCache = nbrcache.New(nbrcache.Config{})
+		cached, err := Run(pois, group, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cached.Updates != plain.Updates || cached.Packets != plain.Packets ||
+			cached.RegionBytes != plain.RegionBytes ||
+			cached.FullReplans != plain.FullReplans ||
+			cached.PartialReplans != plain.PartialReplans ||
+			cached.KeptPlans != plain.KeptPlans {
+			t.Fatalf("incremental=%v: cached run diverged: %+v vs %+v", incremental, cached, plain)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"mpn/internal/core"
 	"mpn/internal/engine"
 	"mpn/internal/geom"
+	"mpn/internal/nbrcache"
 	"mpn/internal/tileenc"
 )
 
@@ -71,7 +72,12 @@ type Server struct {
 	planner *core.Planner
 	planWS  engine.PlanWSFunc
 	engine  *engine.Engine
+	cache   *nbrcache.Cache // non-nil iff WithSharedGNNCache was given
 }
+
+// CacheStats is a snapshot of the shared GNN cache's counters (see
+// WithSharedGNNCache and Server.GNNCacheStats).
+type CacheStats = nbrcache.Stats
 
 // NewServer indexes the POI set and returns a server. The default
 // configuration is the paper's best method (directed tiles, α=30, L=2,
@@ -91,16 +97,30 @@ func NewServer(pois []Point, opts ...Option) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		planner: planner,
-		planWS:  engine.PlannerWSFunc(planner, cfg.method == Circle),
 	}
+	circle := cfg.method == Circle
+	if cfg.cacheBytes > 0 {
+		s.cache = nbrcache.New(nbrcache.Config{MaxBytes: cfg.cacheBytes})
+	}
+	s.planWS = engine.PlannerCachedWSFunc(planner, circle, s.cache)
 	eopts := engine.Options{
 		Shards: cfg.shards, Workers: cfg.workers, QueueDepth: cfg.queueDepth,
 	}
 	if cfg.incremental {
-		eopts.Replan = engine.PlannerIncFunc(planner, cfg.method == Circle)
+		eopts.Replan = engine.PlannerIncCachedFunc(planner, circle, s.cache)
 	}
 	s.engine = engine.NewWS(s.planWS, eopts)
 	return s, nil
+}
+
+// GNNCacheStats reports the shared neighborhood cache's counters and
+// occupancy; ok is false (and the snapshot zero) when the server was
+// built without WithSharedGNNCache.
+func (s *Server) GNNCacheStats() (stats CacheStats, ok bool) {
+	if s.cache == nil {
+		return CacheStats{}, false
+	}
+	return s.cache.Stats(), true
 }
 
 // NumPOIs returns the indexed data set size.

@@ -66,6 +66,7 @@ type config struct {
 	method      Method
 	core        core.Options
 	incremental bool
+	cacheBytes  int64
 
 	// Engine sizing; zero selects the engine's defaults (GOMAXPROCS
 	// shards, 1 worker per shard, queue depth 1024).
@@ -160,6 +161,41 @@ func WithBuffer(b int) Option {
 func WithIncremental() Option {
 	return func(c *config) error {
 		c.incremental = true
+		return nil
+	}
+}
+
+// WithSharedGNNCache enables the cross-group neighborhood cache: one
+// concurrency-safe, tile-keyed cache of GNN result sets shared by every
+// group and every engine worker, bounded by the given LRU byte budget.
+// Groups whose centroids fall in the same quantized tile reuse each
+// other's index traversals instead of recomputing them — the dominant
+// server cost when many groups cluster in the same urban areas. Cached
+// retrieval is exact (every hit is certified against the requesting
+// group's actual member locations, and safe-region tiles are still
+// verified per group), so plans are byte-identical to an uncached
+// server's; entries self-invalidate when the POI index mutates. See
+// Server.GNNCacheStats for hit/miss observability.
+func WithSharedGNNCache(maxBytes int) Option {
+	return func(c *config) error {
+		if maxBytes < 1 {
+			return fmt.Errorf("mpn: GNN cache budget %d must be positive", maxBytes)
+		}
+		c.cacheBytes = int64(maxBytes)
+		return nil
+	}
+}
+
+// WithIncrementalCostRatio tunes the incremental planner's up-front
+// cost heuristic: a partial regrow is skipped in favor of a full replan
+// when the retained clean regions hold more than ratio times the tile
+// frontier a fresh plan would build, since oversized retained regions
+// make the partial regrow verify more than a full replan computes. Zero
+// selects the measured default crossover; a negative ratio disables the
+// heuristic. Only meaningful together with WithIncremental.
+func WithIncrementalCostRatio(ratio float64) Option {
+	return func(c *config) error {
+		c.core.IncCostRatio = ratio
 		return nil
 	}
 }
