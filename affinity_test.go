@@ -1,0 +1,64 @@
+package mpn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestWithTileAffinity exercises the full public lifecycle on a server
+// whose engine places groups by centroid tile: registration, synchronous
+// and asynchronous updates, notifications, and unregistration must all
+// work through the shard-encoding group ids, and co-located groups must
+// produce identical plans to a default server's.
+func TestWithTileAffinity(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	pois := make([]Point, 3000)
+	for i := range pois {
+		pois[i] = Pt(rng.Float64(), rng.Float64())
+	}
+	affinity, err := NewServer(pois, WithTileLimit(8), WithTileAffinity(), WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer affinity.Close()
+	plain, err := NewServer(pois, WithTileLimit(8), WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+
+	users := [][]Point{
+		{Pt(0.5001, 0.5001), Pt(0.5003, 0.5002)},
+		{Pt(0.5002, 0.5003), Pt(0.5004, 0.5001)},
+		{Pt(0.1, 0.9), Pt(0.102, 0.898)},
+	}
+	for _, us := range users {
+		ga, err := affinity.Register(us, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gp, err := plain.Register(us, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ga.MeetingPoint() != gp.MeetingPoint() {
+			t.Fatalf("affinity server computed a different meeting point: %v vs %v",
+				ga.MeetingPoint(), gp.MeetingPoint())
+		}
+		if err := ga.Update(us, nil); err != nil {
+			t.Fatal(err)
+		}
+		if !ga.Region(0).Contains(us[0]) {
+			t.Fatal("region misses its own user")
+		}
+		sub := affinity.Subscribe(4)
+		if err := ga.SubmitUpdate(us, nil); err != nil {
+			t.Fatal(err)
+		}
+		if n := <-sub.C; n.Group != ga.ID() {
+			t.Fatalf("notification for group %d, want %d", n.Group, ga.ID())
+		}
+		sub.Close()
+		ga.Unregister()
+	}
+}

@@ -131,6 +131,20 @@ func main() {
 			failures++
 			continue
 		}
+		if base.WireBytes > 0 {
+			// Wire-byte series are deterministic and machine-independent:
+			// no normalization, and only a small slack for frame-size
+			// drift from workload perturbations.
+			growth := cur.WireBytes/base.WireBytes - 1
+			verdict := ""
+			if growth > wireBytesTol {
+				verdict = fmt.Sprintf("  FAIL wire bytes +%.0f%% > %.0f%%", 100*growth, 100*wireBytesTol)
+				failures++
+			}
+			fmt.Printf("%-22s %3d  %11.0f B  %11.0f B %+7.1f%%%s\n",
+				base.Name, base.GroupSize, base.WireBytes, cur.WireBytes, 100*growth, verdict)
+			continue
+		}
 		delta := 0.0
 		if base.NsPerOp > 0 {
 			delta = cur.NsPerOp/base.NsPerOp/scale - 1
@@ -154,11 +168,50 @@ func main() {
 				cur.Name, cur.GroupSize)
 		}
 	}
+	failures += enforceDeltaReduction(current)
 	if failures > 0 {
 		fmt.Printf("\nbenchgate: %d regression(s) beyond tolerance\n", failures)
 		os.Exit(1)
 	}
 	fmt.Println("\nbenchgate: all series within tolerance")
+}
+
+// wireBytesTol is the slack on deterministic wire-byte series (region
+// shapes shift slightly when the planner workload is perturbed).
+const wireBytesTol = 0.10
+
+// minDeltaReduction is the enforced steady-state win of the delta
+// notification protocol at the largest benchmarked group size: the
+// full-protocol bytes per kept-path notification round must be at least
+// this many times the delta protocol's.
+const (
+	minDeltaReduction  = 10.0
+	deltaReductionAtM  = 6
+	notifyBytesFullSer = "notify_bytes_full"
+	notifyBytesDeltaSr = "notify_bytes_delta"
+)
+
+// enforceDeltaReduction checks the current report's notify_bytes series
+// pair: at m=6 the delta protocol must keep its ≥10× reduction. Returns
+// the number of failures.
+func enforceDeltaReduction(current map[key]benchfmt.Series) int {
+	failures := 0
+	for m := 2; m <= deltaReductionAtM; m++ {
+		full, okF := current[key{notifyBytesFullSer, m}]
+		delta, okD := current[key{notifyBytesDeltaSr, m}]
+		if !okF || !okD || delta.WireBytes <= 0 {
+			continue
+		}
+		ratio := full.WireBytes / delta.WireBytes
+		status := ""
+		if m == deltaReductionAtM && ratio < minDeltaReduction {
+			status = fmt.Sprintf("  FAIL reduction %.1fx < %.0fx", ratio, minDeltaReduction)
+			failures++
+		}
+		fmt.Printf("notify delta reduction m=%d: %.0f B → %.0f B (%.1fx)%s\n",
+			m, full.WireBytes, delta.WireBytes, ratio, status)
+	}
+	return failures
 }
 
 // sortedSeries returns the map's series in a stable name-then-size order.

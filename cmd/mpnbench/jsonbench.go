@@ -19,6 +19,7 @@ import (
 	"mpn/internal/engine"
 	"mpn/internal/geom"
 	"mpn/internal/nbrcache"
+	"mpn/internal/proto"
 	"mpn/internal/workload"
 )
 
@@ -254,10 +255,108 @@ func runPlanJSONBench(out io.Writer, log io.Writer) error {
 	}
 
 	runMultiGroupBench(&report, planner, log)
+	if err := runNotifyBench(&report, planner, log); err != nil {
+		return err
+	}
 
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)
+}
+
+// runNotifyBench appends the notification wire series: what one
+// kept-path recomputation costs to put on the wire, fanned out to all m
+// members, under the historical full protocol (re-encode every region
+// into a TNotify per member, every time) versus the epoch-tracked delta
+// protocol (one epoch compare per member; unchanged regions ship a
+// record-less TNotifyDelta and are never re-encoded). notify_bytes_*
+// carry the deterministic frame bytes per notification round;
+// notify_encode_* carry the server-side serialization ns/op.
+func runNotifyBench(report *benchfmt.Report, planner *core.Planner, log io.Writer) error {
+	for m := 2; m <= 6; m++ {
+		users, dirs := jsonBenchGroup(m)
+		ws := core.NewWorkspace()
+		var st core.PlanState
+		replan := engine.PlannerIncFunc(planner, false)
+		locs := append([]geom.Point(nil), users...)
+		if _, _, _, _, err := replan(ws, &st, locs, dirs); err != nil {
+			return err
+		}
+		// One kept-path step: in-region jitter, result set unchanged.
+		for j, u := range users {
+			locs[j] = geom.Pt(u.X+1e-6, u.Y-1e-6)
+		}
+		meeting, regions, _, outcome, err := replan(ws, &st, locs, dirs)
+		if err != nil {
+			return err
+		}
+		if outcome != core.IncKept {
+			fmt.Fprintf(log, "  notify m=%d: jitter step was %v, not kept; series measures that outcome\n", m, outcome)
+		}
+		epochs := append([]uint64(nil), st.Epochs()...)
+
+		// Deterministic wire bytes of this notification round.
+		var buf []byte
+		fullBytes, deltaBytes := 0, 0
+		for i, r := range regions {
+			full := proto.Message{
+				Type: proto.TNotify, Group: 1, User: uint32(i),
+				Meeting: meeting, Epoch: epochs[i], Region: proto.EncodeRegion(r),
+			}
+			if buf, err = full.AppendFrame(buf[:0]); err != nil {
+				return err
+			}
+			fullBytes += len(buf)
+			delta := proto.Message{Type: proto.TNotifyDelta, Group: 1, User: uint32(i), Epoch: epochs[i]}
+			if buf, err = delta.AppendFrame(buf[:0]); err != nil {
+				return err
+			}
+			deltaBytes += len(buf)
+		}
+		report.Series = append(report.Series,
+			benchfmt.Series{Name: "notify_bytes_full", GroupSize: m, WireBytes: float64(fullBytes)},
+			benchfmt.Series{Name: "notify_bytes_delta", GroupSize: m, WireBytes: float64(deltaBytes)},
+		)
+
+		// Serialization cost per notification round. Full: encode every
+		// region and frame it (what every pre-delta notification paid).
+		rFull := testing.Benchmark(func(b *testing.B) {
+			var fb []byte
+			for i := 0; i < b.N; i++ {
+				for j, r := range regions {
+					msg := proto.Message{
+						Type: proto.TNotify, Group: 1, User: uint32(j),
+						Meeting: meeting, Epoch: epochs[j], Region: proto.EncodeRegion(r),
+					}
+					fb, _ = msg.AppendFrame(fb[:0])
+				}
+			}
+		})
+		// Delta kept path: the coordinator's epoch compare finds every
+		// region unchanged; nothing is encoded, a record-less frame goes
+		// out.
+		rDelta := testing.Benchmark(func(b *testing.B) {
+			delivered := append([]uint64(nil), epochs...)
+			var fb []byte
+			for i := 0; i < b.N; i++ {
+				for j := range regions {
+					msg := proto.Message{Type: proto.TNotifyDelta, Group: 1, User: uint32(j), Epoch: epochs[j]}
+					if epochs[j] != delivered[j] {
+						msg.Deltas = []proto.RegionDelta{{Member: uint32(j), Epoch: epochs[j], Region: proto.EncodeRegion(regions[j])}}
+						delivered[j] = epochs[j]
+					}
+					fb, _ = msg.AppendFrame(fb[:0])
+				}
+			}
+		})
+		sFull := toSeries("notify_encode_full", m, rFull)
+		sDelta := toSeries("notify_encode_delta", m, rDelta)
+		report.Series = append(report.Series, sFull, sDelta)
+		fmt.Fprintf(log, "  notify m=%d  bytes %5d → %3d (%5.1fx)  encode %8.0f → %4.0f ns/op\n",
+			m, fullBytes, deltaBytes, float64(fullBytes)/float64(deltaBytes),
+			sFull.NsPerOp, sDelta.NsPerOp)
+	}
+	return nil
 }
 
 // Multi-group workload shape: mgGroups incremental groups of mgM members

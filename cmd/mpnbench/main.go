@@ -44,6 +44,7 @@ func main() {
 	steps := flag.Int("steps", 0, "override trajectory length (0 = scale default)")
 	groups := flag.Int("groups", 0, "override group count averaged over (0 = scale default)")
 	incremental := flag.Bool("incremental", true, "replay figures under the paper's incremental maintenance protocol (false = historical full-replan accounting)")
+	deltaWire := flag.Bool("delta", true, "account notification bytes/packets under the delta wire protocol (unchanged regions ship a tiny delta frame; requires -incremental)")
 	cacheBytes := flag.Int64("gnncache", 0, "shared GNN neighborhood cache byte budget per figure run (0 = no cache)")
 	engineMode := flag.Bool("engine", false, "run the concurrent-engine throughput benchmark instead of the figures")
 	engineGroups := flag.Int("egroups", 0, "engine benchmark: live group count (0 = 64)")
@@ -128,9 +129,12 @@ func main() {
 	}
 	suite.Incremental = *incremental
 	suite.GNNCacheBytes = *cacheBytes
+	suite.DeltaWire = *deltaWire && *incremental
 	protocol := "incremental maintenance"
 	if !*incremental {
 		protocol = "full replan per update"
+	} else if suite.DeltaWire {
+		protocol = "incremental maintenance, delta wire"
 	}
 	fmt.Fprintf(out, "workloads ready in %v: %d POIs, 2×%d trajectories × %d steps, %d groups (%s)\n\n",
 		time.Since(start).Round(time.Millisecond), len(suite.POIs),

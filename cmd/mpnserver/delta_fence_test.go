@@ -1,0 +1,183 @@
+package main
+
+import (
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+
+	"mpn/internal/geom"
+	"mpn/internal/proto"
+)
+
+// TestDeltaDifferentialFence is the acceptance fence of the delta
+// protocol: for the same report stream, a delta-protocol client's
+// reassembled plan must be byte-identical to a full-Notify client's at
+// every step. Two groups with identical member locations run against
+// one delta-enabled incremental server — group 1's clients negotiate
+// deltas, group 2's force full frames — and after every notification
+// round the decoded regions and meeting points are compared. The stream
+// exercises kept (in-region report), partial (minimal escape), and full
+// (result-set churn) outcomes, plus a forced reconnect mid-stream; the
+// matrix covers both aggregates and both region shapes.
+func TestDeltaDifferentialFence(t *testing.T) {
+	for _, tc := range []struct{ method, agg string }{
+		{"tiled", "max"},
+		{"tiled", "sum"},
+		{"circle", "max"},
+		{"circle", "sum"},
+	} {
+		t.Run(tc.method+"/"+tc.agg, func(t *testing.T) {
+			runDeltaFence(t, tc.method, tc.agg)
+		})
+	}
+}
+
+// fencePair is the same logical user in the delta group and the full
+// group: identical start location, identical movement.
+type fencePair struct {
+	delta *e2eUser
+	full  *e2eUser
+}
+
+func (p *fencePair) setLoc(loc geom.Point) {
+	p.delta.setLoc(loc)
+	p.full.setLoc(loc)
+}
+
+func runDeltaFence(t *testing.T, method, agg string) {
+	rng := rand.New(rand.NewSource(17))
+	pois := make([]geom.Point, 800)
+	for i := range pois {
+		pois[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	srv, err := newServer(serverConfig{
+		pois: pois, method: method, agg: agg,
+		alpha: 5, buffer: 20, shards: 2, workers: 1,
+		incremental: true,
+		delta:       true,
+		logger:      log.New(io.Discard, "", 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() { _ = srv.serve(ln) }()
+	addr := ln.Addr().String()
+
+	starts := []geom.Point{geom.Pt(0.30, 0.30), geom.Pt(0.35, 0.32), geom.Pt(0.31, 0.36)}
+	m := len(starts)
+	pairs := make([]*fencePair, m)
+	dial := func(i int, start geom.Point) *fencePair {
+		return &fencePair{
+			delta: dialUser(t, addr, 1, uint32(i), start),
+			full:  dialUser(t, addr, 2, uint32(i), start, proto.WithoutDelta()),
+		}
+	}
+	for i, s := range starts {
+		pairs[i] = dial(i, s)
+	}
+	register := func(p *fencePair) {
+		if err := p.delta.client.Register(uint32(m)); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.full.client.Register(uint32(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range pairs {
+		register(p)
+	}
+
+	// waitRound consumes one notification per client in both groups and
+	// compares the reassembled plans pairwise.
+	waitRound := func(step string) {
+		t.Helper()
+		for i, p := range pairs {
+			dm := p.delta.waitNotify(t)
+			fm := p.full.waitNotify(t)
+			if dm != fm {
+				t.Fatalf("%s: member %d meeting diverged: delta %v vs full %v", step, i, dm, fm)
+			}
+			dr, fr := p.delta.client.Region(), p.full.client.Region()
+			if !reflect.DeepEqual(dr, fr) {
+				t.Fatalf("%s: member %d region diverged:\n delta %v\n full  %v", step, i, dr, fr)
+			}
+			if p.delta.client.Meeting() != p.full.client.Meeting() {
+				t.Fatalf("%s: member %d retained meeting diverged", step, i)
+			}
+		}
+	}
+	waitRound("registration")
+
+	// report makes the same member file the same report in both groups
+	// (locations must be set on the pairs first).
+	report := func(i int) {
+		t.Helper()
+		if err := pairs[i].delta.client.Report(); err != nil {
+			t.Fatal(err)
+		}
+		if err := pairs[i].full.client.Report(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Round 1 — kept: member 0 reports from a position still inside her
+	// region (a spurious report; nothing regrows, deltas carry nothing).
+	jit := geom.Pt(starts[0].X+1e-6, starts[0].Y-1e-6)
+	if pairs[0].delta.client.NeedsUpdate(jit) {
+		t.Skip("jitter escaped the region; workload unsuitable")
+	}
+	pairs[0].setLoc(jit)
+	report(0)
+	waitRound("kept")
+
+	// Round 2 — minimal escape: walk member 0 just past her boundary
+	// (partial regrow on the tile methods when the optimum survives).
+	esc := jit
+	step := 1e-4
+	for !pairs[0].delta.client.NeedsUpdate(esc) {
+		esc = geom.Pt(esc.X+step, esc.Y+step)
+		step *= 2
+		if step > 1 {
+			t.Fatal("could not escape region")
+		}
+	}
+	pairs[0].setLoc(esc)
+	report(0)
+	waitRound("partial")
+
+	// Round 3 — churn: member 0 jumps far, moving the optimum (full
+	// replan, every region regrows).
+	far := geom.Pt(0.70, 0.70)
+	pairs[0].setLoc(far)
+	pairs[1].setLoc(geom.Pt(0.36, 0.33))
+	pairs[2].setLoc(geom.Pt(0.30, 0.37))
+	report(0)
+	waitRound("full")
+
+	// Round 4 — forced reconnect mid-stream: member 2 drops in both
+	// groups and rejoins at her current location. Re-completion triggers
+	// a replan round; the rejoined delta client must be repaired with a
+	// full snapshot and stay byte-identical from then on.
+	loc2 := geom.Pt(0.30, 0.37)
+	pairs[2].delta.conn.Close()
+	pairs[2].full.conn.Close()
+	<-pairs[2].delta.runErr
+	<-pairs[2].full.runErr
+	pairs[2] = dial(2, loc2)
+	register(pairs[2])
+	waitRound("reconnect")
+
+	// Round 5 — kept after reconnect: everyone reports in place; the
+	// rejoined client now rides deltas again and must stay identical.
+	report(1)
+	waitRound("kept-after-reconnect")
+}

@@ -13,11 +13,18 @@
 // read loops never wait on the planner, and a burst of reports costs one
 // recomputation.
 //
+// Notifications default to the delta wire protocol (-delta): clients
+// that negotiate it receive epoch-tracked region diffs — only regions
+// whose content changed travel, a steady-state "nothing changed" frame
+// is ~10 bytes — with automatic full-frame fallback on registration,
+// reconnect, dropped frames, and client NACKs.
+//
 // Usage:
 //
 //	mpnserver [-listen :7464] [-method circle|tile|tiled] [-agg max|sum]
 //	          [-n 21287] [-alpha 30] [-buffer 100] [-seed 42] [-pois FILE.csv]
-//	          [-shards N] [-workers N] [-queue N]
+//	          [-shards N] [-workers N] [-queue N] [-incremental] [-gnncache N]
+//	          [-delta=true] [-affinity]
 //
 // POIs are generated synthetically unless -pois points to a CSV of "x,y"
 // lines (as produced by cmd/poigen).
@@ -61,6 +68,8 @@ func main() {
 	queue := flag.Int("queue", 0, "per-shard work queue depth (0 = 1024)")
 	incremental := flag.Bool("incremental", false, "incremental safe-region maintenance: keep retained regions and regrow only what a report invalidates")
 	cacheBytes := flag.Int64("gnncache", 0, "shared GNN neighborhood cache byte budget, 0 disables (co-located groups reuse each other's index traversals)")
+	delta := flag.Bool("delta", true, "delta notifications: clients that negotiate receive epoch-tracked region diffs (only changed regions travel), with automatic full-frame fallback and repair")
+	tileAffinity := flag.Bool("affinity", false, "place new groups onto engine shards by quantized centroid tile, so co-located groups share worker-local state")
 	flag.Parse()
 
 	pois, err := loadPOIs(*poiPath, *n, *seed)
@@ -73,6 +82,8 @@ func main() {
 		shards: *shards, workers: *workers, queue: *queue,
 		incremental: *incremental,
 		cacheBytes:  *cacheBytes,
+		delta:       *delta,
+		affinity:    *tileAffinity,
 		logger:      log.Default(),
 	})
 	if err != nil {
@@ -89,8 +100,12 @@ func main() {
 	if *incremental {
 		mode = "incremental"
 	}
-	log.Printf("serving %d POIs with %s/%s on %s (%d shards × %d workers, %s)",
-		len(pois), *method, *agg, ln.Addr(), eo.Shards, eo.Workers, mode)
+	wire := "full notifications"
+	if *delta {
+		wire = "delta notifications"
+	}
+	log.Printf("serving %d POIs with %s/%s on %s (%d shards × %d workers, %s, %s)",
+		len(pois), *method, *agg, ln.Addr(), eo.Shards, eo.Workers, mode, wire)
 	if err := srv.serve(ln); err != nil {
 		log.Fatal(err)
 	}
@@ -105,6 +120,8 @@ type serverConfig struct {
 	shards, workers, queue int
 	incremental            bool
 	cacheBytes             int64
+	delta                  bool
+	affinity               bool
 	logger                 *log.Logger
 }
 
@@ -159,6 +176,9 @@ func newServer(cfg serverConfig) (*server, error) {
 	if cfg.incremental {
 		eopts.Replan = engine.PlannerIncCachedFunc(planner, cfg.method == "circle", cache)
 	}
+	if cfg.affinity {
+		eopts.TileAffinity = engine.DefaultTileAffinity
+	}
 	s := &server{
 		eng:         engine.NewWS(plan, eopts),
 		logger:      cfg.logger,
@@ -168,6 +188,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	}
 	s.coord = proto.NewAsyncCoordinator(s.submit, cfg.logger)
 	s.coord.SetGroupEmptyHook(s.onGroupEmpty)
+	s.coord.SetDeltaEnabled(cfg.delta)
 	s.sub = s.eng.Subscribe(1024)
 	go s.fanout()
 	return s, nil
@@ -184,7 +205,7 @@ func newServer(cfg serverConfig) (*server, error) {
 // shard queue blocks here, backpressure toward the transport. The
 // member-id ordering travels as the submission tag so deliveries can be
 // verified against membership churn.
-func (s *server) submit(gid uint32, ids []uint32, users []geom.Point) (geom.Point, []core.SafeRegion, bool) {
+func (s *server) submit(gid uint32, ids []uint32, users []geom.Point) (geom.Point, []core.SafeRegion, []uint64, bool) {
 	s.mu.Lock()
 	eid, ok := s.gidToEngine[gid]
 	if !ok {
@@ -193,22 +214,23 @@ func (s *server) submit(gid uint32, ids []uint32, users []geom.Point) (geom.Poin
 		if err != nil {
 			s.mu.Unlock()
 			s.deliverError(gid, err)
-			return geom.Point{}, nil, false
+			return geom.Point{}, nil, nil, false
 		}
 		s.gidToEngine[gid] = eid
 		s.engineToGid[eid] = gid
 		meeting := s.eng.Meeting(eid)
 		regions := s.eng.Regions(eid)
+		epochs := s.eng.Epochs(eid)
 		s.mu.Unlock()
 		// Hand the initial plan back for inline delivery; the fan-out
 		// skips the matching Seq-1 notification.
-		return meeting, regions, true
+		return meeting, regions, epochs, true
 	}
 	s.mu.Unlock()
 	if err := s.eng.SubmitTag(eid, users, nil, ids); err != nil {
 		s.deliverError(gid, err)
 	}
-	return geom.Point{}, nil, false
+	return geom.Point{}, nil, nil, false
 }
 
 // deliverError reports a submission failure to the group's members. It
@@ -240,7 +262,7 @@ func (s *server) fanout() {
 			continue // group already unregistered
 		}
 		ids, _ := n.Tag.([]uint32) // id ordering the snapshot was computed for
-		s.coord.Deliver(gid, ids, n.Meeting, n.Regions, n.Err)
+		s.coord.DeliverEpochs(gid, ids, n.Meeting, n.Regions, n.Epochs, n.Err)
 		if n.Coalesced > 1 {
 			s.logger.Printf("group %d: recompute covered %d coalesced reports", gid, n.Coalesced)
 		}

@@ -18,20 +18,22 @@ import (
 // e2eUser is one protocol client over a real TCP connection.
 type e2eUser struct {
 	client *proto.Client
+	conn   net.Conn
 	mu     sync.Mutex
 	loc    geom.Point
 	notify chan geom.Point
 	runErr chan error
 }
 
-func dialUser(t *testing.T, addr string, group, user uint32, start geom.Point) *e2eUser {
+func dialUser(t *testing.T, addr string, group, user uint32, start geom.Point, opts ...proto.ClientOption) *e2eUser {
 	t.Helper()
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
 	}
+	u := &e2eUser{loc: start, notify: make(chan geom.Point, 64), runErr: make(chan error, 1)}
+	u.conn = conn
 	t.Cleanup(func() { conn.Close() })
-	u := &e2eUser{loc: start, notify: make(chan geom.Point, 16), runErr: make(chan error, 1)}
 	u.client, err = proto.NewClient(conn, group, user,
 		func() geom.Point {
 			u.mu.Lock()
@@ -39,6 +41,7 @@ func dialUser(t *testing.T, addr string, group, user uint32, start geom.Point) *
 			return u.loc
 		},
 		func(meeting geom.Point, _ core.SafeRegion) { u.notify <- meeting },
+		opts...,
 	)
 	if err != nil {
 		t.Fatal(err)

@@ -96,9 +96,8 @@
 //   - Result set unchanged, every member still inside her region: the
 //     whole retained plan stands (Notification.Outcome = ReplanKept).
 //     Nothing is regrown; subscribers receive the retained regions
-//     unchanged. (The wire protocol still encodes every region on every
-//     notification — region deltas are listed in ROADMAP.md as future
-//     work.)
+//     unchanged, and on the wire the delta protocol (below) ships a
+//     handful of bytes instead of re-encoded regions.
 //   - Result set unchanged, some members escaped: only the escapees'
 //     regions are regrown, verified against the other members' retained
 //     regions (ReplanPartial). The clean majority stays silent.
@@ -128,6 +127,51 @@
 // reported as ReplanFull and still byte-identical to the
 // non-incremental plan. WithIncrementalCostRatio tunes the crossover; a
 // negative ratio always attempts the partial regrow.
+//
+// # Delta notifications on the wire
+//
+// Incremental maintenance makes the server cheap; the delta protocol
+// makes the wire cheap. The paper's cost model is communication — safe
+// regions exist to suppress messages — yet a kept plan whose regions
+// changed not at all would still ship every member her full encoded
+// region on every notification. The protocol layer (internal/proto,
+// cmd/mpnserver -delta, on by default) closes that gap end to end:
+//
+//   - Epoch stamping: core.PlanState tags every member slot with a
+//     monotone epoch that advances exactly when that slot's region
+//     content changes — a kept plan advances nothing, a partial regrow
+//     advances only the regrown members. The engine snapshots the
+//     vector into Notification.Epochs.
+//   - Lazy encoding: the coordinator caches each member's encoded
+//     region keyed by its epoch. An unchanged region is never re-encoded
+//     — the kept path's serialization cost is one integer compare per
+//     member — and the cached bytes are shared across deliveries.
+//     Backends without epochs still work: the coordinator compares
+//     encodings and mints its own epochs, saving the bytes if not the
+//     encode.
+//   - Delta frames: clients negotiate with a Register flag; the server
+//     then sends a compact TNotifyDelta (~10 bytes when nothing
+//     changed) carrying only the changed regions as (member, epoch,
+//     full encoded region) records. Records are complete regions, so
+//     one frame repairs any epoch gap.
+//   - Full-frame fallback: registrations, clients that did not
+//     negotiate, reconnects, any frame dropped at the member's outbox,
+//     and client NACKs all force a full TNotify. The server never
+//     assumes a client holds state it cannot prove was enqueued, and a
+//     client never exposes state it cannot verify — so the reassembled
+//     plan is byte-identical to the full protocol's at every step (the
+//     differential fence in cmd/mpnserver drives both protocols over
+//     the same report streams, both aggregates, both region shapes,
+//     with a forced mid-stream reconnect, and compares after every
+//     round).
+//
+// On the kept-path steady state at m=6 the notification round shrinks
+// from ~1.3 KB to ~60 B (≈20×) and serialization from ~17µs to ~250ns;
+// the notify_bytes_*/notify_encode_* series in BENCH_plan.json carry
+// the numbers and cmd/benchgate enforces both the regression bound and
+// the ≥10× reduction. The simulator and experiment harness account the
+// same protocol (sim.Config.DeltaWire, mpnbench -delta), so the paper's
+// communication figures reflect what the coordinator actually ships.
 //
 // # The shared GNN neighborhood cache
 //

@@ -13,16 +13,29 @@ type Series struct {
 	// "update_inc" (incremental engine, in-region jitter: the kept-plan
 	// fast path), "update_escape"/"update_inc_escape" (one member
 	// oscillating out of her region, full-replan vs incremental engine),
-	// or the "multi_group_*" family (G co-located or dispersed groups on
+	// the "multi_group_*" family (G co-located or dispersed groups on
 	// one incremental engine, with and without the shared GNN cache;
 	// "multi_group_miss" forces an eviction+miss on every lookup to
-	// price the worst-case miss path).
+	// price the worst-case miss path), "notify_encode_full"/
+	// "notify_encode_delta" (server-side cost of serializing one
+	// kept-path notification round to all m members, full protocol vs
+	// epoch-tracked delta protocol), or "notify_bytes_full"/
+	// "notify_bytes_delta" (WireBytes only: the wire size of that same
+	// round).
 	Name        string  `json:"name"`
 	GroupSize   int     `json:"group_size"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	OpsPerSec   float64 `json:"ops_per_sec"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+
+	// WireBytes is the deterministic bytes-on-wire of one notification
+	// event (one kept-path recomputation fanned out to all m members,
+	// frame length prefixes included) for the notify_bytes_* series;
+	// omitted elsewhere. Machine-independent, so cmd/benchgate compares
+	// it without normalization and additionally enforces the delta
+	// protocol's steady-state reduction ratio.
+	WireBytes float64 `json:"wire_bytes,omitempty"`
 
 	// CacheHits/CacheMisses/CacheRejected report the shared GNN cache
 	// counters accumulated over the series' benchmark run (cached series

@@ -34,6 +34,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -177,11 +178,32 @@ type Options struct {
 	// invalidate (see Notification.Outcome). When nil, every
 	// recomputation goes through the full planner.
 	Replan ReplanWSFunc
+	// TileAffinity, when positive, places new groups onto shards by
+	// their quantized centroid tile (side length = TileAffinity) instead
+	// of hashing the group id: co-located groups land on the same
+	// shard, so they share that shard's worker-local workspace state —
+	// warmed scratch sized for the local geometry — on top of any global
+	// GNN cache. The shard index is encoded in the returned GroupID, so
+	// lookups stay O(1). Zero disables affinity (the default id hash).
+	TileAffinity float64
 }
+
+// DefaultTileAffinity is the centroid quantization WithTileAffinity-style
+// callers use when they have no better number: 1/128 of the unit domain,
+// matching the shared GNN cache's default tile size so "same cache tile"
+// and "same shard" coincide.
+const DefaultTileAffinity = 1.0 / 128
+
+// affinityShardBits is how many low GroupID bits carry the shard index
+// when Options.TileAffinity is set.
+const affinityShardBits = 16
 
 func (o Options) withDefaults() Options {
 	if o.Shards <= 0 {
 		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.TileAffinity > 0 && o.Shards > 1<<affinityShardBits {
+		o.Shards = 1 << affinityShardBits
 	}
 	if o.Workers <= 0 {
 		o.Workers = 1
@@ -220,6 +242,14 @@ type Notification struct {
 	// regrown), or core.IncFull (from-scratch replan — always the value
 	// on non-incremental engines).
 	Outcome core.IncOutcome
+	// Epochs are the per-member region epochs after this recomputation,
+	// parallel to Regions (see core.PlanState.Epochs): Epochs[i]
+	// advances exactly when member i's region content changes, so a
+	// consumer retaining the previous vector knows which regions it can
+	// skip re-encoding and re-sending. Nil on non-incremental engines
+	// and on error notifications; the slice is a private copy, safe to
+	// retain.
+	Epochs []uint64
 	// Err is non-nil when the planner failed; Meeting and Regions then
 	// hold the previous plan.
 	Err error
@@ -419,9 +449,34 @@ func (e *Engine) start() {
 func (e *Engine) Options() Options { return e.opts }
 
 func (e *Engine) shardFor(id GroupID) *shard {
+	if e.opts.TileAffinity > 0 {
+		// Affinity ids carry their shard index in the low bits (assigned
+		// < len(shards) at registration; the modulo only guards foreign
+		// ids).
+		return e.shards[(uint64(id)&(1<<affinityShardBits-1))%uint64(len(e.shards))]
+	}
 	// Fibonacci hashing spreads sequential ids across shards.
 	h := uint64(id) * 0x9e3779b97f4a7c15
 	return e.shards[h%uint64(len(e.shards))]
+}
+
+// affinityShard maps a group's quantized centroid tile to a shard index,
+// so groups whose centroids share a tile share a shard (and its workers'
+// warmed workspaces).
+func (e *Engine) affinityShard(users []geom.Point) uint64 {
+	var cx, cy float64
+	for _, u := range users {
+		cx += u.X
+		cy += u.Y
+	}
+	inv := 1 / float64(len(users))
+	tx := int64(math.Floor(cx * inv / e.opts.TileAffinity))
+	ty := int64(math.Floor(cy * inv / e.opts.TileAffinity))
+	h := uint64(tx)*0x9e3779b97f4a7c15 ^ uint64(ty)*0xc2b2ae3d27d4eb4f
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h % uint64(len(e.shards))
 }
 
 // Register adds a group, computes its first plan synchronously (so the
@@ -457,7 +512,11 @@ func (e *Engine) RegisterTag(users []geom.Point, dirs []core.Direction, tag any)
 	if err != nil {
 		return 0, err
 	}
-	id := GroupID(e.nextID.Add(1))
+	seq := e.nextID.Add(1)
+	id := GroupID(seq)
+	if e.opts.TileAffinity > 0 {
+		id = GroupID(seq<<affinityShardBits | e.affinityShard(users))
+	}
 	st := &groupState{
 		id: id, size: len(users),
 		meeting: meeting, regions: regions, stats: stats, seq: 1,
@@ -472,9 +531,18 @@ func (e *Engine) RegisterTag(users []geom.Point, dirs []core.Direction, tag any)
 	sh.groups[id] = st
 	sh.mu.Unlock()
 	if e.hasSubscribers() {
+		var epochs []uint64
+		if e.replan != nil {
+			// Under replanMu: a submission racing this registration could
+			// already be advancing the state on a worker.
+			st.replanMu.Lock()
+			epochs = append([]uint64(nil), st.planState.Epochs()...)
+			st.replanMu.Unlock()
+		}
 		e.emit(Notification{
 			Group: id, Seq: 1, Meeting: meeting, Regions: regions,
 			Stats: stats, Coalesced: 1, Changed: true, Tag: tag,
+			Epochs: epochs,
 		})
 	}
 	return id, nil
@@ -593,17 +661,25 @@ func (e *Engine) submit(id GroupID, users []geom.Point, dirs []core.Direction, t
 // state, serializing a synchronous Update against the at-most-one
 // asynchronous recomputation in flight. forceFull invalidates the
 // retained state first, so the replanner takes the from-scratch path.
-func (e *Engine) compute(st *groupState, ws *core.Workspace, users []geom.Point, dirs []core.Direction, forceFull bool) (geom.Point, []core.SafeRegion, core.Stats, core.IncOutcome, error) {
+// wantEpochs asks for a snapshot of the post-recomputation epoch vector
+// (a copy, taken while the lock is still held); callers that will not
+// emit a notification pass false and skip the copy.
+func (e *Engine) compute(st *groupState, ws *core.Workspace, users []geom.Point, dirs []core.Direction, forceFull, wantEpochs bool) (geom.Point, []core.SafeRegion, []uint64, core.Stats, core.IncOutcome, error) {
 	if e.replan == nil {
 		meeting, regions, stats, err := e.plan(ws, users, dirs)
-		return meeting, regions, stats, core.IncFull, err
+		return meeting, regions, nil, stats, core.IncFull, err
 	}
 	st.replanMu.Lock()
 	defer st.replanMu.Unlock()
 	if forceFull {
 		st.planState.Invalidate()
 	}
-	return e.replan(ws, &st.planState, users, dirs)
+	meeting, regions, stats, outcome, err := e.replan(ws, &st.planState, users, dirs)
+	var epochs []uint64
+	if wantEpochs && err == nil {
+		epochs = append([]uint64(nil), st.planState.Epochs()...)
+	}
+	return meeting, regions, epochs, stats, outcome, err
 }
 
 // Update recomputes synchronously on the caller's goroutine and emits the
@@ -647,7 +723,7 @@ func (e *Engine) update(id GroupID, users []geom.Point, dirs []core.Direction, f
 		forceFull = true
 	}
 	ws := core.GetWorkspace()
-	meeting, regions, stats, outcome, err := e.compute(st, ws, users, dirs, forceFull)
+	meeting, regions, epochs, stats, outcome, err := e.compute(st, ws, users, dirs, forceFull, e.hasSubscribers())
 	core.PutWorkspace(ws)
 	if err != nil {
 		return err
@@ -674,7 +750,7 @@ func (e *Engine) update(id GroupID, users []geom.Point, dirs []core.Direction, f
 		n = Notification{
 			Group: st.id, Seq: st.seq, Meeting: meeting, Regions: regions,
 			Stats: stats, Coalesced: covered, Changed: changed,
-			Outcome: outcome,
+			Outcome: outcome, Epochs: epochs,
 		}
 	}
 	st.mu.Unlock()
@@ -709,7 +785,7 @@ func (e *Engine) worker(sh *shard) {
 		st.running = true
 		st.mu.Unlock()
 
-		meeting, regions, stats, outcome, err := e.compute(st, ws, up.users, up.dirs, up.full)
+		meeting, regions, epochs, stats, outcome, err := e.compute(st, ws, up.users, up.dirs, up.full, e.hasSubscribers())
 
 		st.mu.Lock()
 		var n Notification
@@ -733,7 +809,8 @@ func (e *Engine) worker(sh *shard) {
 				n = Notification{
 					Group: st.id, Seq: st.seq, Meeting: meeting,
 					Regions: regions, Stats: stats, Coalesced: up.count,
-					Changed: changed, Outcome: outcome, Tag: up.tag,
+					Changed: changed, Outcome: outcome, Epochs: epochs,
+					Tag: up.tag,
 				}
 			}
 		}
@@ -827,6 +904,22 @@ func (e *Engine) Regions(id GroupID) []core.SafeRegion {
 	out := make([]core.SafeRegion, len(st.regions))
 	copy(out, st.regions)
 	return out
+}
+
+// Epochs returns a copy of the group's current per-member region epoch
+// vector (see Notification.Epochs). Nil on non-incremental engines and
+// unknown groups.
+func (e *Engine) Epochs(id GroupID) []uint64 {
+	if e.replan == nil {
+		return nil
+	}
+	st := e.lookup(id)
+	if st == nil {
+		return nil
+	}
+	st.replanMu.Lock()
+	defer st.replanMu.Unlock()
+	return append([]uint64(nil), st.planState.Epochs()...)
 }
 
 // Region returns user i's safe region (zero region when out of range).

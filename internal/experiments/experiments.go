@@ -123,6 +123,12 @@ type Suite struct {
 	// GNNCacheBytes, when positive, gives every run a shared
 	// neighborhood cache of that byte budget (see internal/nbrcache).
 	GNNCacheBytes int64
+	// DeltaWire replays the figures under the delta notification
+	// protocol (sim.Config.DeltaWire): members whose region epoch did
+	// not advance receive a region-less delta frame, so the
+	// packets/bytes measures reflect what the epoch-tracked coordinator
+	// actually ships. Requires Incremental to have any effect.
+	DeltaWire bool
 }
 
 // NewSuite generates the POI set and both trajectory workloads.
@@ -174,6 +180,7 @@ func (s *Suite) runAvg(pois []geom.Point, set *workload.TrajectorySet, m int, cf
 		return result{}, err
 	}
 	cfg.Incremental = s.Incremental
+	cfg.DeltaWire = s.DeltaWire
 	if s.GNNCacheBytes > 0 {
 		cfg.SharedCache = nbrcache.New(nbrcache.Config{MaxBytes: s.GNNCacheBytes})
 	}

@@ -41,6 +41,19 @@
 // requesting group's actual members (Divide-Verify), so even the
 // certified result set is never trusted blindly by the planner.
 //
+// # Adaptive entry depth
+//
+// A rejection is informative: once the fallback traversal reveals the
+// group's true k-th aggregate distance, the exact guarantee radius that
+// WOULD have certified the group is known (kth + min_i‖u_i,q‖ for MAX,
+// (kth + Σ_i‖u_i,q‖)/m for SUM). The cache records the deepest such
+// radius per key (bounded per stripe) and the key's next repopulation
+// grows J geometrically until the retrieved radius covers it — capped
+// by Config.MaxDepthFactor — so tiles frequented by spread-out groups
+// converge to a depth that serves them instead of rejecting forever,
+// while tight-group tiles stay at the cheap static depth.
+// Stats.DepthHints and Stats.DepthGrows count the feedback loop.
+//
 // # Invalidation
 //
 // Entries record rtree.Tree.Version at population time. Any POI
@@ -84,11 +97,19 @@ type Config struct {
 	MaxBytes int64
 	// Stripes is the lock-stripe count. Default 16.
 	Stripes int
-	// DepthFactor and DepthSlack set an entry's depth J = k·DepthFactor +
-	// DepthSlack. Deeper entries certify more spread-out groups at the
-	// cost of more distance computations per hit. Defaults 4 and 16.
+	// DepthFactor and DepthSlack set an entry's starting depth J =
+	// k·DepthFactor + DepthSlack. Deeper entries certify more spread-out
+	// groups at the cost of more distance computations per hit. Defaults
+	// 4 and 16.
 	DepthFactor int
 	DepthSlack  int
+	// MaxDepthFactor bounds the adaptive entry depth: a certification
+	// rejection records the guarantee radius the rejecting group would
+	// have needed, and the key's next repopulation deepens J
+	// geometrically (one extra point-kNN per doubling) until that radius
+	// is covered, capped at k·MaxDepthFactor + DepthSlack. Values at or
+	// below DepthFactor disable growth. Default 64.
+	MaxDepthFactor int
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +127,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DepthSlack <= 0 {
 		c.DepthSlack = 16
+	}
+	if c.MaxDepthFactor <= 0 {
+		c.MaxDepthFactor = 64
 	}
 	return c
 }
@@ -130,6 +154,13 @@ type Stats struct {
 	Rejected uint64
 	// Evictions counts entries dropped by the LRU byte budget.
 	Evictions uint64
+	// DepthHints counts certification rejections that recorded (or
+	// deepened) the guarantee radius the rejecting group would have
+	// needed — the adaptive-depth feedback signal.
+	DepthHints uint64
+	// DepthGrows counts repopulations that deepened an entry beyond the
+	// static k·DepthFactor+DepthSlack to satisfy a recorded hint.
+	DepthGrows uint64
 	// Entries and Bytes describe current occupancy.
 	Entries int
 	Bytes   int64
@@ -173,6 +204,11 @@ type entry struct {
 
 const entryOverhead = 96 // approximate fixed entry + map slot cost
 
+// maxNeedPerStripe bounds the adaptive-depth hint map: a stripe tracks
+// at most this many keys' needed radii, so a scan over many tiles cannot
+// grow unbounded bookkeeping.
+const maxNeedPerStripe = 512
+
 type stripe struct {
 	mu     sync.Mutex
 	table  map[key]*entry
@@ -180,6 +216,10 @@ type stripe struct {
 	tail   *entry // least recently used
 	bytes  int64
 	budget int64
+	// need records, per key, the guarantee radius the deepest-spread
+	// rejected group would have required (see recordNeed); the key's
+	// next repopulation grows its depth until the radius is covered.
+	need map[key]float64
 }
 
 // Cache is the shared neighborhood cache. All methods are safe for
@@ -189,11 +229,13 @@ type Cache struct {
 	cfg     Config
 	stripes []stripe
 
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	stale     atomic.Uint64
-	rejected  atomic.Uint64
-	evictions atomic.Uint64
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	stale      atomic.Uint64
+	rejected   atomic.Uint64
+	evictions  atomic.Uint64
+	depthHints atomic.Uint64
+	depthGrows atomic.Uint64
 }
 
 // New builds a cache from cfg (zero fields select defaults).
@@ -217,11 +259,13 @@ func (c *Cache) Stats() Stats {
 		return Stats{}
 	}
 	s := Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Stale:     c.stale.Load(),
-		Rejected:  c.rejected.Load(),
-		Evictions: c.evictions.Load(),
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Stale:      c.stale.Load(),
+		Rejected:   c.rejected.Load(),
+		Evictions:  c.evictions.Load(),
+		DepthHints: c.depthHints.Load(),
+		DepthGrows: c.depthGrows.Load(),
 	}
 	for i := range c.stripes {
 		st := &c.stripes[i]
@@ -312,20 +356,84 @@ func (c *Cache) TopKInto(t *rtree.Tree, gs *gnn.Scratch, cs *Scratch, users []ge
 			c.rejected.Add(1)
 		}
 	}
-	return gnn.TopKInto(t, gs, users, agg, k, out)
+	res := gnn.TopKInto(t, gs, users, agg, k, out)
+	if e != nil && !e.complete && len(res) >= k {
+		// The entry could not certify this group. The fallback traversal
+		// just revealed the true k-th aggregate, which pins down exactly
+		// the guarantee radius a deeper entry would have needed; record
+		// it so the key's next repopulation grows to cover groups like
+		// this one.
+		c.recordNeed(ky, e.q, users, agg, res[k-1].Dist)
+	}
+	return res
 }
 
-// populate retrieves the J nearest POIs to the tile center with one
-// point-kNN traversal and publishes the entry. Returns nil on an empty
-// tree.
+// recordNeed stores (or deepens) the guarantee radius that would have
+// certified a rejected lookup: from the certification bound, an entry
+// certifies the group iff its radius exceeds kth + min_i‖u_i,q‖ (MAX)
+// or (kth + Σ_i‖u_i,q‖)/m (SUM). Bounded per stripe; existing keys only
+// ever deepen.
+func (c *Cache) recordNeed(ky key, q geom.Point, users []geom.Point, agg gnn.Aggregate, kth float64) {
+	minD := math.Inf(1)
+	sumD := 0.0
+	for _, u := range users {
+		d := u.Dist(q)
+		sumD += d
+		if d < minD {
+			minD = d
+		}
+	}
+	need := kth + minD
+	if agg == gnn.Sum {
+		need = (kth + sumD) / float64(len(users))
+	}
+	st := c.stripeOf(ky)
+	st.mu.Lock()
+	old, known := st.need[ky]
+	if need > old && (known || len(st.need) < maxNeedPerStripe) {
+		if st.need == nil {
+			st.need = make(map[key]float64)
+		}
+		st.need[ky] = need
+		c.depthHints.Add(1)
+	}
+	st.mu.Unlock()
+}
+
+// populate retrieves the J nearest POIs to the tile center with a
+// point-kNN traversal and publishes the entry. J starts at the static
+// k·DepthFactor+DepthSlack; when a prior rejection recorded the radius a
+// spread-out group needed (see recordNeed), the retrieval doubles J —
+// one extra traversal per doubling, repopulations are rare — until the
+// entry's guarantee radius strictly exceeds it, the data set is
+// exhausted, or the MaxDepthFactor bound is hit. Returns nil on an
+// empty tree.
 func (c *Cache) populate(t *rtree.Tree, gs *gnn.Scratch, cs *Scratch, ky key, q geom.Point, k int, ver uint64) *entry {
+	st0 := c.stripeOf(ky)
+	st0.mu.Lock()
+	need := st0.need[ky]
+	st0.mu.Unlock()
+
 	j := k*c.cfg.DepthFactor + c.cfg.DepthSlack
+	maxJ := k*c.cfg.MaxDepthFactor + c.cfg.DepthSlack
 	cs.qpt[0] = q
-	// A single-user MAX aggregate is a plain distance: the traversal is
-	// an ordinary point kNN from the tile center.
-	cs.fill = gnn.TopKInto(t, gs, cs.qpt[:1], gnn.Max, j, cs.fill[:0])
-	if len(cs.fill) == 0 {
-		return nil
+	grew := false
+	for {
+		// A single-user MAX aggregate is a plain distance: the traversal
+		// is an ordinary point kNN from the tile center.
+		cs.fill = gnn.TopKInto(t, gs, cs.qpt[:1], gnn.Max, j, cs.fill[:0])
+		if len(cs.fill) == 0 {
+			return nil
+		}
+		if need == 0 || cs.fill[len(cs.fill)-1].Dist > need ||
+			len(cs.fill) < j || j >= maxJ {
+			break
+		}
+		j = min(j*2, maxJ)
+		grew = true
+	}
+	if grew {
+		c.depthGrows.Add(1)
 	}
 	items := make([]rtree.Item, len(cs.fill))
 	for i, r := range cs.fill {

@@ -356,3 +356,98 @@ func TestCrossTreeIsolation(t *testing.T) {
 		t.Fatalf("cross-tree lookups hit: %+v", st)
 	}
 }
+
+// TestAdaptiveDepthGrows closes the rejection feedback loop: a
+// spread-out group is rejected at the static entry depth, the rejection
+// records the guarantee radius it needed, and after the entry
+// invalidates (POI insert bumps the version) the repopulation grows the
+// entry deep enough to certify the very same group — whose cached
+// result must still byte-match the traversal.
+func TestAdaptiveDepthGrows(t *testing.T) {
+	tree, _ := buildTree(3000, 5)
+	// Members far from the tile center on a symmetric cross: minD is
+	// large, so certification needs a guarantee radius the static
+	// k·4+16 depth cannot reach, but a deeper entry can.
+	const d = 0.04
+	center := geom.Pt(0.5, 0.5)
+	users := []geom.Point{
+		geom.Pt(center.X+d, center.Y), geom.Pt(center.X-d, center.Y),
+		geom.Pt(center.X, center.Y+d), geom.Pt(center.X, center.Y-d),
+	}
+	for _, agg := range []gnn.Aggregate{gnn.Max, gnn.Sum} {
+		c := New(Config{TileSize: 1.0 / 64, MaxDepthFactor: 4096})
+		var cs Scratch
+		var gs, gsRef gnn.Scratch
+		var out, ref []gnn.Result
+		k := 2
+
+		// Lookup 1: miss, populate at static depth; certification of this
+		// spread group fails either immediately (part of the miss) or on
+		// lookup 2 (a rejection) — both record the needed radius.
+		out = c.TopKInto(tree, &gs, &cs, users, agg, k, out[:0])
+		ref = gnn.TopKInto(tree, &gsRef, users, agg, k, ref[:0])
+		if !reflect.DeepEqual(out, ref) {
+			t.Fatalf("agg=%v lookup 1 mismatch", agg)
+		}
+		out = c.TopKInto(tree, &gs, &cs, users, agg, k, out[:0])
+		if !reflect.DeepEqual(out, ref) {
+			t.Fatalf("agg=%v lookup 2 mismatch", agg)
+		}
+		st := c.Stats()
+		if st.Hits != 0 {
+			t.Skipf("agg=%v: static depth certified this group (hits=%d); geometry unsuitable", agg, st.Hits)
+		}
+		if st.DepthHints == 0 {
+			t.Fatalf("agg=%v: rejection recorded no depth hint (%+v)", agg, st)
+		}
+
+		// Invalidate the entry; the repopulation must grow and then
+		// certify the same group.
+		tree.Insert(rtree.Item{P: geom.Pt(0.95, 0.95), ID: tree.Len()})
+		out = c.TopKInto(tree, &gs, &cs, users, agg, k, out[:0])
+		ref = gnn.TopKInto(tree, &gsRef, users, agg, k, ref[:0])
+		if !reflect.DeepEqual(out, ref) {
+			t.Fatalf("agg=%v post-grow lookup mismatch", agg)
+		}
+		st = c.Stats()
+		if st.DepthGrows == 0 {
+			t.Fatalf("agg=%v: repopulation did not grow (%+v)", agg, st)
+		}
+		// The grown entry now serves this group from the cache.
+		out = c.TopKInto(tree, &gs, &cs, users, agg, k, out[:0])
+		if !reflect.DeepEqual(out, ref) {
+			t.Fatalf("agg=%v grown-hit mismatch", agg)
+		}
+		if got := c.Stats().Hits; got == 0 {
+			t.Fatalf("agg=%v: grown entry still cannot certify (stats %+v)", agg, c.Stats())
+		}
+	}
+}
+
+// TestAdaptiveDepthBounded: with MaxDepthFactor at the static factor,
+// growth is disabled — the same spread group keeps being rejected, and
+// results stay exact.
+func TestAdaptiveDepthBounded(t *testing.T) {
+	tree, _ := buildTree(3000, 5)
+	const d = 0.04
+	users := []geom.Point{
+		geom.Pt(0.5+d, 0.5), geom.Pt(0.5-d, 0.5),
+		geom.Pt(0.5, 0.5+d), geom.Pt(0.5, 0.5-d),
+	}
+	c := New(Config{TileSize: 1.0 / 64, MaxDepthFactor: 4})
+	var cs Scratch
+	var gs, gsRef gnn.Scratch
+	var out, ref []gnn.Result
+	k := 2
+	for i := 0; i < 3; i++ {
+		out = c.TopKInto(tree, &gs, &cs, users, gnn.Max, k, out[:0])
+		ref = gnn.TopKInto(tree, &gsRef, users, gnn.Max, k, ref[:0])
+		if !reflect.DeepEqual(out, ref) {
+			t.Fatalf("lookup %d mismatch", i)
+		}
+		tree.Insert(rtree.Item{P: geom.Pt(0.9, 0.9+0.01*float64(i)), ID: tree.Len()})
+	}
+	if st := c.Stats(); st.DepthGrows != 0 {
+		t.Fatalf("bounded config grew anyway: %+v", st)
+	}
+}

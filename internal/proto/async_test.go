@@ -17,12 +17,12 @@ func TestAsyncEndToEnd(t *testing.T) {
 	// connection can trigger a replan.
 	plan := testPlan(t, "tile")
 	var coord *Coordinator
-	coord = NewAsyncCoordinator(func(gid uint32, ids []uint32, users []geom.Point) (geom.Point, []core.SafeRegion, bool) {
+	coord = NewAsyncCoordinator(func(gid uint32, ids []uint32, users []geom.Point) (geom.Point, []core.SafeRegion, []uint64, bool) {
 		go func() {
 			meeting, regions, err := plan(users)
 			coord.Deliver(gid, ids, meeting, regions, err)
 		}()
-		return geom.Point{}, nil, false
+		return geom.Point{}, nil, nil, false
 	}, nil)
 
 	u1 := newTestUser(t, coord, 5, 0, geom.Pt(0.30, 0.30))
@@ -60,12 +60,12 @@ func TestAsyncEndToEnd(t *testing.T) {
 // inline, with no Deliver round trip.
 func TestSubmitInlineResult(t *testing.T) {
 	plan := testPlan(t, "tile")
-	coord := NewAsyncCoordinator(func(gid uint32, ids []uint32, users []geom.Point) (geom.Point, []core.SafeRegion, bool) {
+	coord := NewAsyncCoordinator(func(gid uint32, ids []uint32, users []geom.Point) (geom.Point, []core.SafeRegion, []uint64, bool) {
 		meeting, regions, err := plan(users)
 		if err != nil {
-			return geom.Point{}, nil, false
+			return geom.Point{}, nil, nil, false
 		}
-		return meeting, regions, true
+		return meeting, regions, nil, true
 	}, nil)
 	u1 := newTestUser(t, coord, 4, 0, geom.Pt(0.3, 0.3))
 	u2 := newTestUser(t, coord, 4, 1, geom.Pt(0.34, 0.31))
@@ -85,8 +85,8 @@ func TestSubmitInlineResult(t *testing.T) {
 
 func TestDeliverStaleOrUnknownDropped(t *testing.T) {
 	var coord *Coordinator
-	coord = NewAsyncCoordinator(func(gid uint32, ids []uint32, users []geom.Point) (geom.Point, []core.SafeRegion, bool) {
-		return geom.Point{}, nil, false
+	coord = NewAsyncCoordinator(func(gid uint32, ids []uint32, users []geom.Point) (geom.Point, []core.SafeRegion, []uint64, bool) {
+		return geom.Point{}, nil, nil, false
 	}, nil)
 
 	// Unknown group: no-op.
@@ -118,11 +118,11 @@ func TestDeliverStaleOrUnknownDropped(t *testing.T) {
 
 func TestDeliverError(t *testing.T) {
 	var coord *Coordinator
-	coord = NewAsyncCoordinator(func(gid uint32, ids []uint32, users []geom.Point) (geom.Point, []core.SafeRegion, bool) {
+	coord = NewAsyncCoordinator(func(gid uint32, ids []uint32, users []geom.Point) (geom.Point, []core.SafeRegion, []uint64, bool) {
 		go func() {
 			coord.Deliver(gid, nil, geom.Point{}, nil, errors.New("planner exploded"))
 		}()
-		return geom.Point{}, nil, false
+		return geom.Point{}, nil, nil, false
 	}, nil)
 
 	u1 := newTestUser(t, coord, 2, 0, geom.Pt(0.3, 0.3))

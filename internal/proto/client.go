@@ -17,12 +17,32 @@ type LocFunc func() geom.Point
 // NotifyFunc receives each fresh meeting point and safe region.
 type NotifyFunc func(meeting geom.Point, region core.SafeRegion)
 
+// ClientOption customizes a Client.
+type ClientOption func(*Client)
+
+// WithoutDelta disables delta negotiation: the client registers without
+// FlagDeltaCapable, so the server ships every notification as a full
+// TNotify frame. The reassembled plan is identical either way; the
+// differential fences compare a full client against a delta client to
+// prove it.
+func WithoutDelta() ClientOption { return func(c *Client) { c.delta = false } }
+
 // Client is the user-side state machine: it registers, answers probes
 // with the location supplier, reports escapes, and surfaces notifications.
+//
+// By default the client negotiates the delta protocol (FlagDeltaCapable):
+// a delta-enabled server then sends only changed regions, and the client
+// reassembles the current plan from its retained region. A delta frame
+// it cannot apply — no retained region yet, or an epoch that does not
+// match its retained one — is answered with TNack, and the server
+// repairs the client with a full TNotify; the plan exposed through
+// Meeting/Region/NeedsUpdate is byte-identical to the full protocol's at
+// every step.
 type Client struct {
 	conn  io.ReadWriter
 	group uint32
 	user  uint32
+	delta bool
 
 	loc      LocFunc
 	onNotify NotifyFunc
@@ -33,15 +53,21 @@ type Client struct {
 	meeting geom.Point
 	region  core.SafeRegion
 	haveReg bool
+	epoch   uint64
 }
 
 // NewClient wires a client over conn. loc must be non-nil; onNotify may be
-// nil.
-func NewClient(conn io.ReadWriter, group, user uint32, loc LocFunc, onNotify NotifyFunc) (*Client, error) {
+// nil. Delta notifications are negotiated by default; pass WithoutDelta
+// to force the full-frame protocol.
+func NewClient(conn io.ReadWriter, group, user uint32, loc LocFunc, onNotify NotifyFunc, opts ...ClientOption) (*Client, error) {
 	if loc == nil {
 		return nil, errors.New("proto: nil location supplier")
 	}
-	return &Client{conn: conn, group: group, user: user, loc: loc, onNotify: onNotify}, nil
+	c := &Client{conn: conn, group: group, user: user, delta: true, loc: loc, onNotify: onNotify}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
 }
 
 func (c *Client) write(m Message) error {
@@ -52,9 +78,13 @@ func (c *Client) write(m Message) error {
 
 // Register joins the group (groupSize = m).
 func (c *Client) Register(groupSize uint32) error {
+	var flags uint8
+	if c.delta {
+		flags |= FlagDeltaCapable
+	}
 	return c.write(Message{
 		Type: TRegister, Group: c.group, User: c.user,
-		GroupSize: groupSize, Loc: c.loc(),
+		GroupSize: groupSize, Flags: flags, Loc: c.loc(),
 	})
 }
 
@@ -90,9 +120,17 @@ func (c *Client) Region() core.SafeRegion {
 	return c.region
 }
 
+// Epoch returns the epoch of the retained region (0 before the first
+// notification) — observability for tests and monitoring.
+func (c *Client) Epoch() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.epoch
+}
+
 // Run processes server frames until EOF or error. Run answers probes
-// automatically; notifications update Meeting/Region and invoke the
-// callback. It returns nil on clean EOF.
+// automatically; notifications — full or delta — update Meeting/Region
+// and invoke the callback. It returns nil on clean EOF.
 func (c *Client) Run() error {
 	for {
 		msg, err := Read(c.conn)
@@ -118,9 +156,14 @@ func (c *Client) Run() error {
 			c.meeting = msg.Meeting
 			c.region = region
 			c.haveReg = true
+			c.epoch = msg.Epoch
 			c.mu.Unlock()
 			if c.onNotify != nil {
 				c.onNotify(msg.Meeting, region)
+			}
+		case TNotifyDelta:
+			if err := c.applyDelta(msg); err != nil {
+				return err
 			}
 		case TError:
 			return errors.New("proto: server error: " + msg.Text)
@@ -128,6 +171,47 @@ func (c *Client) Run() error {
 			return errors.New("proto: unexpected " + msg.Type.String() + " from server")
 		}
 	}
+}
+
+// applyDelta folds a TNotifyDelta frame into the retained plan. A frame
+// carrying a record for this user replaces the region (records are
+// complete regions, so one frame repairs any gap); a frame without one
+// confirms the retained region is still current at msg.Epoch — if the
+// client's retained epoch disagrees, or there is no retained region, it
+// answers TNack and waits for the server's full repair instead of
+// exposing state it cannot verify.
+func (c *Client) applyDelta(msg Message) error {
+	var rec *RegionDelta
+	for i := range msg.Deltas {
+		if msg.Deltas[i].Member == c.user {
+			rec = &msg.Deltas[i]
+			break
+		}
+	}
+	c.mu.Lock()
+	if rec == nil && (!c.haveReg || c.epoch != msg.Epoch) {
+		c.mu.Unlock()
+		return c.write(Message{Type: TNack, Group: c.group, User: c.user, Epoch: msg.Epoch})
+	}
+	if rec != nil {
+		region, err := DecodeRegion(rec.Region)
+		if err != nil {
+			c.mu.Unlock()
+			return err
+		}
+		c.region = region
+		c.haveReg = true
+		c.epoch = rec.Epoch
+	}
+	if msg.MeetingChanged {
+		c.meeting = msg.Meeting
+	}
+	meeting, region := c.meeting, c.region
+	c.mu.Unlock()
+	if c.onNotify != nil {
+		c.onNotify(meeting, region)
+	}
+	return nil
 }
 
 // appendF / readF are the shared float64 wire helpers.

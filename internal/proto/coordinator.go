@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -31,7 +32,12 @@ type PlanFunc func(users []geom.Point) (geom.Point, []core.SafeRegion, error)
 // what guarantees a group's snapshots reach the backend in report order —
 // so it must only enqueue (or at most compute that one registration
 // plan), never recompute steady-state reports inline.
-type SubmitFunc func(gid uint32, ids []uint32, users []geom.Point) (meeting geom.Point, regions []core.SafeRegion, ok bool)
+//
+// epochs, when non-nil, is the backend's per-member region epoch vector
+// for the inline plan (regions[i] is at epoch epochs[i]); backends
+// without epoch tracking return nil and the coordinator falls back to
+// comparing encodings.
+type SubmitFunc func(gid uint32, ids []uint32, users []geom.Point) (meeting geom.Point, regions []core.SafeRegion, epochs []uint64, ok bool)
 
 // Coordinator is the server side of the Fig. 3 protocol: it accepts
 // connections (one per user), assembles groups, and runs the
@@ -53,11 +59,23 @@ type Coordinator struct {
 	// can observe the stale mapping.
 	onEmpty func(gid uint32)
 
+	// delta enables TNotifyDelta frames toward members that negotiated
+	// them (see SetDeltaEnabled).
+	delta bool
+
 	mu     sync.Mutex
 	groups map[uint32]*group
 	// locs holds the last reported location per group and user.
 	locs map[uint32]map[uint32]geom.Point
 }
+
+// SetDeltaEnabled turns delta notifications on or off. Call it before
+// serving connections. With delta on, members that registered with
+// FlagDeltaCapable receive TNotifyDelta frames carrying only the regions
+// whose epoch advanced since their last delivery; everything else —
+// registration plans, members that did not negotiate, members whose last
+// frame was dropped, NACK repairs — still receives full TNotify frames.
+func (c *Coordinator) SetDeltaEnabled(on bool) { c.delta = on }
 
 // SetGroupEmptyHook registers fn to run whenever a group loses its last
 // member. Call it before serving connections. fn runs with the
@@ -77,17 +95,63 @@ type group struct {
 	// probing is non-nil while a probe round is outstanding; it holds the
 	// user ids whose replies are still missing.
 	probing map[uint32]bool
+
+	// enc caches each member's encoded region keyed by its epoch, shared
+	// across every delivery to the group: an unchanged region (epoch
+	// match, or byte-equal encoding when the backend supplies no epochs)
+	// is never re-encoded. encIDs is the ascending member-id vector the
+	// cache (and every member's delivered-epoch state) was built for:
+	// backend epochs are per SLOT, not per user, so any membership
+	// change — even one that keeps the group size — silently reassigns
+	// slot counters to different users, and the cache must be rebuilt
+	// and every member repaired with a full frame (see resetEncLocked).
+	// lastMeeting/havePlan retain the last distributed plan's meeting
+	// point so a NACK can be repaired from the cache alone.
+	enc         map[uint32]*encRegion
+	encIDs      []uint32
+	lastMeeting geom.Point
+	havePlan    bool
+}
+
+// resetEncLocked invalidates the group's encoded-region cache and every
+// member's delivered state after a membership change: slot epochs may
+// now describe different users' regions, so nothing previously
+// delivered or cached can be trusted to match by epoch alone.
+func (g *group) resetEncLocked(ids []uint32) {
+	clear(g.enc)
+	g.encIDs = append(g.encIDs[:0], ids...)
+	for _, mb := range g.members {
+		mb.needFull = true
+	}
+}
+
+// encRegion is one cached region encoding. data is immutable once
+// stored (it is shared with member outboxes).
+type encRegion struct {
+	epoch uint64
+	data  []byte
 }
 
 type member struct {
 	user uint32
 	out  chan Message
 	done chan struct{}
+
+	// Delta-protocol state, guarded by the coordinator lock: delta is
+	// the registration-time negotiation; needFull forces the next
+	// delivery to be a full TNotify (fresh connections start true, and
+	// any dropped frame or NACK sets it — the server never assumes a
+	// client holds state it cannot prove was enqueued); epoch and
+	// meeting are the last values successfully enqueued to this member.
+	delta    bool
+	needFull bool
+	epoch    uint64
+	meeting  geom.Point
 }
 
 // newMember starts the writer goroutine for one connection.
 func newMember(user uint32, w io.Writer, logger *log.Logger) *member {
-	m := &member{user: user, out: make(chan Message, outboxSize), done: make(chan struct{})}
+	m := &member{user: user, out: make(chan Message, outboxSize), done: make(chan struct{}), needFull: true}
 	go func() {
 		defer close(m.done)
 		for msg := range m.out {
@@ -161,6 +225,17 @@ func NewAsyncCoordinator(submit SubmitFunc, logger *log.Logger) *Coordinator {
 // a departed one; the next escape report triggers a fresh replan from
 // current state.
 func (c *Coordinator) Deliver(gid uint32, ids []uint32, meeting geom.Point, regions []core.SafeRegion, err error) {
+	c.DeliverEpochs(gid, ids, meeting, regions, nil, err)
+}
+
+// DeliverEpochs is Deliver with the backend's per-member region epoch
+// vector (regions[i] is at epoch epochs[i], see
+// engine.Notification.Epochs): regions whose epoch matches the cached
+// encoding are not re-encoded, and delta-capable members receive only
+// the records that changed since their last delivery. A nil epochs falls
+// back to comparing fresh encodings against the cache — correct for any
+// backend, just not encode-free.
+func (c *Coordinator) DeliverEpochs(gid uint32, ids []uint32, meeting geom.Point, regions []core.SafeRegion, epochs []uint64, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	g := c.groups[gid]
@@ -180,7 +255,7 @@ func (c *Coordinator) Deliver(gid uint32, ids []uint32, meeting geom.Point, regi
 			gid, current, ids, len(regions))
 		return
 	}
-	c.notifyLocked(gid, g, current, meeting, regions)
+	c.notifyLocked(gid, g, current, meeting, regions, epochs)
 }
 
 // sameIDs reports whether two ascending id lists are identical.
@@ -239,6 +314,12 @@ func (c *Coordinator) ServeConn(conn io.ReadWriteCloser) error {
 				continue
 			}
 			c.handleProbeReply(msg)
+		case TNack:
+			if !registered {
+				c.sendError(conn, "nack before register")
+				continue
+			}
+			c.handleNack(msg)
 		default:
 			c.sendError(conn, fmt.Sprintf("unexpected %v from client", msg.Type))
 		}
@@ -262,7 +343,7 @@ func (c *Coordinator) register(msg Message, w io.Writer) error {
 	defer c.mu.Unlock()
 	g := c.groups[msg.Group]
 	if g == nil {
-		g = &group{size: msg.GroupSize, members: map[uint32]*member{}}
+		g = &group{size: msg.GroupSize, members: map[uint32]*member{}, enc: map[uint32]*encRegion{}}
 		c.groups[msg.Group] = g
 		c.locs[msg.Group] = map[uint32]geom.Point{}
 	}
@@ -275,7 +356,9 @@ func (c *Coordinator) register(msg Message, w io.Writer) error {
 	if uint32(len(g.members)) >= g.size {
 		return fmt.Errorf("group %d is full", msg.Group)
 	}
-	g.members[msg.User] = newMember(msg.User, w, c.logger)
+	mb := newMember(msg.User, w, c.logger)
+	mb.delta = msg.Flags&FlagDeltaCapable != 0
+	g.members[msg.User] = mb
 	c.locs[msg.Group][msg.User] = msg.Loc
 	c.logger.Printf("group %d: user %d registered (%d/%d)",
 		msg.Group, msg.User, len(g.members), g.size)
@@ -355,8 +438,8 @@ func (c *Coordinator) replanLocked(gid uint32, g *group) {
 		users[i] = c.locs[gid][uid]
 	}
 	if c.submit != nil {
-		if meeting, regions, ok := c.submit(gid, ids, users); ok && len(regions) == len(ids) {
-			c.notifyLocked(gid, g, ids, meeting, regions)
+		if meeting, regions, epochs, ok := c.submit(gid, ids, users); ok && len(regions) == len(ids) {
+			c.notifyLocked(gid, g, ids, meeting, regions, epochs)
 		}
 		return
 	}
@@ -368,7 +451,7 @@ func (c *Coordinator) replanLocked(gid uint32, g *group) {
 		}
 		return
 	}
-	c.notifyLocked(gid, g, ids, meeting, regions)
+	c.notifyLocked(gid, g, ids, meeting, regions, nil)
 }
 
 // memberIDs returns a group's user ids in ascending order.
@@ -381,18 +464,119 @@ func memberIDs(g *group) []uint32 {
 	return ids
 }
 
-// notifyLocked sends one Notify per member, regions aligned with ids.
-func (c *Coordinator) notifyLocked(gid uint32, g *group, ids []uint32, meeting geom.Point, regions []core.SafeRegion) {
-	for i, uid := range ids {
-		msg := Message{
-			Type: TNotify, Group: gid, User: uid,
-			Meeting: meeting, Region: encodeRegion(regions[i]),
-		}
-		if !g.members[uid].send(msg) {
-			c.logger.Printf("group %d: notify to user %d dropped (outbox full)", gid, uid)
-		}
+// notifyLocked sends one notification per member, regions aligned with
+// ids. Encodings go through the group's epoch-keyed cache, so a region
+// unchanged since the last delivery is not re-encoded (with backend
+// epochs the check is one integer compare — the kept path encodes
+// nothing at all). Members that negotiated deltas receive a compact
+// TNotifyDelta carrying only the records that changed since the
+// server's last successful enqueue to them; everyone else — and any
+// member whose previous frame was dropped — gets a full TNotify.
+func (c *Coordinator) notifyLocked(gid uint32, g *group, ids []uint32, meeting geom.Point, regions []core.SafeRegion, epochs []uint64) {
+	if len(epochs) != len(ids) {
+		epochs = nil
 	}
+	if !sameIDs(ids, g.encIDs) {
+		g.resetEncLocked(ids)
+	}
+	for i, uid := range ids {
+		mb := g.members[uid]
+		data, epoch := g.encodedRegion(uid, regions[i], epochs, i)
+		if !c.delta || !mb.delta || mb.needFull {
+			ok := mb.send(Message{
+				Type: TNotify, Group: gid, User: uid,
+				Meeting: meeting, Epoch: epoch, Region: data,
+			})
+			mb.recordSend(c, gid, ok, epoch, meeting)
+			continue
+		}
+		msg := Message{Type: TNotifyDelta, Group: gid, User: uid, Epoch: epoch}
+		if meeting != mb.meeting {
+			msg.MeetingChanged = true
+			msg.Meeting = meeting
+		}
+		if epoch != mb.epoch {
+			msg.Deltas = []RegionDelta{{Member: uid, Epoch: epoch, Region: data}}
+		}
+		mb.recordSend(c, gid, mb.send(msg), epoch, meeting)
+	}
+	g.lastMeeting = meeting
+	g.havePlan = true
 	c.logger.Printf("group %d: notified %d members, meeting at %v", gid, len(ids), meeting)
+}
+
+// recordSend updates the member's delivered-state tracking after a send
+// attempt: success records what the client will hold; a drop forces the
+// next delivery to be a full frame, since the server can no longer prove
+// what the client holds.
+func (m *member) recordSend(c *Coordinator, gid uint32, ok bool, epoch uint64, meeting geom.Point) {
+	if ok {
+		m.needFull = false
+		m.epoch = epoch
+		m.meeting = meeting
+		return
+	}
+	m.needFull = true
+	c.logger.Printf("group %d: notify to user %d dropped (outbox full)", gid, m.user)
+}
+
+// encodedRegion returns the wire encoding of uid's region at slot i,
+// reusing the cached bytes when the region is unchanged. With backend
+// epochs the cache key is the epoch itself — an unchanged region is
+// never re-encoded. Without epochs the region is encoded and compared
+// against the cache, and the coordinator mints its own monotone epoch
+// per change, so the delta machinery works (at full encode cost) over
+// any backend.
+func (g *group) encodedRegion(uid uint32, r core.SafeRegion, epochs []uint64, i int) ([]byte, uint64) {
+	e := g.enc[uid]
+	if epochs != nil {
+		if e != nil && e.epoch == epochs[i] {
+			return e.data, e.epoch
+		}
+		data := encodeRegion(r)
+		g.enc[uid] = &encRegion{epoch: epochs[i], data: data}
+		return data, epochs[i]
+	}
+	data := encodeRegion(r)
+	if e != nil && bytes.Equal(e.data, data) {
+		return e.data, e.epoch
+	}
+	epoch := uint64(1)
+	if e != nil {
+		epoch = e.epoch + 1
+	}
+	g.enc[uid] = &encRegion{epoch: epoch, data: data}
+	return data, epoch
+}
+
+// handleNack is the client's repair request: it could not apply a delta
+// frame (no retained region, or an epoch it cannot reconcile). Mark the
+// member for full delivery and repair it immediately from the encoding
+// cache — the cache always holds the group's latest distributed plan.
+func (c *Coordinator) handleNack(msg Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.groups[msg.Group]
+	if g == nil {
+		return
+	}
+	mb := g.members[msg.User]
+	if mb == nil {
+		return
+	}
+	mb.needFull = true
+	e := g.enc[msg.User]
+	if !g.havePlan || e == nil {
+		return // no plan distributed yet; registration will deliver one
+	}
+	ok := mb.send(Message{
+		Type: TNotify, Group: msg.Group, User: msg.User,
+		Meeting: g.lastMeeting, Epoch: e.epoch, Region: e.data,
+	})
+	mb.recordSend(c, msg.Group, ok, e.epoch, g.lastMeeting)
+	if ok {
+		c.logger.Printf("group %d: user %d nacked; repaired with full notify", msg.Group, msg.User)
+	}
 }
 
 // removeMember drops a disconnected user; an incomplete group stops
@@ -405,6 +589,11 @@ func (c *Coordinator) removeMember(gid, uid uint32) {
 		leaving = g.members[uid]
 		delete(g.members, uid)
 		delete(c.locs[gid], uid)
+		// Drop the cached encoding too: entries are only trustworthy for
+		// the membership they were built under (see encIDs), and keeping
+		// them would leak one region per departed uid in a long-lived
+		// group with churning membership.
+		delete(g.enc, uid)
 		if g.probing != nil {
 			delete(g.probing, uid)
 			c.maybeReplanLocked(gid, g)
@@ -441,8 +630,12 @@ func sortU32(xs []uint32) {
 	}
 }
 
-// encodeRegion mirrors the public mpn.EncodeRegion format so clients of
-// either layer interoperate.
+// EncodeRegion mirrors the public mpn.EncodeRegion format so clients of
+// either layer interoperate: 25 bytes for a circle (tag byte + three
+// float64s), the tileenc codec for tile regions. encodeRegion is the
+// internal alias.
+func EncodeRegion(r core.SafeRegion) []byte { return encodeRegion(r) }
+
 func encodeRegion(r core.SafeRegion) []byte {
 	if r.Kind == core.KindCircle {
 		buf := make([]byte, 0, 25)

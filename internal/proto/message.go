@@ -2,16 +2,34 @@
 // system architecture (Fig. 3) as a transport-agnostic wire format plus a
 // server-side coordinator and a client state machine.
 //
-// The three message exchanges of the paper map to five frame types:
+// The three message exchanges of the paper map to these frame types:
 //
 //	Register    client → server   join a group with an initial location
 //	Report      client → server   step 1: an escaping user reports
 //	Probe       server → client   step 2a: the server asks the others
 //	ProbeReply  client → server   step 2b: they answer
 //	Notify      server → client   step 3: meeting point + safe region
+//	NotifyDelta server → client   step 3, delta form: only changed regions
+//	Nack        client → server   a delta could not be applied; send full
 //
 // Frames are length-prefixed little-endian binary; safe regions travel in
-// the mpn region encoding (24-byte circles, varint-compressed tile grids).
+// the mpn region encoding (25-byte circles — one tag byte plus three
+// float64 values — and varint-compressed tile grids).
+//
+// # Delta notifications
+//
+// A client that sets FlagDeltaCapable on its Register frame opts into
+// TNotifyDelta: a compact frame (varint header, ~10 bytes on the wire
+// when nothing changed) that carries only the regions whose epoch
+// advanced since the server last delivered to that client, each as a
+// (member id, epoch, encoded region) record. Regions are state, not
+// diffs-of-diffs — every record carries the member's complete encoded
+// region — so a single delta frame always repairs an arbitrary epoch
+// gap. The frame's Epoch field is the recipient's own-region epoch after
+// the update; a client holding a different epoch and receiving no record
+// for itself answers with TNack, and the server repairs it with a full
+// TNotify. Full TNotify frames also carry the recipient's epoch so the
+// client can resynchronize its tracking.
 package proto
 
 import (
@@ -35,6 +53,8 @@ const (
 	TProbeReply
 	TNotify
 	TError
+	TNotifyDelta
+	TNack
 )
 
 // String implements fmt.Stringer.
@@ -52,29 +72,65 @@ func (t MsgType) String() string {
 		return "notify"
 	case TError:
 		return "error"
+	case TNotifyDelta:
+		return "notify-delta"
+	case TNack:
+		return "nack"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
 }
+
+// FlagDeltaCapable, set on a Register frame, announces that the client
+// understands TNotifyDelta frames. The server only sends deltas to
+// members that negotiated them (and only when its own delta mode is on),
+// so a client that opts out — or never sets the flag — receives full
+// TNotify frames forever. Note the negotiation is within this wire
+// version: the classic frame layout itself changed when the Flags and
+// Epoch fields were added (fixed header 49 → 58 bytes), so peers from
+// before that change cannot interoperate regardless of the flag.
+const FlagDeltaCapable uint8 = 1 << 0
+
+// deltaMeeting marks a TNotifyDelta frame that carries a meeting point
+// (it changed since the last delivery to this client).
+const deltaMeeting uint8 = 1 << 0
 
 // MaxFrame bounds a frame's payload, protecting the reader from corrupt
 // length prefixes. Tile regions are a few hundred bytes; 1 MiB is
 // generous.
 const MaxFrame = 1 << 20
 
+// RegionDelta is one changed-region record of a TNotifyDelta frame: the
+// member's complete encoded region stamped with its fresh epoch.
+type RegionDelta struct {
+	Member uint32
+	Epoch  uint64
+	Region []byte
+}
+
 // Message is one protocol frame. Fields are used according to Type:
-// Register carries Group/User/GroupSize/Loc; Report and ProbeReply carry
-// Group/User/Loc; Probe carries Group/User; Notify carries
-// Group/User/Meeting/Region; Error carries Text.
+// Register carries Group/User/GroupSize/Flags/Loc; Report and ProbeReply
+// carry Group/User/Loc; Probe carries Group/User; Notify carries
+// Group/User/Meeting/Epoch/Region; NotifyDelta carries
+// Group/User/Epoch/Deltas (and Meeting when MeetingChanged); Nack
+// carries Group/User/Epoch; Error carries Text.
 type Message struct {
 	Type      MsgType
 	Group     uint32
 	User      uint32
 	GroupSize uint32
+	Flags     uint8
+	Epoch     uint64
 	Loc       geom.Point
 	Meeting   geom.Point
 	Region    []byte
 	Text      string
+
+	// MeetingChanged and Deltas belong to TNotifyDelta frames: the
+	// meeting point is serialized only when it changed, and Deltas holds
+	// the changed-region records.
+	MeetingChanged bool
+	Deltas         []RegionDelta
 }
 
 // Errors returned by the codec.
@@ -83,13 +139,18 @@ var (
 	ErrCorruptFrame  = errors.New("proto: corrupt frame")
 )
 
-// Append serializes m into buf and returns the extended slice (without the
-// length prefix).
+// appendPayload serializes m into buf and returns the extended slice
+// (without the length prefix).
 func (m Message) appendPayload(buf []byte) []byte {
+	if m.Type == TNotifyDelta {
+		return m.appendDeltaPayload(buf)
+	}
 	buf = append(buf, byte(m.Type))
 	buf = binary.LittleEndian.AppendUint32(buf, m.Group)
 	buf = binary.LittleEndian.AppendUint32(buf, m.User)
 	buf = binary.LittleEndian.AppendUint32(buf, m.GroupSize)
+	buf = append(buf, m.Flags)
+	buf = binary.LittleEndian.AppendUint64(buf, m.Epoch)
 	buf = appendPoint(buf, m.Loc)
 	buf = appendPoint(buf, m.Meeting)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Region)))
@@ -99,23 +160,60 @@ func (m Message) appendPayload(buf []byte) []byte {
 	return buf
 }
 
+// appendDeltaPayload is the compact TNotifyDelta layout. Everything that
+// can be a varint is one: the steady-state frame — nothing changed — is
+// about six payload bytes, versus the ~58-byte fixed header of a classic
+// frame before any region bytes.
+func (m Message) appendDeltaPayload(buf []byte) []byte {
+	buf = append(buf, byte(TNotifyDelta))
+	buf = binary.AppendUvarint(buf, uint64(m.Group))
+	buf = binary.AppendUvarint(buf, uint64(m.User))
+	fl := uint8(0)
+	if m.MeetingChanged {
+		fl |= deltaMeeting
+	}
+	buf = append(buf, fl)
+	buf = binary.AppendUvarint(buf, m.Epoch)
+	if m.MeetingChanged {
+		buf = appendPoint(buf, m.Meeting)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(m.Deltas)))
+	for _, d := range m.Deltas {
+		buf = binary.AppendUvarint(buf, uint64(d.Member))
+		buf = binary.AppendUvarint(buf, d.Epoch)
+		buf = binary.AppendUvarint(buf, uint64(len(d.Region)))
+		buf = append(buf, d.Region...)
+	}
+	return buf
+}
+
 func appendPoint(buf []byte, p geom.Point) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.X))
 	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Y))
 }
 
+// AppendFrame serializes m — length prefix included — into buf and
+// returns the extended slice. It is Write without the io round trip, for
+// callers that batch frames or account wire bytes.
+func (m Message) AppendFrame(buf []byte) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = m.appendPayload(buf)
+	n := len(buf) - start - 4
+	if n > MaxFrame {
+		return buf[:start], ErrFrameTooLarge
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(n))
+	return buf, nil
+}
+
 // Write frames and writes m.
 func Write(w io.Writer, m Message) error {
-	payload := m.appendPayload(make([]byte, 0, 64+len(m.Region)+len(m.Text)))
-	if len(payload) > MaxFrame {
-		return ErrFrameTooLarge
-	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	frame, err := m.AppendFrame(make([]byte, 0, 80+len(m.Region)+len(m.Text)))
+	if err != nil {
 		return err
 	}
-	_, err := w.Write(payload)
+	_, err = w.Write(frame)
 	return err
 }
 
@@ -137,25 +235,33 @@ func Read(r io.Reader) (Message, error) {
 }
 
 func parsePayload(p []byte) (Message, error) {
-	// Fixed part: type(1) + group(4) + user(4) + size(4) + 2 points(32) +
-	// region len(4).
-	const fixed = 1 + 4 + 4 + 4 + 32 + 4
+	if len(p) == 0 {
+		return Message{}, ErrCorruptFrame
+	}
+	if MsgType(p[0]) == TNotifyDelta {
+		return parseDeltaPayload(p)
+	}
+	// Fixed part: type(1) + group(4) + user(4) + size(4) + flags(1) +
+	// epoch(8) + 2 points(32) + region len(4).
+	const fixed = 1 + 4 + 4 + 4 + 1 + 8 + 32 + 4
 	if len(p) < fixed {
 		return Message{}, ErrCorruptFrame
 	}
 	var m Message
 	m.Type = MsgType(p[0])
-	if m.Type < TRegister || m.Type > TError {
+	if m.Type < TRegister || m.Type > TNack {
 		return Message{}, ErrCorruptFrame
 	}
 	m.Group = binary.LittleEndian.Uint32(p[1:])
 	m.User = binary.LittleEndian.Uint32(p[5:])
 	m.GroupSize = binary.LittleEndian.Uint32(p[9:])
-	m.Loc = readPoint(p[13:])
-	m.Meeting = readPoint(p[29:])
-	regionLen := binary.LittleEndian.Uint32(p[45:])
-	rest := p[49:]
-	if uint32(len(rest)) < regionLen+4 {
+	m.Flags = p[13]
+	m.Epoch = binary.LittleEndian.Uint64(p[14:])
+	m.Loc = readPoint(p[22:])
+	m.Meeting = readPoint(p[38:])
+	regionLen := binary.LittleEndian.Uint32(p[54:])
+	rest := p[58:]
+	if uint64(len(rest)) < uint64(regionLen)+4 {
 		return Message{}, ErrCorruptFrame
 	}
 	if regionLen > 0 {
@@ -169,6 +275,94 @@ func parsePayload(p []byte) (Message, error) {
 	}
 	if textLen > 0 {
 		m.Text = string(rest)
+	}
+	return m, nil
+}
+
+// parseDeltaPayload decodes the compact TNotifyDelta layout with the
+// same defensiveness as the fixed layout: any truncation, overflow, or
+// trailing garbage is ErrCorruptFrame, never a panic.
+func parseDeltaPayload(p []byte) (Message, error) {
+	m := Message{Type: TNotifyDelta}
+	rest := p[1:]
+	u32 := func() (uint32, bool) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 || v > math.MaxUint32 {
+			return 0, false
+		}
+		rest = rest[n:]
+		return uint32(v), true
+	}
+	u64 := func() (uint64, bool) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, false
+		}
+		rest = rest[n:]
+		return v, true
+	}
+	var ok bool
+	if m.Group, ok = u32(); !ok {
+		return m, ErrCorruptFrame
+	}
+	if m.User, ok = u32(); !ok {
+		return m, ErrCorruptFrame
+	}
+	if len(rest) < 1 {
+		return m, ErrCorruptFrame
+	}
+	fl := rest[0]
+	rest = rest[1:]
+	if fl&^deltaMeeting != 0 {
+		return m, ErrCorruptFrame
+	}
+	if m.Epoch, ok = u64(); !ok {
+		return m, ErrCorruptFrame
+	}
+	if fl&deltaMeeting != 0 {
+		if len(rest) < 16 {
+			return m, ErrCorruptFrame
+		}
+		m.MeetingChanged = true
+		m.Meeting = readPoint(rest)
+		rest = rest[16:]
+	}
+	count, ok := u64()
+	if !ok || count > uint64(len(rest))/3 {
+		// Each record needs at least 3 varint bytes; a count beyond what
+		// the remaining payload could possibly hold is corruption, not a
+		// huge frame — and it must be rejected BEFORE sizing the slice,
+		// or a small corrupt frame could demand a ~40× larger
+		// preallocation (RegionDelta headers) than its own bytes.
+		return m, ErrCorruptFrame
+	}
+	if count > 0 {
+		// Cap the preallocation: real frames carry at most a group's
+		// worth of records, and append will grow the rare larger (still
+		// payload-backed) frame without handing a forged count a 40×
+		// memory amplification.
+		m.Deltas = make([]RegionDelta, 0, int(min(count, 64)))
+	}
+	for i := uint64(0); i < count; i++ {
+		var d RegionDelta
+		if d.Member, ok = u32(); !ok {
+			return m, ErrCorruptFrame
+		}
+		if d.Epoch, ok = u64(); !ok {
+			return m, ErrCorruptFrame
+		}
+		rl, ok := u64()
+		if !ok || rl > uint64(len(rest)) {
+			return m, ErrCorruptFrame
+		}
+		if rl > 0 {
+			d.Region = append([]byte(nil), rest[:rl]...)
+			rest = rest[rl:]
+		}
+		m.Deltas = append(m.Deltas, d)
+	}
+	if len(rest) != 0 {
+		return m, ErrCorruptFrame
 	}
 	return m, nil
 }

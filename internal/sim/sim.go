@@ -9,7 +9,10 @@
 // header, so one packet carries (576−40)/8 = 67 double-precision values =
 // 536 payload bytes. A circle costs three values; a tile region is shipped
 // with the tileenc lossless compression, as the tile methods do in the
-// paper [12].
+// paper [12]. With Config.DeltaWire the notification accounting follows
+// the delta protocol of internal/proto instead: a member whose region
+// epoch did not advance receives a DeltaNotifyBytes stub rather than a
+// re-encoded region.
 package sim
 
 import (
@@ -78,7 +81,21 @@ type Config struct {
 	// the shared neighborhood cache (see internal/nbrcache). Plans are
 	// unaffected; only the index-traversal cost changes.
 	SharedCache *nbrcache.Cache
+	// DeltaWire models the delta notification protocol on the wire
+	// (TNotifyDelta, internal/proto): a member whose region epoch did
+	// not advance since her last notification receives a small
+	// region-less delta frame instead of a re-encoded region. Only
+	// meaningful together with Incremental (without retained plan state
+	// every region is fresh every update); plans and update counts are
+	// unchanged — only the bytes/packets accounting moves.
+	DeltaWire bool
 }
+
+// DeltaNotifyBytes is the modeled wire size of a region-less delta
+// notification: length prefix, type, varint group/user/epoch, flags, and
+// record count — ~10 bytes on the wire; 12 is the conservative model
+// (matching the proto layer's worst case for small ids).
+const DeltaNotifyBytes = 12
 
 // Metrics aggregates one run's costs.
 type Metrics struct {
@@ -107,6 +124,13 @@ type Metrics struct {
 	FullReplans    int
 	PartialReplans int
 	KeptPlans      int
+	// FullNotifies and DeltaNotifies break the downlink result
+	// notifications down by wire form: a full notify re-ships the
+	// member's encoded region, a delta notify (Config.DeltaWire, epoch
+	// unchanged) ships the DeltaNotifyBytes stub. Without DeltaWire
+	// every notification is full.
+	FullNotifies  int
+	DeltaNotifies int
 }
 
 // UpdateFrequency returns updates per 1,000 timestamps, the paper's
@@ -213,9 +237,13 @@ type session struct {
 
 	// Incremental-protocol state: the retained plan and the reusable
 	// workspace (the real server's workers hold one each; the simulated
-	// server holds one per run).
-	state core.PlanState
-	ws    *core.Workspace
+	// server holds one per run). prevEpochs retains the epoch vector of
+	// the last distributed plan for the DeltaWire accounting — the
+	// simulated counterpart of the coordinator's per-client epoch
+	// tracking.
+	state      core.PlanState
+	ws         *core.Workspace
+	prevEpochs []uint64
 }
 
 // update executes the three-step protocol of Fig. 3 at timestamp t and
@@ -301,13 +329,27 @@ func (s *session) update(t int, met *Metrics, initial bool) {
 	met.PlanStats.Add(plan.Stats)
 	s.regions = plan.Regions
 
-	// Notify every user: meeting point (2 values) + her safe region.
-	for _, r := range plan.Regions {
+	// Notify every user: meeting point (2 values) + her safe region — or,
+	// under the delta protocol, a region-less delta frame for every
+	// member whose region epoch did not advance since the last
+	// distribution (the epoch-tracked coordinator never re-encodes or
+	// re-ships an unchanged region).
+	epochs := s.state.Epochs()
+	for i, r := range plan.Regions {
+		unchanged := s.cfg.DeltaWire && s.cfg.Incremental && !initial &&
+			i < len(s.prevEpochs) && i < len(epochs) && epochs[i] == s.prevEpochs[i]
+		met.DownlinkMessages++
+		if unchanged {
+			met.DeltaNotifies++
+			met.Packets += (DeltaNotifyBytes + PacketPayload - 1) / PacketPayload
+			continue
+		}
+		met.FullNotifies++
 		bytes := 16 + regionBytes(r)
 		met.RegionBytes += regionBytes(r)
-		met.DownlinkMessages++
 		met.Packets += (bytes + PacketPayload - 1) / PacketPayload
 	}
+	s.prevEpochs = append(s.prevEpochs[:0], epochs...)
 }
 
 // regionBytes is the encoded payload size of a safe region: three doubles

@@ -73,3 +73,52 @@ func TestRunCacheInvariance(t *testing.T) {
 		}
 	}
 }
+
+// TestRunDeltaWireAccounting: the delta wire protocol changes only the
+// bytes/packets accounting, never the protocol itself — updates,
+// outcome mix, and messages match the full-wire run exactly, while
+// unchanged regions stop shipping bytes (DeltaNotifies > 0, region
+// bytes and packets strictly shrink on a kept/partial-heavy workload).
+func TestRunDeltaWireAccounting(t *testing.T) {
+	pois, group := testWorkload(t, 3)
+	cfg := MethodConfig(MethodTile, gnn.Max, 0)
+	cfg.Core.TileLimit = 8
+	cfg.MaxSteps = 400
+	cfg.Incremental = true
+
+	full, err := Run(pois, group, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.DeltaNotifies != 0 || full.FullNotifies != full.Updates*len(group) {
+		t.Fatalf("full-wire notify mix: %d full / %d delta over %d updates",
+			full.FullNotifies, full.DeltaNotifies, full.Updates)
+	}
+
+	cfg.DeltaWire = true
+	delta, err := Run(pois, group, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.Updates != full.Updates || delta.KeptPlans != full.KeptPlans ||
+		delta.PartialReplans != full.PartialReplans || delta.FullReplans != full.FullReplans ||
+		delta.UplinkMessages != full.UplinkMessages || delta.DownlinkMessages != full.DownlinkMessages {
+		t.Fatalf("delta wire changed the protocol:\n full  %+v\n delta %+v", full, delta)
+	}
+	if delta.PartialReplans+delta.KeptPlans == 0 {
+		t.Skip("workload produced no reuse; nothing for deltas to save")
+	}
+	if delta.DeltaNotifies == 0 {
+		t.Fatal("delta wire run shipped no delta notifications")
+	}
+	if delta.FullNotifies+delta.DeltaNotifies != full.FullNotifies {
+		t.Fatalf("notify totals diverge: %d+%d vs %d",
+			delta.FullNotifies, delta.DeltaNotifies, full.FullNotifies)
+	}
+	if delta.RegionBytes >= full.RegionBytes {
+		t.Fatalf("delta wire did not shrink region bytes: %d vs %d", delta.RegionBytes, full.RegionBytes)
+	}
+	if delta.Packets > full.Packets {
+		t.Fatalf("delta wire inflated packets: %d vs %d", delta.Packets, full.Packets)
+	}
+}

@@ -3,11 +3,67 @@ package tileenc
 import (
 	"math/rand"
 	"testing"
+
+	"mpn/internal/geom"
 )
+
+// FuzzDecode is the native fuzz target over the codec: Decode must never
+// panic on arbitrary input — only return an error or well-formed tiles —
+// and whatever decodes must survive a re-encode/re-decode round trip
+// with its tile count intact. The round trip cannot assert exact
+// geometric equality: the re-encode anchors a fresh quantization lattice
+// (different δ, origin at the decoded bounding box), so inward rounding
+// may legitimately shrink tiles by up to one lattice pitch — only
+// decodability, validity, and the count are invariant. The seed corpus
+// covers the interesting shapes: empty payloads, bare headers, single
+// tiles, realistic multi-level regions, and an empty region. CI runs a
+// short `go test -fuzz=FuzzDecode` smoke on top of the seeds.
+func FuzzDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(9))
+	f.Add([]byte{})
+	f.Add([]byte{'T'})
+	f.Add([]byte{'T', Version})
+	f.Add([]byte{'T', Version + 1, 0, 0})
+	f.Add(Encode(nil, 1))
+	f.Add(Encode([]geom.Rect{{Min: pt(0.1, 0.1), Max: pt(0.2, 0.2)}}, 0.1))
+	f.Add(Encode(regionLike(pt(0.5, 0.5), 0.01, 20, rng), 0.01))
+	f.Add(Encode(regionLike(pt(0.25, 0.75), 0.003, 60, rng), 0.003))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tiles, err := Decode(data)
+		if err != nil {
+			return
+		}
+		for _, tile := range tiles {
+			if !tile.IsValid() {
+				t.Fatalf("decoded invalid tile %v", tile)
+			}
+		}
+		// Round trip on decoded output: re-encoding with a derived delta
+		// must stay decodable with the tile count preserved (see the
+		// target comment for why exact geometry is not asserted).
+		delta := 0.0
+		for _, tile := range tiles {
+			if w := tile.Width(); w > delta {
+				delta = w
+			}
+		}
+		if delta <= 0 {
+			delta = 1
+		}
+		again, err := Decode(Encode(tiles, delta))
+		if err != nil {
+			t.Fatalf("re-encode of decoded tiles failed to decode: %v", err)
+		}
+		if len(again) != len(tiles) {
+			t.Fatalf("re-encode changed tile count %d → %d", len(tiles), len(again))
+		}
+	})
+}
 
 // Decode must never panic or allocate absurdly on arbitrary input — only
 // return an error or a well-formed region. This is a randomized robustness
-// sweep (stdlib-only stand-in for a fuzz target).
+// sweep predating the FuzzDecode target; it keeps the deterministic
+// 20k-trial coverage in every plain `go test` run.
 func TestDecodeRandomBytesRobust(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 20000; trial++ {

@@ -105,6 +105,7 @@ func NewServer(pois []Point, opts ...Option) (*Server, error) {
 	s.planWS = engine.PlannerCachedWSFunc(planner, circle, s.cache)
 	eopts := engine.Options{
 		Shards: cfg.shards, Workers: cfg.workers, QueueDepth: cfg.queueDepth,
+		TileAffinity: cfg.tileAffinity,
 	}
 	if cfg.incremental {
 		eopts.Replan = engine.PlannerIncCachedFunc(planner, circle, s.cache)

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"mpn/internal/core"
+	"mpn/internal/engine"
 	"mpn/internal/gnn"
 )
 
@@ -63,10 +64,11 @@ func (m Method) String() string {
 
 // config is the resolved server configuration.
 type config struct {
-	method      Method
-	core        core.Options
-	incremental bool
-	cacheBytes  int64
+	method       Method
+	core         core.Options
+	incremental  bool
+	cacheBytes   int64
+	tileAffinity float64
 
 	// Engine sizing; zero selects the engine's defaults (GOMAXPROCS
 	// shards, 1 worker per shard, queue depth 1024).
@@ -196,6 +198,22 @@ func WithSharedGNNCache(maxBytes int) Option {
 func WithIncrementalCostRatio(ratio float64) Option {
 	return func(c *config) error {
 		c.core.IncCostRatio = ratio
+		return nil
+	}
+}
+
+// WithTileAffinity places newly registered groups onto engine shards by
+// their quantized centroid tile instead of hashing the group id: groups
+// meeting in the same area land on the same shard, so they share that
+// shard's worker-local workspace state (scratch warmed to the local
+// geometry) on top of the global GNN cache's result sharing. The tile
+// side matches the shared cache's default quantization, so "same cache
+// tile" and "same shard" coincide. The trade-off is load skew under
+// heavily clustered workloads — shard counts sized for the number of
+// active areas, not the number of groups, keep workers busy.
+func WithTileAffinity() Option {
+	return func(c *config) error {
+		c.tileAffinity = engine.DefaultTileAffinity
 		return nil
 	}
 }
