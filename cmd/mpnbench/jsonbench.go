@@ -258,6 +258,7 @@ func runPlanJSONBench(out io.Writer, log io.Writer) error {
 	if err := runNotifyBench(&report, planner, log); err != nil {
 		return err
 	}
+	runChurnBench(&report, pois, opts, log)
 
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
@@ -453,4 +454,155 @@ func runMultiGroupBench(report *benchfmt.Report, planner *core.Planner, log io.W
 	// One-entry budget: every lookup evicts the previous group's entry,
 	// so each update pays populate + certify + evict — the miss ceiling.
 	emit("multi_group_miss", false, nbrcache.New(nbrcache.Config{MaxBytes: 1, Stripes: 1}))
+}
+
+// Churn workload shape: one group of churnM members planning in place
+// mid-domain while localized mutation batches land in the far corner —
+// every churnEvery-th plan is preceded by a batch of churnOps mutations
+// (half inserts on a lattice around (0.9, 0.9), half deletes of the
+// oldest surviving churn inserts once enough have accumulated, so the
+// live set stays bounded). The mutations sit far outside the group's
+// neighborhood, the regime the locality-aware cache invalidation is
+// built for: entries the batch provably cannot affect must migrate to
+// the new snapshot and keep hitting.
+const (
+	churnM            = 3
+	churnEvery        = 8
+	churnOps          = 8
+	churnResetBatches = 4096
+)
+
+// churnState drives the deterministic mutation stream: a monotone
+// counter places inserts on the far-corner lattice, and pending queues
+// the inserted ids until they are old enough to delete. The slices are
+// reused, so a steady-state batch allocates only inside ApplyPOIs.
+type churnState struct {
+	ins     []geom.Point
+	del     []int
+	pending []int
+	n       int
+}
+
+// batch applies one churn batch to the planner.
+func (c *churnState) batch(planner *core.Planner) error {
+	c.ins = c.ins[:0]
+	for j := 0; j < churnOps/2; j++ {
+		c.n++
+		c.ins = append(c.ins, geom.Pt(
+			0.88+0.0005*float64(c.n%89),
+			0.90+0.0004*float64(c.n%97)))
+	}
+	c.del = c.del[:0]
+	if len(c.pending) >= 8*churnOps {
+		c.del = append(c.del, c.pending[:churnOps/2]...)
+		rest := copy(c.pending, c.pending[churnOps/2:])
+		c.pending = c.pending[:rest]
+	}
+	ids, err := planner.ApplyPOIs(c.ins, c.del)
+	if err != nil {
+		return err
+	}
+	c.pending = append(c.pending, ids...)
+	return nil
+}
+
+// runChurnBench appends the churn_* series: planning under live POI
+// churn. churn_plan and churn_plan_cached time the planner kernel with
+// a mutation batch landing every churnEvery iterations — uncached vs
+// the shared GNN cache, whose hit/miss/rejected counters are attached
+// (cmd/benchgate enforces the hit-rate floor under this localized
+// churn). churn_mutate times the ApplyPOIs batch itself: the full RCU
+// publication — reader drain, shadow catch-up, batched R-tree
+// insert/delete, tombstone re-publication, the atomic snapshot swap,
+// and the cache Advance. Every series runs a fresh planner over the
+// same POIs so churn never perturbs the shared planner the other
+// series measure.
+func runChurnBench(report *benchfmt.Report, pois []geom.Point, opts core.Options, log io.Writer) {
+	users, dirs := jsonBenchGroup(churnM)
+
+	plan := func(cache *nbrcache.Cache) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			planner, err := core.NewPlanner(pois, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			planner.ShareCache(cache)
+			ws := core.NewWorkspace()
+			locs := make([]geom.Point, churnM)
+			var st churnState
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%churnEvery == churnEvery-1 {
+					if err := st.batch(planner); err != nil {
+						b.Fatal(err)
+					}
+				}
+				jitter := 1e-5 * float64(i%7)
+				for j, u := range users {
+					locs[j] = geom.Pt(u.X+jitter, u.Y-jitter)
+				}
+				if cache != nil {
+					_, err = planner.TileMSRCachedInto(ws, cache, locs, dirs)
+				} else {
+					_, err = planner.TileMSRInto(ws, locs, dirs)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	emit := func(name string, cache *nbrcache.Cache) {
+		before := cache.Stats()
+		s := toSeries(name, churnM, plan(cache))
+		after := cache.Stats()
+		s.CacheHits = after.Hits - before.Hits
+		s.CacheMisses = after.Misses - before.Misses
+		s.CacheRejected = after.Rejected - before.Rejected
+		report.Series = append(report.Series, s)
+		extra := ""
+		if total := s.CacheHits + s.CacheMisses + s.CacheRejected; total > 0 {
+			extra = fmt.Sprintf(" (cache %.1f%% hit, %d miss, %d rejected)",
+				100*float64(s.CacheHits)/float64(total), s.CacheMisses, s.CacheRejected)
+		}
+		fmt.Fprintf(log, "  %-18s m=%d  %10.0f ns/op %8.0f plans/s %4d allocs/op%s\n",
+			name, churnM, s.NsPerOp, s.OpsPerSec, s.AllocsPerOp, extra)
+	}
+	emit("churn_plan", nil)
+	emit("churn_plan_cached", nbrcache.New(nbrcache.Config{}))
+
+	mutate := testing.Benchmark(func(b *testing.B) {
+		// The id space is append-only and the tombstone table is
+		// re-published on every batch, so a planner mutated forever pays
+		// a copy that grows with the total ids ever allocated. Reset the
+		// planner — off the clock — every churnResetBatches batches to
+		// hold that term at a realistic long-session size instead of
+		// letting it scale with b.N.
+		var planner *core.Planner
+		var st churnState
+		reset := func() {
+			p, err := core.NewPlanner(pois, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			planner, st = p, churnState{}
+		}
+		reset()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i > 0 && i%churnResetBatches == 0 {
+				b.StopTimer()
+				reset()
+				b.StartTimer()
+			}
+			if err := st.batch(planner); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	s := toSeries("churn_mutate", churnM, mutate)
+	report.Series = append(report.Series, s)
+	fmt.Fprintf(log, "  %-18s m=%d  %10.0f ns/op %8.0f batches/s %4d allocs/op (%d-op batches)\n",
+		"churn_mutate", churnM, s.NsPerOp, s.OpsPerSec, s.AllocsPerOp, churnOps)
 }

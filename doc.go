@@ -122,11 +122,16 @@
 // tile is verified against every tile the clean members retained, so
 // when the retained regions hold more tiles than the frontier a fresh
 // plan would build (about TileLimit+1 tiles per member, scaled by a
-// measured crossover ratio), the partial regrow is predicted slower
-// than replanning and the server replans everyone outright — still
-// reported as ReplanFull and still byte-identical to the
-// non-incremental plan. WithIncrementalCostRatio tunes the crossover; a
-// negative ratio always attempts the partial regrow.
+// measured crossover ratio), an untrimmed partial regrow is predicted
+// slower than replanning. Instead of abandoning the partial path, the
+// server shrinks each oversized clean region down to the fresh-frontier
+// budget — keeping the tiles nearest the member; a subset of a valid
+// tile-region set is itself valid, it only cedes territory — and
+// regrows the escapees against the trimmed set, preserving the partial
+// outcome's communication win (the clean majority still keeps regions,
+// merely smaller ones). WithIncrementalCostRatio tunes the crossover; a
+// negative ratio disables the trim and always regrows against the
+// untrimmed retained regions.
 //
 // # Delta notifications on the wire
 //
@@ -199,9 +204,16 @@
 //   - Verification downstream: safe-region tiles are still
 //     Divide-Verified against the group's own members, so planner
 //     correctness never rests on the cache at all.
-//   - Self-invalidation: any POI mutation (core.Planner.InsertPOI) bumps
-//     the R-tree's monotone version; an entry recording an older version
-//     is discarded on its next lookup, with no scanning.
+//   - Churn invalidation by locality: a POI mutation batch tells the
+//     cache exactly which locations changed; an entry is evicted only if
+//     a mutated location falls within its guarantee radius (where it
+//     could appear among, or displace, the cached candidates) or the
+//     entry claims completeness. Every other entry migrates to the new
+//     index snapshot untouched, so localized churn leaves distant areas
+//     of the cache hot. Entries recording an unknown (tree, version)
+//     pair — e.g. on a cache not registered for notifications — are
+//     still discarded on their next lookup, so correctness never
+//     depends on the migration.
 //
 // The cache is bounded by an LRU byte budget (lock-striped, evictions
 // counted) and observable through Server.GNNCacheStats. On the
@@ -210,6 +222,44 @@
 // steady-state update's index traversal into a few hundred distance
 // computations, roughly doubling planning throughput and reaching a
 // 100% hit rate after the first group's miss populates the tile.
+//
+// # Live POI churn and snapshot semantics
+//
+// The POI set is mutable while the server runs: Server.InsertPOI,
+// Server.DeletePOI, and the batched Server.UpdatePOIs apply venue churn
+// without stopping — or even pausing — planning. The index is published
+// as immutable snapshots behind one atomic pointer (an RCU-style
+// double buffer in internal/core):
+//
+//   - What readers pin: every safe-region computation acquires the
+//     current snapshot — an R-tree, the id-indexed POI table, the
+//     tombstone set, and the mutation version, all internally consistent
+//     — and runs against it for its whole duration. A computation never
+//     observes a half-applied batch, and concurrent computations may run
+//     against different versions; Stats.IndexVersion reports which one
+//     each plan saw.
+//   - How writers publish: mutations serialize on a writer lock and are
+//     applied to a shadow copy of the index (the tree retired two
+//     publishes ago, caught up by replaying the batch it missed), then
+//     published with a single pointer swap — the tree's version is
+//     advanced strictly after its structure, so no reader can pair a new
+//     version with old contents. Readers never block, and the writer
+//     waits on at most one retired snapshot's readers. When accumulated
+//     churn exceeds the live set size, the shadow is re-packed with the
+//     STR bulk loader to restore load balance.
+//   - What survives a mutation: shared-cache entries outside the reach
+//     of every mutated location migrate to the new snapshot (see above);
+//     retained incremental plans do not — the next update for each group
+//     replans fully, because retained tiles were verified against a
+//     candidate set the mutation may have changed. Deleted POI ids are
+//     never reused, and a pinned snapshot keeps its entire state valid
+//     until released.
+//
+// The churn differential fence asserts that after any interleaving of
+// inserts and deletes, every planner variant produces plans identical
+// to a freshly built server over the surviving POI set — deletions
+// leave no trace — and the churn_* benchmark series gate the cost:
+// localized churn keeps the shared cache above an 80% hit rate.
 //
 // The internal packages implement the full substrate from scratch: an
 // R-tree (internal/rtree), top-k group nearest neighbor search

@@ -19,9 +19,15 @@ type Series struct {
 	// price the worst-case miss path), "notify_encode_full"/
 	// "notify_encode_delta" (server-side cost of serializing one
 	// kept-path notification round to all m members, full protocol vs
-	// epoch-tracked delta protocol), or "notify_bytes_full"/
+	// epoch-tracked delta protocol), "notify_bytes_full"/
 	// "notify_bytes_delta" (WireBytes only: the wire size of that same
-	// round).
+	// round), or the "churn_*" family — planning under live POI churn:
+	// "churn_plan"/"churn_plan_cached" (planner kernel with a localized
+	// mutation batch landing every few iterations, uncached vs the
+	// shared GNN cache; the cached series carries the cache counters and
+	// cmd/benchgate enforces its hit-rate floor) and "churn_mutate" (one
+	// batched ApplyPOIs publication: shadow catch-up, R-tree
+	// insert/delete, snapshot swap, cache advance).
 	Name        string  `json:"name"`
 	GroupSize   int     `json:"group_size"`
 	NsPerOp     float64 `json:"ns_per_op"`

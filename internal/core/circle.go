@@ -45,8 +45,19 @@ func (pl *Planner) circleMSR(ws *Workspace, cache *nbrcache.Cache, users []geom.
 	if len(users) == 0 {
 		return Plan{}, ErrNoUsers
 	}
+	snap := pl.Acquire()
+	defer snap.Release()
+	return pl.circleMSRSnap(ws, cache, snap, users)
+}
+
+// circleMSRSnap runs circle planning entirely against one pinned
+// snapshot; callers that already hold a snapshot (the incremental
+// planner's full fallback) reuse it so the whole update sees a single
+// index state.
+func (pl *Planner) circleMSRSnap(ws *Workspace, cache *nbrcache.Cache, snap *Snapshot, users []geom.Point) (Plan, error) {
 	var plan Plan
-	ws.topk = pl.lookupTopK(ws, cache, users, 2)
+	plan.Stats.IndexVersion = snap.version
+	ws.topk = pl.lookupTopK(ws, cache, snap, users, 2)
 	plan.Stats.GNNCalls++
 	plan.Best = ws.topk[0]
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 
 	"mpn/internal/geom"
 	"mpn/internal/gnn"
@@ -60,6 +61,7 @@ func (o IncOutcome) String() string {
 type PlanState struct {
 	valid   bool
 	bestID  int
+	version uint64 // index version the retained plan was computed against
 	regions []SafeRegion
 	epochs  []uint64
 }
@@ -97,6 +99,7 @@ func (st *PlanState) Record(p Plan) {
 	st.bumpEpochs(p.Regions)
 	st.valid = true
 	st.bestID = p.Best.Item.ID
+	st.version = p.Stats.IndexVersion
 	st.regions = p.Regions
 }
 
@@ -227,8 +230,13 @@ func (pl *Planner) tileMSRInc(ws *Workspace, cache *nbrcache.Cache, st *PlanStat
 	if len(dirs) != len(users) {
 		dirs = nil
 	}
-	if !st.usable(users, KindTiles) {
-		plan, err := pl.tileMSR(ws, cache, users, dirs)
+	// One snapshot for the whole update, fallbacks included: every
+	// traversal of this call — the result-set check, a partial regrow,
+	// and any full replan it degrades to — sees the same index state.
+	snap := pl.Acquire()
+	defer snap.Release()
+	if !st.usable(snap.version, users, KindTiles) {
+		plan, err := pl.tileMSRSnap(ws, cache, snap, users, dirs)
 		if err != nil {
 			return plan, IncFull, err
 		}
@@ -237,14 +245,15 @@ func (pl *Planner) tileMSRInc(ws *Workspace, cache *nbrcache.Cache, st *PlanStat
 	}
 
 	var plan Plan
-	ws.topk = pl.lookupTopK(ws, cache, users, pl.topK())
+	plan.Stats.IndexVersion = snap.version
+	ws.topk = pl.lookupTopK(ws, cache, snap, users, pl.topK())
 	plan.Stats.GNNCalls++
 	plan.Best = ws.topk[0]
 
 	if plan.Best.Item.ID != st.bestID || pl.circleRadius(users, ws.topk) <= 0 {
 		// Result-set churn (or a degenerate tie): every region must
 		// regrow around the new optimum.
-		pl.growTiles(ws, &plan, users, dirs, ws.topk, nil, nil)
+		pl.growTiles(ws, snap, &plan, users, dirs, ws.topk, nil, nil)
 		st.Record(plan)
 		return plan, IncFull, nil
 	}
@@ -263,29 +272,125 @@ func (pl *Planner) tileMSRInc(ws *Workspace, cache *nbrcache.Cache, st *PlanStat
 		return plan, IncKept, nil
 	}
 
-	if pl.regrowPredictedSlower(st.regions, dirty, len(users)) {
-		// Cost heuristic: the retained regions carry so many tiles that
+	retained := st.regions
+	if pl.regrowPredictedSlower(retained, dirty, len(users)) {
+		// Cost remedy: the retained regions carry so many tiles that
 		// regrowing the dirty members against them is predicted to cost
-		// more than replanning everyone from scratch. Skip the partial
-		// attempt up front.
-		pl.growTiles(ws, &plan, users, dirs, ws.topk, nil, nil)
-		st.Record(plan)
-		return plan, IncFull, nil
+		// more than replanning everyone. Shrinking the clean regions to
+		// the fresh-frontier budget removes the overhang — a subset of a
+		// valid tile-region set is itself valid — so the partial regrow
+		// proceeds against the trimmed set instead of being abandoned.
+		retained = pl.shrinkRetained(ws, retained, users, dirty)
 	}
 
-	pl.growTiles(ws, &plan, users, dirs, ws.topk, st.regions, dirty)
+	pl.growTiles(ws, snap, &plan, users, dirs, ws.topk, retained, dirty)
 	for i, u := range users {
 		if dirty[i] && !plan.Regions[i].Contains(u) {
 			// Carry the wasted partial work's counters into the full
 			// replan's stats: it is work this update really performed.
 			full := Plan{Best: plan.Best, Stats: plan.Stats}
-			pl.growTiles(ws, &full, users, dirs, ws.topk, nil, nil)
+			pl.growTiles(ws, snap, &full, users, dirs, ws.topk, nil, nil)
 			st.Record(full)
 			return full, IncFull, nil
 		}
 	}
 	st.Record(plan)
 	return plan, IncPartial, nil
+}
+
+// shrinkRetained trims every clean member's retained region to the tile
+// budget a fresh plan would build for her (TileLimit+1: the seed plus
+// one accepted tile per round), keeping the tiles nearest her reported
+// location. Dropping tiles from a valid tile-region set never breaks
+// the group-verification property — every tile group over the shrunk
+// set is a group over the original — so the result is still a valid
+// region set for the unchanged optimum; it only cedes territory. The
+// member's containing tile is always kept (she must remain inside her
+// own region or the partial outcome would misreport her as dirty), and
+// surviving tiles keep their original order. Regions already within
+// budget, and dirty members' regions (regrown from scratch anyway),
+// pass through verbatim; when nothing exceeds the budget the input
+// slice is returned as-is. The returned regions are backed by workspace
+// scratch — valid only until growTiles copies them out.
+func (pl *Planner) shrinkRetained(ws *Workspace, retained []SafeRegion, users []geom.Point, dirty []bool) []SafeRegion {
+	budget := pl.opts.TileLimit + 1
+	over := false
+	for i := range retained {
+		if !dirty[i] && len(retained[i].Tiles) > budget {
+			over = true
+			break
+		}
+	}
+	if !over {
+		return retained
+	}
+
+	out := ws.resizeShrunk(len(retained))
+	total := 0
+	for i := range retained {
+		if !dirty[i] && len(retained[i].Tiles) > budget {
+			total += budget
+		}
+	}
+	arena := grown(ws.shrinkTiles, total)[:0]
+	for i := range retained {
+		tiles := retained[i].Tiles
+		if dirty[i] || len(tiles) <= budget {
+			out[i] = retained[i]
+			continue
+		}
+		u := users[i]
+
+		// Rank tiles by distance from the user, stably by original index.
+		sel := &ws.shrinkSel
+		sel.c = grown(sel.c, len(tiles))
+		for j, s := range tiles {
+			sel.c[j] = shrinkCand{d: s.MinDist(u), idx: j}
+		}
+		sort.Sort(sel)
+
+		// Keep the budget nearest, forcing the member's containing tile
+		// into the cut if distance ranking alone dropped it. (A clean
+		// member has one by definition; ranking can only exclude it on
+		// boundary ties, where several tiles are at distance zero.)
+		keep := ws.shrinkIdx[:0]
+		contained := false
+		for _, c := range sel.c[:budget] {
+			keep = append(keep, c.idx)
+			if !contained && tiles[c.idx].Contains(u) {
+				contained = true
+			}
+		}
+		if !contained {
+			for _, c := range sel.c[budget:] {
+				if tiles[c.idx].Contains(u) {
+					keep[len(keep)-1] = c.idx
+					break
+				}
+			}
+		}
+		ws.shrinkIdx = keep
+
+		// Emit the survivors in their original region order.
+		sortInts(keep)
+		start := len(arena)
+		for _, j := range keep {
+			arena = append(arena, tiles[j])
+		}
+		out[i] = SafeRegion{Kind: KindTiles, Tiles: arena[start:len(arena):len(arena)]}
+	}
+	ws.shrinkTiles = arena
+	return out
+}
+
+// sortInts insertion-sorts a small index slice in place (budget-sized:
+// a few dozen elements at most).
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }
 
 // regrowPredictedSlower is the up-front cost heuristic of the partial
@@ -296,11 +401,16 @@ func (pl *Planner) tileMSRInc(ws *Workspace, cache *nbrcache.Cache, st *PlanStat
 // tiles (and, for SUM, rebuilds their memo minima), so when the
 // retained set outweighs the fresh frontier the partial regrow does
 // more verification work per accepted tile than a full replan spends in
-// total. Calibration on the cmd/mpnbench escape workload (21,287 POIs,
-// α=10, b=50, minimal-escape oscillation): kept/frontier was 0.97 at
-// m=3 and 0.95 at m=5 — where the partial regrow wins 1.4–1.9× — but
-// 1.25 at m=4, where displaced-geometry candidates made the partial
-// ~2.1× SLOWER than replanning (2.44ms vs 1.17ms per update);
+// total. When the heuristic fires the planner no longer abandons the
+// partial path: it shrinks the oversized clean regions down to the
+// fresh-frontier budget (see shrinkRetained) and regrows the dirty
+// members against the trimmed set, which bounds the per-tile
+// verification cost by construction. Calibration on the cmd/mpnbench
+// escape workload (21,287 POIs, α=10, b=50, minimal-escape
+// oscillation): kept/frontier was 0.97 at m=3 and 0.95 at m=5 — where
+// the untrimmed partial regrow wins 1.4–1.9× — but 1.25 at m=4, where
+// displaced-geometry candidates made the untrimmed partial ~2.1×
+// SLOWER than replanning (2.44ms vs 1.17ms per update);
 // DefaultIncCostRatio sits between the two regimes.
 func (pl *Planner) regrowPredictedSlower(retained []SafeRegion, dirty []bool, m int) bool {
 	ratio := pl.opts.IncCostRatio
@@ -356,8 +466,11 @@ func (pl *Planner) circleMSRInc(ws *Workspace, cache *nbrcache.Cache, st *PlanSt
 	if len(users) == 0 {
 		return Plan{}, IncFull, ErrNoUsers
 	}
+	snap := pl.Acquire()
+	defer snap.Release()
 	var plan Plan
-	ws.topk = pl.lookupTopK(ws, cache, users, 2)
+	plan.Stats.IndexVersion = snap.version
+	ws.topk = pl.lookupTopK(ws, cache, snap, users, 2)
 	plan.Stats.GNNCalls++
 	plan.Best = ws.topk[0]
 	r := pl.circleRadius(users, ws.topk)
@@ -371,7 +484,7 @@ func (pl *Planner) circleMSRInc(ws *Workspace, cache *nbrcache.Cache, st *PlanSt
 		return plan, IncFull, nil
 	}
 
-	if !st.usable(users, KindCircle) || plan.Best.Item.ID != st.bestID || r <= 0 {
+	if !st.usable(snap.version, users, KindCircle) || plan.Best.Item.ID != st.bestID || r <= 0 {
 		return full()
 	}
 
@@ -422,10 +535,14 @@ func (pl *Planner) circleMSRInc(ws *Workspace, cache *nbrcache.Cache, st *PlanSt
 }
 
 // usable reports whether the retained state can seed an incremental run
-// for the given group shape and region kind. Size mismatches (membership
-// churn) and kind mismatches force a full replan.
-func (st *PlanState) usable(users []geom.Point, kind RegionKind) bool {
-	if !st.valid || len(st.regions) != len(users) {
+// against the given snapshot version for the given group shape and
+// region kind. Size mismatches (membership churn) and kind mismatches
+// force a full replan; so does any POI mutation since the retained plan
+// was recorded (st.version != version) — the retained regions were
+// verified against a candidate set the mutation may have changed, so
+// their tiles carry no guarantee under the fresh snapshot.
+func (st *PlanState) usable(version uint64, users []geom.Point, kind RegionKind) bool {
+	if !st.valid || st.version != version || len(st.regions) != len(users) {
 		return false
 	}
 	for i := range st.regions {

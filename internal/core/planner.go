@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"mpn/internal/geom"
 	"mpn/internal/gnn"
@@ -61,13 +63,16 @@ type Options struct {
 	MaxLayers int
 
 	// IncCostRatio tunes the incremental planner's up-front cost
-	// heuristic: a partial regrow is skipped in favor of a full replan
-	// when the retained clean regions hold more than IncCostRatio times
-	// the tile frontier a fresh plan would build (m·(TileLimit+1)
-	// tiles), because every regrown tile is verified against the whole
-	// retained set. Zero selects DefaultIncCostRatio (the measured
-	// crossover); a negative value disables the heuristic and always
-	// attempts the partial regrow.
+	// heuristic: when the retained clean regions hold more than
+	// IncCostRatio times the tile frontier a fresh plan would build
+	// (m·(TileLimit+1) tiles) — so that verifying every regrown tile
+	// against the whole retained set would outweigh a full replan — the
+	// oversized clean regions are first shrunk to the fresh-frontier
+	// budget (keeping each member's nearest tiles) and the partial
+	// regrow proceeds against the trimmed set. Zero selects
+	// DefaultIncCostRatio (the measured crossover); a negative value
+	// disables the heuristic and always regrows against the untrimmed
+	// retained regions.
 	IncCostRatio float64
 }
 
@@ -115,6 +120,10 @@ func (o Options) Validate() error {
 // Stats counts the work performed by one safe-region computation. The
 // experiment harness aggregates these across updates.
 type Stats struct {
+	// IndexVersion is the POI-index mutation version the computation ran
+	// against: every traversal, candidate set, and region of the plan
+	// came from the single immutable snapshot carrying this version.
+	IndexVersion uint64
 	// GNNCalls counts top-k GNN searches issued to the R-tree.
 	GNNCalls int
 	// IndexAccesses counts R-tree traversals for candidate retrieval
@@ -131,8 +140,12 @@ type Stats struct {
 	TilesRejected int
 }
 
-// Add accumulates other into s.
+// Add accumulates other into s. IndexVersion is not additive: the merged
+// value is the newest version any accumulated computation saw.
 func (s *Stats) Add(other Stats) {
+	if other.IndexVersion > s.IndexVersion {
+		s.IndexVersion = other.IndexVersion
+	}
 	s.GNNCalls += other.GNNCalls
 	s.IndexAccesses += other.IndexAccesses
 	s.CandidatesChecked += other.CandidatesChecked
@@ -149,14 +162,31 @@ type Plan struct {
 	Stats   Stats
 }
 
-// Planner computes meeting points and safe regions against a fixed POI
-// data set. All mutable state of a computation lives in per-call
-// structures, so a Planner is safe for concurrent use by multiple
-// goroutines (the public server shares one across groups).
+// Planner computes meeting points and safe regions against a mutable
+// POI data set published as immutable snapshots. All mutable state of a
+// computation lives in per-call structures and every computation pins
+// one snapshot for its whole duration, so a Planner is safe for
+// concurrent use by multiple goroutines (the public server shares one
+// across groups) AND for planning concurrent with POI mutation (see
+// ApplyPOIs): readers never block on a writer, and a writer never waits
+// on more than one retired snapshot's readers.
 type Planner struct {
-	tree   *rtree.Tree
-	points []geom.Point
-	opts   Options
+	opts Options
+
+	// snap is the published snapshot all readers pin (see Acquire).
+	snap atomic.Pointer[Snapshot]
+
+	// Writer state, guarded by mu: the canonical id-indexed point table
+	// (append-only; ids are never reused), tombstones, the running
+	// mutation count, the lagging shadow buffer, and the caches to
+	// notify on publish.
+	mu      sync.Mutex
+	points  []geom.Point
+	deleted []bool // nil until the first delete
+	ndel    int
+	version uint64
+	shadow  *shadowState
+	caches  []*nbrcache.Cache
 }
 
 // NewPlanner builds a planner over the POI set points. The R-tree index is
@@ -175,50 +205,44 @@ func NewPlanner(points []geom.Point, opts Options) (*Planner, error) {
 	}
 	own := make([]geom.Point, len(points))
 	copy(own, points)
-	return &Planner{
+	pl := &Planner{opts: opts, points: own}
+	pl.snap.Store(&Snapshot{
 		tree:   rtree.Bulk(items, rtree.DefaultMaxEntries),
-		points: own,
-		opts:   opts,
-	}, nil
+		points: own[:len(own):len(own)],
+		live:   len(own),
+	})
+	return pl, nil
 }
 
 // Options returns the planner's configuration.
 func (pl *Planner) Options() Options { return pl.opts }
 
-// InsertPOI appends a point to the data set and the index, returning
-// its id. The R-tree's mutation version is bumped, so shared
-// neighborhood-cache entries computed against the old index
-// self-invalidate on their next lookup. InsertPOI is NOT safe
-// concurrently with planning calls: callers maintaining a live POI set
-// must serialize mutations against planning (for example an RWMutex
-// with planners on the read side).
-func (pl *Planner) InsertPOI(p geom.Point) int {
-	id := len(pl.points)
-	pl.points = append(pl.points, p)
-	pl.tree.Insert(rtree.Item{P: p, ID: id})
-	return id
-}
-
-// lookupTopK retrieves the top-k result set for users: through the
-// shared neighborhood cache when one is supplied, with a plain
-// aggregate GNN traversal otherwise. The cached retrieval is
-// byte-identical to the traversal (see internal/nbrcache); either way
+// lookupTopK retrieves the top-k result set for users against the pinned
+// snapshot: through the shared neighborhood cache when one is supplied,
+// with a plain aggregate GNN traversal otherwise. The cached retrieval
+// is byte-identical to the traversal (see internal/nbrcache); either way
 // the results land in ws.topk.
-func (pl *Planner) lookupTopK(ws *Workspace, cache *nbrcache.Cache, users []geom.Point, k int) []gnn.Result {
+func (pl *Planner) lookupTopK(ws *Workspace, cache *nbrcache.Cache, snap *Snapshot, users []geom.Point, k int) []gnn.Result {
 	if cache != nil {
-		return cache.TopKInto(pl.tree, &ws.gnn, &ws.nbr, users, pl.opts.Aggregate, k, ws.topk[:0])
+		return cache.TopKInto(snap.tree, &ws.gnn, &ws.nbr, users, pl.opts.Aggregate, k, ws.topk[:0])
 	}
-	return gnn.TopKInto(pl.tree, &ws.gnn, users, pl.opts.Aggregate, k, ws.topk[:0])
+	return gnn.TopKInto(snap.tree, &ws.gnn, users, pl.opts.Aggregate, k, ws.topk[:0])
 }
 
-// Tree exposes the underlying R-tree (read-only use).
-func (pl *Planner) Tree() *rtree.Tree { return pl.tree }
+// Tree exposes the current snapshot's R-tree. It is safe to traverse —
+// a published tree is never mutated in place — but unpinned: a caller
+// that needs the tree, points, and version to cohere across several
+// reads should Acquire a snapshot instead.
+func (pl *Planner) Tree() *rtree.Tree { return pl.snap.Load().tree }
 
-// Points returns the POI data set backing the planner.
-func (pl *Planner) Points() []geom.Point { return pl.points }
+// Points returns the current snapshot's id-indexed point table. Slots of
+// deleted POIs retain their last location (ids are never reused); use
+// Acquire and Snapshot.Deleted to distinguish them when the planner has
+// seen deletions.
+func (pl *Planner) Points() []geom.Point { return pl.snap.Load().points }
 
-// NumPOIs returns the data set cardinality n.
-func (pl *Planner) NumPOIs() int { return len(pl.points) }
+// NumPOIs returns the number of live (non-deleted) POIs.
+func (pl *Planner) NumPOIs() int { return pl.snap.Load().live }
 
 // maxLayers resolves the layer cap for tile orderings.
 func (pl *Planner) maxLayers() int {

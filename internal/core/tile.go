@@ -59,6 +59,16 @@ func (pl *Planner) tileMSR(ws *Workspace, cache *nbrcache.Cache, users []geom.Po
 	if len(users) == 0 {
 		return Plan{}, ErrNoUsers
 	}
+	snap := pl.Acquire()
+	defer snap.Release()
+	return pl.tileMSRSnap(ws, cache, snap, users, dirs)
+}
+
+// tileMSRSnap is tileMSR against an already-pinned snapshot: the whole
+// computation — GNN retrieval, candidate collection, verification —
+// traverses exactly that snapshot's index, so a concurrent POI mutation
+// can never tear a plan.
+func (pl *Planner) tileMSRSnap(ws *Workspace, cache *nbrcache.Cache, snap *Snapshot, users []geom.Point, dirs []Direction) (Plan, error) {
 	if len(dirs) != len(users) {
 		// Missing or mismatched headings: fall back to zero-value
 		// directions (Options.Theta, heading 0) exactly as a nil dirs.
@@ -66,10 +76,11 @@ func (pl *Planner) tileMSR(ws *Workspace, cache *nbrcache.Cache, users []geom.Po
 	}
 
 	var plan Plan
-	ws.topk = pl.lookupTopK(ws, cache, users, pl.topK())
+	ws.topk = pl.lookupTopK(ws, cache, snap, users, pl.topK())
 	plan.Stats.GNNCalls++
+	plan.Stats.IndexVersion = snap.version
 	plan.Best = ws.topk[0]
-	pl.growTiles(ws, &plan, users, dirs, ws.topk, nil, nil)
+	pl.growTiles(ws, snap, &plan, users, dirs, ws.topk, nil, nil)
 	return plan, nil
 }
 
@@ -100,11 +111,11 @@ func (pl *Planner) topK() int {
 // report safe — so a tile's own acceptance check does NOT by itself
 // cover all groups the final region set forms through it; soundness is
 // transitive (see TileMSRIncInto for the full argument).
-func (pl *Planner) growTiles(ws *Workspace, plan *Plan, users []geom.Point, dirs []Direction, top []gnn.Result, retained []SafeRegion, dirty []bool) {
+func (pl *Planner) growTiles(ws *Workspace, snap *Snapshot, plan *Plan, users []geom.Point, dirs []Direction, top []gnn.Result, retained []SafeRegion, dirty []bool) {
 	rmax := pl.circleRadius(users, top)
 
 	t := &ws.tp
-	t.reset(pl, &ws.gnn.RTree, users, top[0], &plan.Stats)
+	t.reset(pl, snap, &ws.gnn.RTree, users, top[0], &plan.Stats)
 
 	// Degenerate case: a tie for the optimum leaves no safe radius. Each
 	// user gets a point region; the next movement triggers an update.
@@ -194,6 +205,7 @@ func (pl *Planner) growTiles(ws *Workspace, plan *Plan, users []geom.Point, dirs
 // allocating.
 type tilePlanning struct {
 	pl    *Planner
+	snap  *Snapshot      // pinned by the entry point for the whole run
 	rts   *rtree.Scratch // index traversal scratch (shared with the GNN)
 	users []geom.Point
 	po    geom.Point
@@ -239,8 +251,9 @@ type candidate struct {
 
 // reset prepares the planning state for one computation, truncating every
 // scratch buffer while keeping its capacity.
-func (t *tilePlanning) reset(pl *Planner, rts *rtree.Scratch, users []geom.Point, best gnn.Result, stats *Stats) {
+func (t *tilePlanning) reset(pl *Planner, snap *Snapshot, rts *rtree.Scratch, users []geom.Point, best gnn.Result, stats *Stats) {
 	t.pl = pl
+	t.snap = snap
 	t.rts = rts
 	t.users = users
 	t.po = best.Item.P
@@ -269,6 +282,7 @@ func (t *tilePlanning) reset(pl *Planner, rts *rtree.Scratch, users []geom.Point
 // the whole escaped Plan, including its exported regions.
 func (t *tilePlanning) release() {
 	t.pl = nil
+	t.snap = nil
 	t.users = nil
 	t.stats = nil
 	t.buffered = nil
@@ -317,7 +331,7 @@ func (t *tilePlanning) addTile(i int, s geom.Rect) {
 	t.stats.TilesAccepted++
 	if t.sumMemo != nil {
 		for id, f := range t.sumMemo[i] {
-			v := geom.FocalDiffMin(s, t.pl.points[id], t.po)
+			v := geom.FocalDiffMin(s, t.snap.points[id], t.po)
 			if v < f {
 				t.sumMemo[i][id] = v
 			}
@@ -523,8 +537,8 @@ func (t *tilePlanning) collectCandidates(i int, s geom.Rect) []candidate {
 	t.candBuf = t.candBuf[:0]
 
 	if !t.pl.opts.IndexPruning {
-		for id, p := range t.pl.points {
-			if id != t.poID {
+		for id, p := range t.snap.points {
+			if id != t.poID && !t.snap.Deleted(id) {
 				t.candBuf = append(t.candBuf, candidate{id: id, p: p})
 			}
 		}
@@ -559,7 +573,7 @@ func (t *tilePlanning) collectCandidates(i int, s geom.Rect) []candidate {
 		for _, e := range t.ext {
 			t.bounds = append(t.bounds, dmax+e)
 		}
-		t.pl.tree.PrunedSearchInto(t.rts, &t.maxQ)
+		t.snap.tree.PrunedSearchInto(t.rts, &t.maxQ)
 	} else {
 		// Theorem 6: prune p when Σ‖p,uj‖ > ‖p°,U‖sum + 2Σ r↑_j.
 		bound := t.poAgg
@@ -567,7 +581,7 @@ func (t *tilePlanning) collectCandidates(i int, s geom.Rect) []candidate {
 			bound += 2 * e
 		}
 		t.sumQ.bound = bound
-		t.pl.tree.PrunedSearchInto(t.rts, &t.sumQ)
+		t.snap.tree.PrunedSearchInto(t.rts, &t.sumQ)
 	}
 	t.stats.CandidatesChecked += len(t.candBuf)
 	return t.candBuf

@@ -45,7 +45,12 @@ import (
 )
 
 // PlanFunc computes a meeting point and one safe region per user. It must
-// be safe for concurrent use (core.Planner is).
+// be safe for concurrent use (core.Planner is — including concurrently
+// with POI mutation: every planner call pins one immutable index
+// snapshot for its whole duration, so an engine recomputation racing a
+// core.Planner.ApplyPOIs sees either entirely the old or entirely the
+// new POI set, never a mix; core.Stats.IndexVersion in the emitted
+// Notification reports which).
 type PlanFunc func(users []geom.Point, dirs []core.Direction) (geom.Point, []core.SafeRegion, core.Stats, error)
 
 // PlanWSFunc is the workspace-aware variant of PlanFunc: the engine hands

@@ -52,24 +52,54 @@
 // by Config.MaxDepthFactor — so tiles frequented by spread-out groups
 // converge to a depth that serves them instead of rejecting forever,
 // while tight-group tiles stay at the cheap static depth.
-// Stats.DepthHints and Stats.DepthGrows count the feedback loop.
+//
+// Depth also decays. Every certified hit on a deepened entry reveals the
+// radius that certification actually used; when a sustained streak of
+// hits never needs more than half the recorded radius — the spread-out
+// groups that forced the depth have moved on — the hint decays to what
+// the streak needed, and the key's next repopulation lands back near the
+// static depth instead of paying the deep traversal forever.
+// Stats.DepthHints, Stats.DepthGrows, and Stats.DepthShrinks count the
+// feedback loop.
 //
 // # Invalidation
 //
-// Entries record rtree.Tree.Version at population time. Any POI
-// mutation bumps the version, so the next lookup observes the mismatch,
-// drops the entry, and repopulates — no scanning, no epochs. The tree
-// itself is not safe for mutation concurrent with traversal; callers
-// that mutate a live index must serialize mutations against lookups
-// (e.g. an RWMutex with planners on the read side), and under that
-// discipline a stale entry can never be served.
+// Entries record the exact (tree, version) pair they were computed
+// from, so a lookup against any other index state observes the mismatch
+// and repopulates — a stale entry can never be served. How entries cross
+// a version transition depends on the writer:
+//
+//   - Unaware writers (anyone mutating a tree in place without telling
+//     the cache) get the conservative behavior: the version mismatch
+//     kills the entry on its next lookup.
+//   - Snapshot writers (core.Planner's batched mutation path) call
+//     Advance with the mutated POI locations. An entry's guarantee
+//     radius localizes what it depends on: the entry asserts facts only
+//     about POIs within distance last of its tile center, so a mutation
+//     strictly outside that disk cannot change the entry's items or
+//     weaken its guarantee. Advance therefore evicts only entries that a
+//     mutated point actually reaches (or complete entries, which assert
+//     the absence of any uncached POI) and migrates every other entry to
+//     the new (tree, version) in place — localized churn leaves the rest
+//     of the cache hot. Stats.ChurnEvicted and Stats.ChurnMigrated count
+//     the split.
+//
+// A migrated entry also remembers the one (tree, version) it migrated
+// away from: a straggler reader still pinned to the previous snapshot
+// recognizes the entry as migrated-forward and treats it as a plain miss
+// instead of destroying it, and its repopulation is served privately
+// rather than displacing the newer entry. One generation of memory
+// suffices because the snapshot writer never publishes version N+1 until
+// all readers of N−1 have drained.
 //
 // # Concurrency and memory
 //
-// The table is lock-striped by key hash. Entries are immutable once
-// published; stripe locks cover only map/LRU bookkeeping, never the
-// distance arithmetic, so lookups from many engine workers contend only
-// on the few nanoseconds of LRU touch. Each stripe evicts
+// The table is lock-striped by key hash. An entry's payload (items,
+// guarantee radius, tile center) is immutable once published; only its
+// (tree, version) pinning mutates, and only under the stripe lock that
+// every lookup's staleness check already holds. Distance arithmetic
+// never runs under a lock, so lookups from many engine workers contend
+// only on the few nanoseconds of LRU touch. Each stripe evicts
 // least-recently-used entries beyond its share of Config.MaxBytes.
 package nbrcache
 
@@ -161,6 +191,17 @@ type Stats struct {
 	// DepthGrows counts repopulations that deepened an entry beyond the
 	// static k·DepthFactor+DepthSlack to satisfy a recorded hint.
 	DepthGrows uint64
+	// DepthShrinks counts depth-hint decays: a sustained streak of
+	// certified hits on a deepened entry never needed the recorded
+	// radius, so the hint decayed and the key's next repopulation lands
+	// back toward the static depth.
+	DepthShrinks uint64
+	// ChurnEvicted and ChurnMigrated split the entries that Advance saw
+	// on an index version transition: evicted entries were within a
+	// mutated point's reach (or complete) and died; migrated entries were
+	// provably unaffected and survived onto the new (tree, version).
+	ChurnEvicted  uint64
+	ChurnMigrated uint64
 	// Entries and Bytes describe current occupancy.
 	Entries int
 	Bytes   int64
@@ -179,20 +220,31 @@ type key struct {
 	k      int32
 }
 
-// entry is an immutable cached neighborhood: published once, never
-// mutated, so readers use it without holding the stripe lock.
+// entry is a cached neighborhood. Its payload (q, items, last, complete)
+// is immutable once published, so readers use it without holding the
+// stripe lock; the (tree, version) pinning mutates when Advance migrates
+// the entry across an index version transition, but only under the
+// stripe lock that every lookup's staleness check holds anyway.
 type entry struct {
 	key key
 	// tree and version pin the entry to the exact index it was computed
-	// from: a version number alone cannot distinguish two different
-	// trees (every fresh bulk load restarts at version 0), so a cache
-	// shared across planners would otherwise serve one tree's
+	// from (or migrated to): a version number alone cannot distinguish
+	// two different trees (every fresh bulk load restarts at version 0),
+	// so a cache shared across planners would otherwise serve one tree's
 	// neighborhoods — and certify against its guarantee radius — for
 	// another's. Holding the pointer (rather than an address-derived id)
 	// also rules out ABA reuse; it pins a replaced tree until the entry
 	// is evicted or invalidated, which the LRU bounds.
-	tree     *rtree.Tree
-	version  uint64
+	tree    *rtree.Tree
+	version uint64
+	// prevTree and prevVersion remember the one index state the entry
+	// last migrated away from, so a straggler reader still pinned to the
+	// previous snapshot sees a miss instead of destroying the migrated
+	// entry. One generation suffices: the snapshot writer drains readers
+	// of N−1 before publishing N+1.
+	prevTree    *rtree.Tree
+	prevVersion uint64
+
 	q        geom.Point   // tile center the items were retrieved around
 	items    []rtree.Item // J nearest POIs to q, ascending distance
 	last     float64      // distance of items[len-1] to q (guarantee radius)
@@ -209,6 +261,16 @@ const entryOverhead = 96 // approximate fixed entry + map slot cost
 // grow unbounded bookkeeping.
 const maxNeedPerStripe = 512
 
+// depthHint is one key's adaptive-depth state: the guarantee radius the
+// next repopulation must cover (grown by rejections, decayed by hit
+// streaks) and the running shrink window over certified hits on a
+// deepened entry.
+type depthHint struct {
+	radius float64 // guarantee radius repopulation must cover
+	streak uint32  // consecutive certified hits on a deepened entry
+	hitMax float64 // deepest radius any hit in the streak actually needed
+}
+
 type stripe struct {
 	mu     sync.Mutex
 	table  map[key]*entry
@@ -216,10 +278,10 @@ type stripe struct {
 	tail   *entry // least recently used
 	bytes  int64
 	budget int64
-	// need records, per key, the guarantee radius the deepest-spread
-	// rejected group would have required (see recordNeed); the key's
-	// next repopulation grows its depth until the radius is covered.
-	need map[key]float64
+	// need records, per key, the adaptive-depth hint (see recordNeed and
+	// recordHitDepth); the key's next repopulation grows its depth until
+	// the hinted radius is covered.
+	need map[key]depthHint
 }
 
 // Cache is the shared neighborhood cache. All methods are safe for
@@ -229,13 +291,16 @@ type Cache struct {
 	cfg     Config
 	stripes []stripe
 
-	hits       atomic.Uint64
-	misses     atomic.Uint64
-	stale      atomic.Uint64
-	rejected   atomic.Uint64
-	evictions  atomic.Uint64
-	depthHints atomic.Uint64
-	depthGrows atomic.Uint64
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	stale         atomic.Uint64
+	rejected      atomic.Uint64
+	evictions     atomic.Uint64
+	depthHints    atomic.Uint64
+	depthGrows    atomic.Uint64
+	depthShrinks  atomic.Uint64
+	churnEvicted  atomic.Uint64
+	churnMigrated atomic.Uint64
 }
 
 // New builds a cache from cfg (zero fields select defaults).
@@ -259,13 +324,16 @@ func (c *Cache) Stats() Stats {
 		return Stats{}
 	}
 	s := Stats{
-		Hits:       c.hits.Load(),
-		Misses:     c.misses.Load(),
-		Stale:      c.stale.Load(),
-		Rejected:   c.rejected.Load(),
-		Evictions:  c.evictions.Load(),
-		DepthHints: c.depthHints.Load(),
-		DepthGrows: c.depthGrows.Load(),
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Stale:         c.stale.Load(),
+		Rejected:      c.rejected.Load(),
+		Evictions:     c.evictions.Load(),
+		DepthHints:    c.depthHints.Load(),
+		DepthGrows:    c.depthGrows.Load(),
+		DepthShrinks:  c.depthShrinks.Load(),
+		ChurnEvicted:  c.churnEvicted.Load(),
+		ChurnMigrated: c.churnMigrated.Load(),
 	}
 	for i := range c.stripes {
 		st := &c.stripes[i]
@@ -326,8 +394,15 @@ func (c *Cache) TopKInto(t *rtree.Tree, gs *gnn.Scratch, cs *Scratch, users []ge
 	st.mu.Lock()
 	e := st.table[ky]
 	if e != nil && (e.tree != t || e.version != ver) {
-		st.remove(e)
-		e = nil
+		if e.prevTree == t && e.prevVersion == ver {
+			// The entry migrated forward past this reader's pinned
+			// snapshot. The reader is the straggler, not the entry: treat
+			// it as a plain miss and leave the migrated entry alone.
+			e = nil
+		} else {
+			st.remove(e)
+			e = nil
+		}
 		c.stale.Add(1)
 	}
 	if e != nil {
@@ -350,6 +425,13 @@ func (c *Cache) TopKInto(t *rtree.Tree, gs *gnn.Scratch, cs *Scratch, users []ge
 			if hit {
 				c.hits.Add(1)
 			}
+			if len(e.items) > k*c.cfg.DepthFactor+c.cfg.DepthSlack && len(res) >= k {
+				// A certified hit on a deepened entry reveals how much
+				// radius this group actually needed; feed the shrink
+				// window so depth forced by long-gone spread-out groups
+				// decays instead of taxing every repopulation forever.
+				c.recordHitDepth(ky, e.q, users, agg, res[k-1].Dist)
+			}
 			return res
 		}
 		if hit {
@@ -368,12 +450,11 @@ func (c *Cache) TopKInto(t *rtree.Tree, gs *gnn.Scratch, cs *Scratch, users []ge
 	return res
 }
 
-// recordNeed stores (or deepens) the guarantee radius that would have
-// certified a rejected lookup: from the certification bound, an entry
+// needFor is the guarantee radius that certifies a lookup whose k-th
+// aggregate distance is kth: from the certification bound, an entry
 // certifies the group iff its radius exceeds kth + min_i‖u_i,q‖ (MAX)
-// or (kth + Σ_i‖u_i,q‖)/m (SUM). Bounded per stripe; existing keys only
-// ever deepen.
-func (c *Cache) recordNeed(ky key, q geom.Point, users []geom.Point, agg gnn.Aggregate, kth float64) {
+// or (kth + Σ_i‖u_i,q‖)/m (SUM).
+func needFor(q geom.Point, users []geom.Point, agg gnn.Aggregate, kth float64) float64 {
 	minD := math.Inf(1)
 	sumD := 0.0
 	for _, u := range users {
@@ -383,20 +464,74 @@ func (c *Cache) recordNeed(ky key, q geom.Point, users []geom.Point, agg gnn.Agg
 			minD = d
 		}
 	}
-	need := kth + minD
 	if agg == gnn.Sum {
-		need = (kth + sumD) / float64(len(users))
+		return (kth + sumD) / float64(len(users))
 	}
+	return kth + minD
+}
+
+// recordNeed stores (or deepens) the guarantee radius that would have
+// certified a rejected lookup. Bounded per stripe; an existing hint's
+// radius only deepens here (decay is recordHitDepth's job), but any
+// rejection closes the running shrink window — the key evidently still
+// serves groups its depth cannot certify.
+func (c *Cache) recordNeed(ky key, q geom.Point, users []geom.Point, agg gnn.Aggregate, kth float64) {
+	need := needFor(q, users, agg, kth)
 	st := c.stripeOf(ky)
 	st.mu.Lock()
-	old, known := st.need[ky]
-	if need > old && (known || len(st.need) < maxNeedPerStripe) {
-		if st.need == nil {
-			st.need = make(map[key]float64)
+	h, known := st.need[ky]
+	if known || len(st.need) < maxNeedPerStripe {
+		grew := need > h.radius
+		if grew {
+			h.radius = need
 		}
-		st.need[ky] = need
-		c.depthHints.Add(1)
+		h.streak, h.hitMax = 0, 0
+		if grew || known {
+			if st.need == nil {
+				st.need = make(map[key]depthHint)
+			}
+			st.need[ky] = h
+		}
+		if grew {
+			c.depthHints.Add(1)
+		}
 	}
+	st.mu.Unlock()
+}
+
+// shrinkStreak is how many consecutive certified hits a deepened entry
+// must serve — none needing more than half the hinted radius — before
+// the hint decays to what the streak actually needed.
+const shrinkStreak = 32
+
+// recordHitDepth feeds the adaptive-depth shrink window after a
+// certified hit on a deepened entry: when shrinkStreak consecutive hits
+// all certified with at most half the hinted radius, the groups that
+// forced the depth are gone, so the hint decays to the streak's deepest
+// actual need and the key's next repopulation lands back toward the
+// static depth.
+func (c *Cache) recordHitDepth(ky key, q geom.Point, users []geom.Point, agg gnn.Aggregate, kth float64) {
+	need := needFor(q, users, agg, kth)
+	st := c.stripeOf(ky)
+	st.mu.Lock()
+	h, known := st.need[ky]
+	if !known {
+		// Nothing to decay: the depth did not come from a live hint.
+		st.mu.Unlock()
+		return
+	}
+	if need > h.hitMax {
+		h.hitMax = need
+	}
+	h.streak++
+	if h.streak >= shrinkStreak {
+		if h.hitMax <= h.radius/2 {
+			h.radius = h.hitMax
+			c.depthShrinks.Add(1)
+		}
+		h.streak, h.hitMax = 0, 0
+	}
+	st.need[ky] = h
 	st.mu.Unlock()
 }
 
@@ -411,7 +546,7 @@ func (c *Cache) recordNeed(ky key, q geom.Point, users []geom.Point, agg gnn.Agg
 func (c *Cache) populate(t *rtree.Tree, gs *gnn.Scratch, cs *Scratch, ky key, q geom.Point, k int, ver uint64) *entry {
 	st0 := c.stripeOf(ky)
 	st0.mu.Lock()
-	need := st0.need[ky]
+	need := st0.need[ky].radius
 	st0.mu.Unlock()
 
 	j := k*c.cfg.DepthFactor + c.cfg.DepthSlack
@@ -452,6 +587,13 @@ func (c *Cache) populate(t *rtree.Tree, gs *gnn.Scratch, cs *Scratch, ky key, q 
 	st := c.stripeOf(ky)
 	st.mu.Lock()
 	if old := st.table[ky]; old != nil {
+		if old.tree != t && old.prevTree == t && old.prevVersion == ver {
+			// The published entry has already migrated past this reader's
+			// pinned snapshot. Serve the straggler from its private entry
+			// without displacing the newer one.
+			st.mu.Unlock()
+			return e
+		}
 		// A concurrent populate won the race; replace it (contents for
 		// one (key, version) are identical) to keep accounting simple.
 		st.remove(old)
@@ -463,6 +605,74 @@ func (c *Cache) populate(t *rtree.Tree, gs *gnn.Scratch, cs *Scratch, ky key, q 
 	}
 	st.mu.Unlock()
 	return e
+}
+
+// Invalidation describes one published index mutation batch to Advance:
+// the (tree, version) pair being retired, the pair that replaces it, and
+// the locations every mutated POI (inserted or deleted) occupies. The
+// snapshot writer guarantees the old pair is never planned against again
+// once Advance returns.
+type Invalidation struct {
+	OldTree    *rtree.Tree
+	OldVersion uint64
+	NewTree    *rtree.Tree
+	NewVersion uint64
+	// Points holds the location of every POI the batch inserted or
+	// deleted.
+	Points []geom.Point
+}
+
+// Advance carries the cache across an index version transition. An entry
+// pinned to the retired (tree, version) asserts facts only about the
+// disk of radius last around its tile center — its items all lie inside
+// it, and no uncached POI does — so a mutation strictly outside that
+// disk can neither change the entry's items nor weaken its guarantee.
+// Entries some mutated point reaches (boundary inclusive: an insert
+// exactly at the guarantee radius could tie into the items) are evicted,
+// as are complete entries, whose no-uncached-POI claim any insert
+// violates; every other entry migrates to the new (tree, version) in
+// place, remembering the retired pair for one generation so straggler
+// readers miss instead of destroying it. Entries pinned to any other
+// index state (older generations, unrelated planners) are untouched —
+// their own staleness checks retire them.
+func (c *Cache) Advance(inv Invalidation) {
+	if c == nil {
+		return
+	}
+	for i := range c.stripes {
+		st := &c.stripes[i]
+		st.mu.Lock()
+		for _, e := range st.table {
+			if e.tree != inv.OldTree || e.version != inv.OldVersion {
+				continue
+			}
+			if churnReaches(e, inv.Points) {
+				st.remove(e)
+				c.churnEvicted.Add(1)
+			} else {
+				e.prevTree, e.prevVersion = e.tree, e.version
+				e.tree, e.version = inv.NewTree, inv.NewVersion
+				c.churnMigrated.Add(1)
+			}
+		}
+		st.mu.Unlock()
+	}
+}
+
+// churnReaches reports whether any mutated point can affect e: complete
+// entries are reached by construction (they claim no uncached POI
+// exists anywhere), others iff a point lands within the guarantee
+// radius of the tile center.
+func churnReaches(e *entry, pts []geom.Point) bool {
+	if e.complete {
+		return true
+	}
+	for _, p := range pts {
+		if p.Dist(e.q) <= e.last {
+			return true
+		}
+	}
+	return false
 }
 
 // extract computes the exact aggregate distance of every cached POI for

@@ -29,6 +29,25 @@ func Bulk(items []Item, maxEntries int) *Tree {
 	return t
 }
 
+// Rebuild re-packs the tree in place with the STR bulk loader, restoring
+// near-optimal space utilization after heavy insert/delete churn has
+// degraded node occupancy (deletions condense nodes toward the 40% floor
+// and reinsertions skew MBRs). The item set is unchanged; the mutation
+// version is bumped once, after the new structure is in place, since the
+// physical reorganization invalidates any traversal in progress.
+func (t *Tree) Rebuild() {
+	if t.size > 0 {
+		items := make([]Item, 0, t.size)
+		t.All(func(it Item) bool { items = append(items, it); return true })
+		level := packLeaves(items, t.maxEntries)
+		for len(level) > 1 {
+			level = packNodes(level, t.maxEntries)
+		}
+		t.root = level[0]
+	}
+	t.published()
+}
+
 // packLeaves packs sorted slices of items into leaf nodes.
 func packLeaves(items []Item, m int) []*node {
 	n := len(items)

@@ -1,0 +1,83 @@
+package rtree
+
+// Delete removes the item matching it — same ID at the same location —
+// and reports whether it was found. Removal follows Guttman's
+// CondenseTree: the leaf entry is dropped, nodes left under the minimum
+// fill are dissolved and their surviving items reinserted, ancestor MBRs
+// are tightened along the search path, and a root reduced to a single
+// non-leaf entry collapses by one level. The mutation version is bumped
+// after the structural change completes (see Version); nothing is bumped
+// on a miss.
+func (t *Tree) Delete(it Item) bool {
+	if t.size == 0 {
+		return false
+	}
+	var orphans []Item
+	found, _ := t.deleteRec(t.root, it, &orphans)
+	if !found {
+		return false
+	}
+	t.size--
+	// Collapse a non-leaf root with a single child; a root leaf may hold
+	// any count, including zero.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = &node{leaf: true}
+	}
+	// Reinsert items orphaned by condensed nodes. They were never
+	// subtracted from size, so insertEntry alone restores the invariant.
+	for _, o := range orphans {
+		t.insertEntry(entry{mbr: pointRect(o.P), item: o})
+	}
+	t.published()
+	return true
+}
+
+// deleteRec removes it from the subtree rooted at n, appending the leaf
+// items of any condensed (underflowed and dissolved) descendants to
+// orphans. It returns whether the item was found and whether n itself is
+// now under the minimum fill.
+func (t *Tree) deleteRec(n *node, it Item, orphans *[]Item) (found, underflow bool) {
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.item.ID == it.ID && e.item.P == it.P {
+				n.entries = append(n.entries[:i], n.entries[i+1:]...)
+				return true, len(n.entries) < t.minEntries
+			}
+		}
+		return false, false
+	}
+	for i := range n.entries {
+		e := &n.entries[i]
+		if !e.mbr.Contains(it.P) {
+			continue
+		}
+		f, uf := t.deleteRec(e.child, it, orphans)
+		if !f {
+			continue
+		}
+		if uf {
+			// Condense: dissolve the underflowed child and queue its
+			// remaining items for reinsertion.
+			collectItems(e.child, orphans)
+			n.entries = append(n.entries[:i], n.entries[i+1:]...)
+		} else {
+			e.mbr = e.child.mbr()
+		}
+		return true, len(n.entries) < t.minEntries
+	}
+	return false, false
+}
+
+// collectItems appends every item stored under n to out.
+func collectItems(n *node, out *[]Item) {
+	for _, e := range n.entries {
+		if n.leaf {
+			*out = append(*out, e.item)
+		} else {
+			collectItems(e.child, out)
+		}
+	}
+}

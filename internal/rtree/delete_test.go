@@ -1,0 +1,287 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mpn/internal/geom"
+)
+
+// checkAgainst verifies that tr holds exactly the live items: size, KNN
+// results against a brute-force scan, and structural invariants.
+func checkAgainst(t *testing.T, tr *Tree, live map[int]Item, rng *rand.Rand) {
+	t.Helper()
+	if tr.Len() != len(live) {
+		t.Fatalf("Len=%d want %d", tr.Len(), len(live))
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	tr.All(func(it Item) bool {
+		if want, ok := live[it.ID]; !ok || want.P != it.P {
+			t.Fatalf("tree holds unexpected item %+v", it)
+		}
+		seen[it.ID] = true
+		return true
+	})
+	if len(seen) != len(live) {
+		t.Fatalf("All visited %d items want %d", len(seen), len(live))
+	}
+	if len(live) == 0 {
+		return
+	}
+	q := geom.Pt(rng.Float64(), rng.Float64())
+	k := 1 + rng.Intn(10)
+	if k > len(live) {
+		k = len(live)
+	}
+	got := tr.KNN(q, k)
+	dists := make([]float64, 0, len(live))
+	for _, it := range live {
+		dists = append(dists, it.P.Dist(q))
+	}
+	sort.Float64s(dists)
+	for i, nb := range got {
+		if diff := nb.Dist - dists[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("neighbor %d dist %v want %v", i, nb.Dist, dists[i])
+		}
+	}
+}
+
+func TestDeleteDrainsTree(t *testing.T) {
+	for _, build := range []string{"insert", "bulk"} {
+		items := randomItems(400, 31)
+		var tr *Tree
+		if build == "insert" {
+			tr = insertAll(items, 8)
+		} else {
+			tr = Bulk(items, 8)
+		}
+		live := map[int]Item{}
+		for _, it := range items {
+			live[it.ID] = it
+		}
+		rng := rand.New(rand.NewSource(32))
+		order := rng.Perm(len(items))
+		for step, idx := range order {
+			if !tr.Delete(items[idx]) {
+				t.Fatalf("%s: delete of present item %d failed", build, idx)
+			}
+			delete(live, items[idx].ID)
+			if step%7 == 0 || len(live) < 20 {
+				checkAgainst(t, tr, live, rng)
+			}
+		}
+		if tr.Len() != 0 {
+			t.Fatalf("%s: drained tree has Len=%d", build, tr.Len())
+		}
+		// A drained tree accepts fresh inserts.
+		tr.Insert(Item{P: geom.Pt(0.5, 0.5), ID: 999})
+		if got := tr.KNN(geom.Pt(0, 0), 1); len(got) != 1 || got[0].Item.ID != 999 {
+			t.Fatalf("%s: reuse after drain failed: %+v", build, got)
+		}
+	}
+}
+
+func TestDeleteMiss(t *testing.T) {
+	items := randomItems(50, 33)
+	tr := Bulk(items, 8)
+	v := tr.Version()
+	if tr.Delete(Item{P: geom.Pt(2, 2), ID: 0}) {
+		t.Fatal("deleted an item whose location is absent")
+	}
+	// Same location, wrong ID: must miss (IDs disambiguate duplicates).
+	if tr.Delete(Item{P: items[3].P, ID: 4999}) {
+		t.Fatal("deleted an item with mismatched ID")
+	}
+	if tr.Version() != v {
+		t.Fatalf("miss bumped version %d -> %d", v, tr.Version())
+	}
+	if tr.Len() != 50 {
+		t.Fatalf("Len=%d", tr.Len())
+	}
+	empty := New(8)
+	if empty.Delete(items[0]) {
+		t.Fatal("delete on empty tree reported success")
+	}
+}
+
+func TestDeleteDuplicatePoints(t *testing.T) {
+	tr := New(8)
+	p := geom.Pt(0.3, 0.7)
+	for i := 0; i < 60; i++ {
+		tr.Insert(Item{P: p, ID: i})
+	}
+	for i := 0; i < 60; i += 2 {
+		if !tr.Delete(Item{P: p, ID: i}) {
+			t.Fatalf("delete dup %d failed", i)
+		}
+	}
+	if tr.Len() != 30 {
+		t.Fatalf("Len=%d want 30", tr.Len())
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	ids := map[int]bool{}
+	tr.All(func(it Item) bool { ids[it.ID] = true; return true })
+	for i := 1; i < 60; i += 2 {
+		if !ids[i] {
+			t.Fatalf("surviving dup %d missing", i)
+		}
+	}
+}
+
+func TestInsertDeleteInterleaving(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	tr := New(8)
+	live := map[int]Item{}
+	nextID := 0
+	for step := 0; step < 3000; step++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			// Delete a random live item.
+			var victim Item
+			n := rng.Intn(len(live))
+			for _, it := range live {
+				if n == 0 {
+					victim = it
+					break
+				}
+				n--
+			}
+			if !tr.Delete(victim) {
+				t.Fatalf("step %d: delete %+v failed", step, victim)
+			}
+			delete(live, victim.ID)
+		} else {
+			it := Item{P: geom.Pt(rng.Float64(), rng.Float64()), ID: nextID}
+			nextID++
+			tr.Insert(it)
+			live[it.ID] = it
+		}
+		if step%251 == 0 {
+			checkAgainst(t, tr, live, rng)
+		}
+	}
+	checkAgainst(t, tr, live, rng)
+}
+
+func TestRebuildEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	items := randomItems(1200, 38)
+	tr := Bulk(items, 8)
+	live := map[int]Item{}
+	for _, it := range items {
+		live[it.ID] = it
+	}
+	// Churn hard, then re-pack.
+	for _, idx := range rng.Perm(len(items))[:900] {
+		tr.Delete(items[idx])
+		delete(live, items[idx].ID)
+	}
+	hBefore := tr.Height()
+	v := tr.Version()
+	tr.Rebuild()
+	if tr.Version() != v+1 {
+		t.Fatalf("Rebuild version %d want %d", tr.Version(), v+1)
+	}
+	if h := tr.Height(); h > hBefore {
+		t.Fatalf("Rebuild grew height %d -> %d", hBefore, h)
+	}
+	checkAgainst(t, tr, live, rng)
+
+	// Rebuild of an empty tree is a no-op apart from the version bump.
+	empty := New(8)
+	empty.Rebuild()
+	if empty.Len() != 0 || empty.Version() != 1 {
+		t.Fatalf("empty Rebuild: Len=%d Version=%d", empty.Len(), empty.Version())
+	}
+}
+
+// TestMutationVersionOrdering is the regression test for the
+// version-before-mutation bug: the version counter used to be bumped at
+// the top of Insert, so an observer reading between the bump and the
+// structural change pinned the new version against the old tree. The
+// mutateHook fires after the structural change and before publication;
+// from inside it, the mutation must already be visible while the version
+// still reads the old value.
+func TestMutationVersionOrdering(t *testing.T) {
+	tr := New(8)
+	for _, it := range randomItems(100, 41) {
+		tr.Insert(it)
+	}
+	probe := Item{P: geom.Pt(0.25, 0.75), ID: 4242}
+
+	contains := func(want Item) bool {
+		found := false
+		tr.Search(pointRect(want.P), func(it Item) bool {
+			found = it == want
+			return !found
+		})
+		return found
+	}
+
+	fired := 0
+	tr.mutateHook = func() {
+		fired++
+		if v := tr.Version(); v != 100 {
+			t.Fatalf("hook %d: version already %d before publication", fired, v)
+		}
+		switch fired {
+		case 1: // inside Insert: the new item must be searchable
+			if !contains(probe) {
+				t.Fatal("insert published version before the item was searchable")
+			}
+		case 2: // inside Delete: the item must already be gone
+			if contains(probe) {
+				t.Fatal("delete published version before the item was removed")
+			}
+		}
+	}
+	tr.Insert(probe)
+	if tr.Version() != 101 {
+		t.Fatalf("version after insert = %d", tr.Version())
+	}
+	tr.SetVersion(100) // reset so both hooks assert the same pre-publication value
+	if !tr.Delete(probe) {
+		t.Fatal("delete failed")
+	}
+	if fired != 2 {
+		t.Fatalf("hook fired %d times", fired)
+	}
+	if tr.Version() != 101 {
+		t.Fatalf("version after delete = %d", tr.Version())
+	}
+}
+
+func TestSetVersion(t *testing.T) {
+	tr := New(8)
+	tr.SetVersion(77)
+	if tr.Version() != 77 {
+		t.Fatalf("Version=%d", tr.Version())
+	}
+	tr.Insert(Item{P: geom.Pt(0, 0), ID: 0})
+	if tr.Version() != 78 {
+		t.Fatalf("Version after insert=%d", tr.Version())
+	}
+}
+
+func BenchmarkDelete(b *testing.B) {
+	items := randomItems(21287, 51)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; {
+		b.StopTimer()
+		tr := Bulk(items, DefaultMaxEntries)
+		b.StartTimer()
+		for _, it := range items {
+			if i >= b.N {
+				break
+			}
+			tr.Delete(it)
+			i++
+		}
+	}
+}

@@ -4,10 +4,11 @@
 // retrieval both traverse it.
 //
 // The tree supports one-by-one insertion with quadratic node splitting
-// (Guttman's classic heuristic) and Sort-Tile-Recursive (STR) bulk loading,
-// plus best-first traversal parameterized by caller-supplied bounds, from
-// which k-nearest-neighbor and aggregate-nearest-neighbor searches are
-// built.
+// (Guttman's classic heuristic), deletion with underflow condensing and
+// orphan reinsertion, Sort-Tile-Recursive (STR) bulk loading plus an
+// in-place Rebuild that re-packs a churned tree, and best-first traversal
+// parameterized by caller-supplied bounds, from which k-nearest-neighbor
+// and aggregate-nearest-neighbor searches are built.
 package rtree
 
 import (
@@ -41,6 +42,9 @@ type node struct {
 	entries []entry
 }
 
+// pointRect is the degenerate MBR of a single point.
+func pointRect(p geom.Point) geom.Rect { return geom.Rect{Min: p, Max: p} }
+
 func (n *node) mbr() geom.Rect {
 	m := n.entries[0].mbr
 	for _, e := range n.entries[1:] {
@@ -62,13 +66,37 @@ type Tree struct {
 	// staleness without a lock, but the tree itself is still not safe for
 	// mutation concurrent with searches.
 	version atomic.Uint64
+
+	// mutateHook, when non-nil, runs after a mutation's structural change
+	// and before its version publication. Tests install it to pin the
+	// mutate-then-publish ordering; production trees leave it nil.
+	mutateHook func()
 }
 
 // Version returns the tree's monotone mutation counter: it starts at 0
-// for a freshly built (New or Bulk) tree and increases on every Insert.
-// Result caches key their entries by it so a cached traversal
-// self-invalidates after any POI mutation without scanning the tree.
+// for a freshly built (New or Bulk) tree and increases on every Insert,
+// Delete, and Rebuild. Result caches key their entries by it so a cached
+// traversal self-invalidates after any POI mutation without scanning the
+// tree. The counter is published after the structural change it counts:
+// an observer that reads version v and then traverses sees at least the
+// first v mutations (never a newer version paired with an older tree).
 func (t *Tree) Version() uint64 { return t.version.Load() }
+
+// SetVersion overwrites the mutation counter. It exists for writers that
+// maintain logically continuous replacement indexes — the core.Planner
+// snapshot writer keeps both of its buffered trees' versions aligned
+// with the canonical mutation count so a swap never moves the version
+// backwards. Ordinary callers never need it.
+func (t *Tree) SetVersion(v uint64) { t.version.Store(v) }
+
+// published runs the test hook (if any) and then publishes one mutation
+// on the version counter. Every mutating operation ends with it.
+func (t *Tree) published() {
+	if t.mutateHook != nil {
+		t.mutateHook()
+	}
+	t.version.Add(1)
+}
 
 // New returns an empty tree with the given maximum node fan-out. A
 // maxEntries below 4 is raised to 4.
@@ -96,11 +124,19 @@ func (t *Tree) Height() int {
 	return h
 }
 
-// Insert adds an item to the tree and bumps the mutation version.
+// Insert adds an item to the tree and then bumps the mutation version.
+// The bump strictly follows the structural change, so a concurrent
+// version reader can never pin the new version against the old tree.
 func (t *Tree) Insert(it Item) {
-	t.version.Add(1)
-	r := geom.Rect{Min: it.P, Max: it.P}
-	split := t.insert(t.root, entry{mbr: r, item: it})
+	t.insertEntry(entry{mbr: pointRect(it.P), item: it})
+	t.size++
+	t.published()
+}
+
+// insertEntry places e in the tree, growing the root on a split. It does
+// not touch size or version; callers own that accounting.
+func (t *Tree) insertEntry(e entry) {
+	split := t.insert(t.root, e)
 	if split != nil {
 		// Root split: grow the tree by one level.
 		old := t.root
@@ -112,7 +148,6 @@ func (t *Tree) Insert(it Item) {
 			},
 		}
 	}
-	t.size++
 }
 
 // insert recursively places e under n and returns a non-nil new sibling if

@@ -101,6 +101,10 @@ func NewServer(pois []Point, opts ...Option) (*Server, error) {
 	circle := cfg.method == Circle
 	if cfg.cacheBytes > 0 {
 		s.cache = nbrcache.New(nbrcache.Config{MaxBytes: cfg.cacheBytes})
+		// Register the cache for mutation notifications: POI churn then
+		// evicts only the entries a mutation could actually affect
+		// (dirty-tile invalidation) instead of cooling the whole cache.
+		planner.ShareCache(s.cache)
 	}
 	s.planWS = engine.PlannerCachedWSFunc(planner, circle, s.cache)
 	eopts := engine.Options{
@@ -126,6 +130,40 @@ func (s *Server) GNNCacheStats() (stats CacheStats, ok bool) {
 
 // NumPOIs returns the indexed data set size.
 func (s *Server) NumPOIs() int { return s.planner.NumPOIs() }
+
+// InsertPOI adds one POI to the live data set and returns its id (ids
+// are assigned sequentially and never reused). It is safe to call
+// concurrently with planning and with other mutations: the index is
+// published as immutable snapshots, every computation runs entirely
+// against the snapshot it started on, and the mutation becomes visible
+// to computations that start after it. Groups keep their current safe
+// regions until their next update recomputes them against the new set;
+// on incremental servers that next update is a full replan (the
+// retained plan's certificate does not cover the mutation). Each call
+// publishes a snapshot — batch through UpdatePOIs when changing many.
+func (s *Server) InsertPOI(p Point) int { return s.planner.InsertPOI(p) }
+
+// DeletePOI removes the POI with the given id from the live data set.
+// It reports false — and changes nothing — when id is out of range,
+// already deleted, or the last remaining POI (the data set may never
+// become empty). Concurrency semantics are those of InsertPOI.
+func (s *Server) DeletePOI(id int) bool { return s.planner.DeletePOI(id) }
+
+// UpdatePOIs applies one batched mutation — inserts added to the data
+// set, deleteIDs removed — atomically: the whole batch becomes visible
+// as a single snapshot publication, and no computation ever observes a
+// prefix of it. It returns the inserted POIs' ids, in order. The batch
+// is rejected as a whole (with nothing applied) when a delete id is out
+// of range, already deleted, repeated, or when the batch would empty
+// the data set. Safe to call concurrently with planning and with other
+// mutations.
+func (s *Server) UpdatePOIs(inserts []Point, deleteIDs []int) ([]int, error) {
+	ids, err := s.planner.ApplyPOIs(inserts, deleteIDs)
+	if err != nil {
+		return nil, fmt.Errorf("mpn: %w", err)
+	}
+	return ids, nil
+}
 
 // Register creates a monitored group from the users' current locations and
 // computes its first meeting point and safe regions. dirs may be nil; it

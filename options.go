@@ -153,9 +153,11 @@ func WithBuffer(b int) Option {
 // WithIncremental enables incremental safe-region maintenance: the
 // server retains each group's last plan, and an update whose recomputed
 // result set is unchanged regrows only the regions it invalidates —
-// every member still inside her region keeps it verbatim (the paper's
-// independent-safe-region protocol), falling back to a full replan when
-// the optimum churns. Notification.Outcome reports which path each
+// every member still inside her region keeps it (the paper's
+// independent-safe-region protocol; verbatim, except that oversized
+// retained regions may be trimmed to the fresh-plan tile budget, see
+// WithIncrementalCostRatio), falling back to a full replan when the
+// optimum churns or the POI set mutated since the retained plan. Notification.Outcome reports which path each
 // recomputation took; Group.UpdateFull forces the full path for one
 // update. Incremental and full plans are equivalent (both are valid
 // safe-region sets for the same meeting point) but not byte-identical:
@@ -176,8 +178,13 @@ func WithIncremental() Option {
 // retrieval is exact (every hit is certified against the requesting
 // group's actual member locations, and safe-region tiles are still
 // verified per group), so plans are byte-identical to an uncached
-// server's; entries self-invalidate when the POI index mutates. See
-// Server.GNNCacheStats for hit/miss observability.
+// server's. Under POI churn (InsertPOI, DeletePOI, UpdatePOIs) the
+// cache is invalidated by locality, not wholesale: each mutation batch
+// evicts only the entries whose cached guarantee a mutated location
+// could actually violate, and every other entry migrates to the new
+// index snapshot untouched — localized churn leaves distant areas of
+// the cache hot. See Server.GNNCacheStats for hit/miss/churn
+// observability.
 func WithSharedGNNCache(maxBytes int) Option {
 	return func(c *config) error {
 		if maxBytes < 1 {
@@ -189,12 +196,16 @@ func WithSharedGNNCache(maxBytes int) Option {
 }
 
 // WithIncrementalCostRatio tunes the incremental planner's up-front
-// cost heuristic: a partial regrow is skipped in favor of a full replan
-// when the retained clean regions hold more than ratio times the tile
-// frontier a fresh plan would build, since oversized retained regions
-// make the partial regrow verify more than a full replan computes. Zero
-// selects the measured default crossover; a negative ratio disables the
-// heuristic. Only meaningful together with WithIncremental.
+// cost heuristic: when the retained clean regions hold more than ratio
+// times the tile frontier a fresh plan would build — oversized retained
+// regions make the partial regrow verify more than a full replan
+// computes — the clean regions are first shrunk to the fresh-frontier
+// budget (each member keeps the tiles nearest her; a subset of a valid
+// region set is itself valid) and the partial regrow proceeds against
+// the trimmed set. Zero selects the measured default crossover; a
+// negative ratio disables the heuristic and always regrows against the
+// untrimmed retained regions. Only meaningful together with
+// WithIncremental.
 func WithIncrementalCostRatio(ratio float64) Option {
 	return func(c *config) error {
 		c.core.IncCostRatio = ratio
