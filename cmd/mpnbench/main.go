@@ -8,12 +8,15 @@
 //
 //	mpnbench [-scale quick|full|bench] [-fig all|13|14|15|16|17|18|19] [-o FILE]
 //	mpnbench -engine [-egroups N] [-edur D]   concurrent-engine throughput
-//	mpnbench -json [-o FILE]                  plan/update series → BENCH_plan.json
+//	mpnbench -json [-rounds N] [-o FILE]      plan/update series → BENCH_plan.json
 //
 // The -json mode micro-benchmarks steady-state safe-region planning (the
 // workspace-reusing TileMSRInto kernel and the engine's synchronous
 // update path) across group sizes and writes the ns/op, throughput, and
-// allocs/op series as JSON — the repo's benchmark baseline format.
+// allocs/op series as JSON — the repo's benchmark baseline format. The
+// sweep runs -rounds times end to end (interleaved, so a load spike
+// perturbs at most one measurement per series) and each series reports
+// the per-field median across rounds.
 //
 // The quick scale (default) keeps the POI cardinality and every algorithm
 // parameter at the paper's values but shortens trajectories so the whole
@@ -50,6 +53,7 @@ func main() {
 	engineGroups := flag.Int("egroups", 0, "engine benchmark: live group count (0 = 64)")
 	engineDur := flag.Duration("edur", 0, "engine benchmark: measurement window per config (0 = 2s)")
 	jsonMode := flag.Bool("json", false, "write the plan/update benchmark series as JSON (default BENCH_plan.json; -o overrides)")
+	jsonRounds := flag.Int("rounds", 3, "-json: interleaved sweep repetitions merged by per-series median (1 = historical single-shot)")
 	flag.Parse()
 
 	if *jsonMode {
@@ -62,7 +66,7 @@ func main() {
 		// succeeds, so a failed or interrupted run never truncates an
 		// existing baseline.
 		var buf bytes.Buffer
-		if err := runPlanJSONBench(&buf, os.Stdout); err != nil {
+		if err := runPlanJSONBench(&buf, os.Stdout, *jsonRounds); err != nil {
 			log.Fatal(err)
 		}
 		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {

@@ -41,6 +41,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mpn/internal/core"
 	"mpn/internal/engine"
@@ -70,6 +72,11 @@ func main() {
 	cacheBytes := flag.Int64("gnncache", 0, "shared GNN neighborhood cache byte budget, 0 disables (co-located groups reuse each other's index traversals)")
 	delta := flag.Bool("delta", true, "delta notifications: clients that negotiate receive epoch-tracked region diffs (only changed regions travel), with automatic full-frame fallback and repair")
 	tileAffinity := flag.Bool("affinity", false, "place new groups onto engine shards by quantized centroid tile, so co-located groups share worker-local state")
+	readTimeout := flag.Duration("read-timeout", 2*time.Minute, "idle deadline armed before every connection read; a peer silent this long is disconnected (0 disables)")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "deadline armed before every connection write; a peer that stops draining this long is disconnected (0 disables)")
+	slowLimit := flag.Int("slow-limit", 0, "consecutive outbox drops before a slow client is disconnected (0 = default, negative = never)")
+	admissionWait := flag.Duration("admission-wait", 0, "how long a report may wait for shard queue space before being shed (0 = engine default, negative = shed immediately)")
+	closeTimeout := flag.Duration("close-timeout", 0, "how long shutdown drains queued recomputations before abandoning them (0 = engine default, negative = unbounded)")
 	flag.Parse()
 
 	pois, err := loadPOIs(*poiPath, *n, *seed)
@@ -84,7 +91,10 @@ func main() {
 		cacheBytes:  *cacheBytes,
 		delta:       *delta,
 		affinity:    *tileAffinity,
-		logger:      log.Default(),
+		readTimeout: *readTimeout, writeTimeout: *writeTimeout,
+		slowLimit:     *slowLimit,
+		admissionWait: *admissionWait, closeTimeout: *closeTimeout,
+		logger: log.Default(),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -122,7 +132,12 @@ type serverConfig struct {
 	cacheBytes             int64
 	delta                  bool
 	affinity               bool
-	logger                 *log.Logger
+	// Failure-semantics knobs (zero values keep prior behavior for
+	// timeouts and pick engine/coordinator defaults for the rest).
+	readTimeout, writeTimeout   time.Duration
+	slowLimit                   int
+	admissionWait, closeTimeout time.Duration
+	logger                      *log.Logger
 }
 
 // server wires the protocol coordinator to the sharded group engine: the
@@ -134,6 +149,11 @@ type server struct {
 	coord  *proto.Coordinator
 	sub    *engine.Subscription
 	logger *log.Logger
+
+	readTimeout  time.Duration
+	writeTimeout time.Duration
+	cstats       connStats
+	shedReports  atomic.Uint64 // reports shed by engine admission control
 
 	// mu guards the protocol-group ↔ engine-group id mappings; it is also
 	// held across engine registration so a group's initial notification
@@ -172,6 +192,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	}
 	eopts := engine.Options{
 		Shards: cfg.shards, Workers: cfg.workers, QueueDepth: cfg.queue,
+		AdmissionWait: cfg.admissionWait, CloseTimeout: cfg.closeTimeout,
 	}
 	if cfg.incremental {
 		eopts.Replan = engine.PlannerIncCachedFunc(planner, cfg.method == "circle", cache)
@@ -180,15 +201,18 @@ func newServer(cfg serverConfig) (*server, error) {
 		eopts.TileAffinity = engine.DefaultTileAffinity
 	}
 	s := &server{
-		eng:         engine.NewWS(plan, eopts),
-		logger:      cfg.logger,
-		gidToEngine: map[uint32]engine.GroupID{},
-		engineToGid: map[engine.GroupID]uint32{},
-		fanoutDone:  make(chan struct{}),
+		eng:          engine.NewWS(plan, eopts),
+		logger:       cfg.logger,
+		readTimeout:  cfg.readTimeout,
+		writeTimeout: cfg.writeTimeout,
+		gidToEngine:  map[uint32]engine.GroupID{},
+		engineToGid:  map[engine.GroupID]uint32{},
+		fanoutDone:   make(chan struct{}),
 	}
 	s.coord = proto.NewAsyncCoordinator(s.submit, cfg.logger)
 	s.coord.SetGroupEmptyHook(s.onGroupEmpty)
 	s.coord.SetDeltaEnabled(cfg.delta)
+	s.coord.SetSlowClientLimit(cfg.slowLimit)
 	s.sub = s.eng.Subscribe(1024)
 	go s.fanout()
 	return s, nil
@@ -236,7 +260,19 @@ func (s *server) submit(gid uint32, ids []uint32, users []geom.Point) (geom.Poin
 // deliverError reports a submission failure to the group's members. It
 // must run off the submit path: submit holds the coordinator lock and
 // Deliver re-acquires it.
+//
+// Overload is the exception: a shed report is not a group failure — the
+// members still hold valid safe regions, and whoever escaped will escape
+// again and resubmit once the queue drains — so broadcasting it as a
+// fatal TError would turn transient pressure into a mass disconnect.
+// Shed reports are counted and logged instead.
 func (s *server) deliverError(gid uint32, err error) {
+	if errors.Is(err, engine.ErrOverloaded) {
+		if n := s.shedReports.Add(1); n == 1 || n%100 == 0 {
+			s.logger.Printf("group %d: report shed under overload (%d shed so far)", gid, n)
+		}
+		return
+	}
 	go s.coord.Deliver(gid, nil, geom.Point{}, nil, err)
 }
 
@@ -283,7 +319,10 @@ func (s *server) onGroupEmpty(gid uint32) {
 	}
 }
 
-// serve accepts connections until the listener closes.
+// serve accepts connections until the listener closes. Every connection
+// is wrapped in a guardedConn: idle and write deadlines bound how long a
+// dead or stalled peer can hold resources, and byte/error accounting
+// feeds the per-connection disconnect log and the server stats.
 func (s *server) serve(ln net.Listener) error {
 	for {
 		conn, err := ln.Accept()
@@ -293,18 +332,67 @@ func (s *server) serve(ln net.Listener) error {
 			}
 			return err
 		}
+		gc := newGuardedConn(conn, s.readTimeout, s.writeTimeout, &s.cstats)
 		go func() {
-			if err := s.coord.ServeConn(conn); err != nil {
-				s.logger.Printf("conn %v: %v", conn.RemoteAddr(), err)
+			err := s.coord.ServeConn(gc)
+			if err != nil || gc.errs.Load() > 0 {
+				s.logger.Printf("conn %v: %s (read %dB, wrote %dB, %d conn errors): %v",
+					conn.RemoteAddr(), gc.reason(err), gc.rBytes.Load(), gc.wBytes.Load(), gc.errs.Load(), err)
 			}
 		}()
 	}
 }
 
-// close stops the engine and waits for the fan-out goroutine.
+// serverStats is a point-in-time roll-up of every fault/overload counter
+// the serving stack keeps: engine admission control, coordinator delivery
+// policy, and connection-level accounting.
+type serverStats struct {
+	ShedReports   uint64 // reports shed by engine admission control
+	EngineShed    uint64 // shard-level shed submissions
+	EngineAbandon uint64 // recomputations abandoned at Close
+	Coord         proto.CoordStats
+	ConnsAccepted uint64
+	ReadBytes     uint64
+	WriteBytes    uint64
+	ReadErrors    uint64
+	WriteErrors   uint64
+	IdleTimeouts  uint64
+	FanoutDropped uint64 // engine→coordinator notification drops
+}
+
+func (s *server) stats() serverStats {
+	var shed, abandoned uint64
+	for _, sh := range s.eng.ShardStats() {
+		shed += sh.Shed
+		abandoned += sh.Abandoned
+	}
+	return serverStats{
+		ShedReports:   s.shedReports.Load(),
+		EngineShed:    shed,
+		EngineAbandon: abandoned,
+		Coord:         s.coord.Stats(),
+		ConnsAccepted: s.cstats.accepted.Load(),
+		ReadBytes:     s.cstats.readBytes.Load(),
+		WriteBytes:    s.cstats.writeBytes.Load(),
+		ReadErrors:    s.cstats.readErrors.Load(),
+		WriteErrors:   s.cstats.writeErrors.Load(),
+		IdleTimeouts:  s.cstats.idleTimeouts.Load(),
+		FanoutDropped: s.sub.Dropped(),
+	}
+}
+
+// close stops the engine (draining queued recomputations up to the
+// configured deadline), waits for the fan-out goroutine, and logs the
+// final fault counters so overload during the run is visible post-hoc.
 func (s *server) close() {
 	s.eng.Close()
 	<-s.fanoutDone
+	st := s.stats()
+	s.logger.Printf("served %d conns (%dB in, %dB out); shed=%d abandoned=%d slow-kicks=%d dropped-frames=%d idle-timeouts=%d read-errs=%d write-errs=%d",
+		st.ConnsAccepted, st.ReadBytes, st.WriteBytes,
+		st.ShedReports+st.EngineShed, st.EngineAbandon,
+		st.Coord.SlowClientDisconnects, st.Coord.DroppedFrames,
+		st.IdleTimeouts, st.ReadErrors, st.WriteErrors)
 }
 
 // loadPOIs reads a poigen CSV or generates a synthetic set.

@@ -261,6 +261,52 @@
 // leave no trace — and the churn_* benchmark series gate the cost:
 // localized churn keeps the shared cache above an 80% hit rate.
 //
+// # Failure semantics
+//
+// The serving stack degrades predictably under overload, slow or silent
+// peers, planner bugs, and process restarts; every policy below is
+// exercised by the chaos suite in cmd/mpnserver, which drives the full
+// TCP stack through deterministic fault schedules (internal/faultinject)
+// and then fences the surviving clients' final plans byte-for-byte
+// against a fault-free run.
+//
+//   - Overload: Group.SubmitUpdate waits at most WithAdmissionWait for
+//     queue space, then sheds with ErrOverloaded (negative wait = shed
+//     immediately). Shedding is harmless by construction — coalescing
+//     keeps the group's retained plan valid and the next accepted update
+//     carries the latest locations — so callers treat ErrOverloaded as
+//     backpressure, not failure. Shed and abandoned counts are visible
+//     per shard in Server.ShardStats; cmd/mpnserver counts sheds without
+//     disconnecting the reporting client.
+//   - Panic isolation: a panic inside a planner recomputation is
+//     recovered by the owning worker and converted into an
+//     error-carrying notification for that group (repeating the last
+//     good sequence number); other groups, the shard, and the process
+//     are unaffected, and the group's retained incremental state is
+//     invalidated so the next update replans fully.
+//   - Shutdown: Server.Close drains queued recomputations for at most
+//     WithCloseTimeout before abandoning the remainder (counted in
+//     ShardStats), then rejects further operations with ErrServerClosed
+//     — including callers already blocked in admission, which unblock
+//     promptly rather than leak.
+//   - Dead and slow peers: cmd/mpnserver arms a read deadline covering
+//     idle time (-read-timeout) and a write deadline per flush
+//     (-write-timeout); clients send varint Ping heartbeats
+//     (proto.WithHeartbeat) so an idle-but-alive client is never reaped
+//     while a silent TCP hole is, on both ends. A client too slow to
+//     drain its outbox first has deliveries coalesced (newest plan
+//     wins), then is disconnected with an observable reason; per-connection
+//     byte and error accounting distinguishes peer-closed, protocol
+//     error, and idle timeout.
+//   - Restarts: proto.ReconnectClient redials with exponential backoff
+//     plus seeded jitter, re-registers, and resumes via the server's
+//     full-snapshot-on-register path; across a server restart the client
+//     keeps serving its retained plan and converges to the fresh one —
+//     invisible to the application beyond latency and a Reconnects
+//     counter. Corrupt or truncated frames surface as ErrCorruptFrame
+//     (never a panic; FuzzFrame enforces this), which tears down only
+//     the one connection.
+//
 // The internal packages implement the full substrate from scratch: an
 // R-tree (internal/rtree), top-k group nearest neighbor search
 // (internal/gnn), the safe-region algorithms (internal/core), the sharded

@@ -36,10 +36,13 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mpn/internal/core"
+	"mpn/internal/faultinject"
 	"mpn/internal/geom"
 	"mpn/internal/nbrcache"
 )
@@ -158,6 +161,37 @@ var (
 	ErrClosed       = errors.New("engine: closed")
 	ErrUnknownGroup = errors.New("engine: unknown group")
 	ErrNoUsers      = errors.New("engine: empty user group")
+	// ErrOverloaded is returned by Submit when the target shard's run
+	// queue stayed full for the whole admission wait: the submission was
+	// shed, not queued (see Options.AdmissionWait and ShardStats.Shed).
+	// The recorded snapshot is retained as the group's pending update, so
+	// a later accepted submission recomputes over fresh locations.
+	ErrOverloaded = errors.New("engine: shard queue full, submission shed")
+)
+
+// PanicError is the error a notification carries when the planner
+// panicked during a recomputation. The engine recovers planner panics on
+// every path (shard workers, synchronous Update, registration), so one
+// bad group cannot kill a shard's worker pool; the group keeps its
+// previous plan, the retained incremental state is invalidated (the next
+// recomputation replans from scratch), and the panic surfaces as a
+// notification with Err set to a *PanicError.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: planner panic: %v", e.Value)
+}
+
+// Default bounds for the zero values of Options.AdmissionWait and
+// Options.CloseTimeout.
+const (
+	DefaultAdmissionWait = time.Second
+	DefaultCloseTimeout  = 5 * time.Second
 )
 
 // Options configure the engine. The zero value of any field selects its
@@ -172,10 +206,21 @@ type Options struct {
 	// synchronous path spawns no goroutines.
 	Workers int
 	// QueueDepth bounds each shard's run queue (default 1024). Submit
-	// blocks while the shard queue is full — backpressure toward the
-	// transport. Coalescing keeps at most one entry per group, so a depth
-	// of at least the shard's group count never blocks.
+	// waits up to AdmissionWait while the shard queue is full —
+	// backpressure toward the transport — then sheds the submission with
+	// ErrOverloaded. Coalescing keeps at most one entry per group, so a
+	// depth of at least the shard's group count never blocks.
 	QueueDepth int
+	// AdmissionWait bounds how long Submit may block when the target
+	// shard's run queue is full before giving up with ErrOverloaded.
+	// Zero selects DefaultAdmissionWait; negative disables waiting
+	// entirely (a full queue sheds immediately).
+	AdmissionWait time.Duration
+	// CloseTimeout bounds how long Close waits for queued recomputations
+	// to drain before abandoning the remaining queue entries (counted in
+	// ShardStats.Abandoned). Zero selects DefaultCloseTimeout; negative
+	// waits without bound.
+	CloseTimeout time.Duration
 	// Replan, when non-nil, enables incremental safe-region maintenance:
 	// the engine retains each group's last plan state and hands it to
 	// Replan on every recomputation (registration included), so updates
@@ -215,6 +260,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 1024
+	}
+	if o.AdmissionWait == 0 {
+		o.AdmissionWait = DefaultAdmissionWait
+	}
+	if o.CloseTimeout == 0 {
+		o.CloseTimeout = DefaultCloseTimeout
 	}
 	return o
 }
@@ -326,11 +377,14 @@ type groupState struct {
 type shard struct {
 	mu       sync.Mutex
 	notEmpty *sync.Cond // run queue gained work or shard closed
-	notFull  *sync.Cond // run queue has space or shard closed
+	notFull  *sync.Cond // run queue has space, shard closed, or a waiter expired
 	groups   map[GroupID]*groupState
 	ready    []*groupState // FIFO run queue
 	depth    int
 	closed   bool
+
+	shed      atomic.Uint64 // submissions rejected with ErrOverloaded
+	abandoned atomic.Uint64 // queued entries dropped by Close's drain deadline
 }
 
 func newShard(depth int) *shard {
@@ -340,18 +394,49 @@ func newShard(depth int) *shard {
 	return sh
 }
 
-// push appends st to the run queue. When bounded is true it blocks while
-// the queue is at capacity (producer backpressure); workers re-enqueueing
-// after a compute pass bounded=false so they can never deadlock on their
-// own queue. Returns false when the shard closed.
-func (sh *shard) push(st *groupState, bounded bool) bool {
+// push appends st to the run queue, applying bounded-wait admission:
+// when the queue is at capacity the producer blocks at most wait
+// (non-positive wait fails immediately) before the submission is shed
+// with ErrOverloaded. Returns ErrClosed when the shard closed.
+func (sh *shard) push(st *groupState, wait time.Duration) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if bounded {
-		for len(sh.ready) >= sh.depth && !sh.closed {
+	if len(sh.ready) >= sh.depth && !sh.closed && wait > 0 {
+		// sync.Cond has no timed wait; an AfterFunc flips expired under
+		// the shard lock and broadcasts. Because the callback takes
+		// sh.mu, it cannot fire between this goroutine's condition check
+		// and its Wait — no missed wakeup, the wait is strictly bounded.
+		expired := false
+		timer := time.AfterFunc(wait, func() {
+			sh.mu.Lock()
+			expired = true
+			sh.mu.Unlock()
+			sh.notFull.Broadcast()
+		})
+		for len(sh.ready) >= sh.depth && !sh.closed && !expired {
 			sh.notFull.Wait()
 		}
+		timer.Stop()
 	}
+	if sh.closed {
+		return ErrClosed
+	}
+	if len(sh.ready) >= sh.depth {
+		sh.shed.Add(1)
+		return ErrOverloaded
+	}
+	sh.ready = append(sh.ready, st)
+	sh.notEmpty.Signal()
+	return nil
+}
+
+// pushUnbounded appends st to the run queue ignoring capacity: a worker
+// re-enqueueing a group after a compute must never block on (or be shed
+// from) its own queue. Overshoot is at most one entry per worker.
+// Returns false when the shard closed.
+func (sh *shard) pushUnbounded(st *groupState) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if sh.closed {
 		return false
 	}
@@ -385,6 +470,18 @@ func (sh *shard) close() {
 	sh.mu.Unlock()
 }
 
+// abandon discards every queued entry, counting them, so Close's drain
+// deadline can stop waiting on a wedged or oversized backlog. Workers
+// then see an empty, closed queue and exit after their current
+// recomputation.
+func (sh *shard) abandon() {
+	sh.mu.Lock()
+	sh.abandoned.Add(uint64(len(sh.ready)))
+	sh.ready = nil
+	sh.notEmpty.Broadcast()
+	sh.mu.Unlock()
+}
+
 // Engine is the sharded concurrent group engine. All methods are safe for
 // concurrent use.
 type Engine struct {
@@ -397,9 +494,31 @@ type Engine struct {
 	startOnce sync.Once
 	closed    atomic.Bool
 
+	// opGate tracks in-flight synchronous operations: Register, Submit
+	// and Update hold it for read over their whole call (computation and
+	// emission included); Close acquires it for write after flagging
+	// closed, so it returns only after every operation that was admitted
+	// before the flag has finished. This is what makes the post-Close
+	// contract exact: once Close returns, no Update is still computing
+	// and no notification is still being emitted.
+	opGate sync.RWMutex
+
 	subMu sync.RWMutex
 	subs  map[*Subscription]struct{}
 	nsubs atomic.Int64 // len(subs), readable without subMu
+}
+
+// beginOp admits one synchronous operation, taking opGate for read. It
+// returns false (gate released) when the engine is closed. The check
+// happens under the read lock, so an operation admitted here is
+// guaranteed to finish before Close returns.
+func (e *Engine) beginOp() bool {
+	e.opGate.RLock()
+	if e.closed.Load() {
+		e.opGate.RUnlock()
+		return false
+	}
+	return true
 }
 
 // New builds an engine over the given plan function. The worker pool
@@ -493,9 +612,10 @@ func (e *Engine) Register(users []geom.Point, dirs []core.Direction) (GroupID, e
 // RegisterTag is Register with an opaque tag carried on the registration
 // notification (see Notification.Tag).
 func (e *Engine) RegisterTag(users []geom.Point, dirs []core.Direction, tag any) (GroupID, error) {
-	if e.closed.Load() {
+	if !e.beginOp() {
 		return 0, ErrClosed
 	}
+	defer e.opGate.RUnlock()
 	if len(users) == 0 {
 		return 0, ErrNoUsers
 	}
@@ -509,9 +629,9 @@ func (e *Engine) RegisterTag(users []geom.Point, dirs []core.Direction, tag any)
 		// Seed the retained plan state through the replanner (the zero
 		// state forces the full path), so the first escape report can
 		// already be served incrementally.
-		meeting, regions, stats, _, err = e.replan(ws, &pstate, users, dirs)
+		meeting, regions, stats, _, err = e.runReplan(ws, &pstate, users, dirs)
 	} else {
-		meeting, regions, stats, err = e.plan(ws, users, dirs)
+		meeting, regions, stats, err = e.runPlan(ws, users, dirs)
 	}
 	core.PutWorkspace(ws)
 	if err != nil {
@@ -596,7 +716,8 @@ func (st *groupState) validate(users []geom.Point) error {
 // locations. It returns once the update is recorded: bursts for the same
 // group coalesce into one recomputation over the latest snapshot, and the
 // result arrives on the subscription stream. Submit blocks only when the
-// shard's run queue is full.
+// shard's run queue is full, and then at most Options.AdmissionWait
+// before shedding the submission with ErrOverloaded.
 func (e *Engine) Submit(id GroupID, users []geom.Point, dirs []core.Direction) error {
 	return e.submit(id, users, dirs, nil, false)
 }
@@ -618,9 +739,11 @@ func (e *Engine) SubmitTag(id GroupID, users []geom.Point, dirs []core.Direction
 }
 
 func (e *Engine) submit(id GroupID, users []geom.Point, dirs []core.Direction, tag any, full bool) error {
-	if e.closed.Load() {
+	if !e.beginOp() {
 		return ErrClosed
 	}
+	defer e.opGate.RUnlock()
+	faultinject.Fire(faultinject.EngineSubmit)
 	e.startOnce.Do(e.start)
 	st := e.lookup(id)
 	if st == nil {
@@ -654,8 +777,15 @@ func (e *Engine) submit(id GroupID, users []geom.Point, dirs []core.Direction, t
 	if !enqueue {
 		return nil
 	}
-	if !e.shardFor(id).push(st, true) {
-		return ErrClosed
+	if err := e.shardFor(id).push(st, e.opts.AdmissionWait); err != nil {
+		// The shard refused the enqueue. The recorded snapshot stays
+		// pending — the next accepted submission (or an already-running
+		// recomputation's requeue pass) coalesces it — but the group must
+		// not look queued when it is not in the queue.
+		st.mu.Lock()
+		st.queued = false
+		st.mu.Unlock()
+		return err
 	}
 	return nil
 }
@@ -671,7 +801,7 @@ func (e *Engine) submit(id GroupID, users []geom.Point, dirs []core.Direction, t
 // emit a notification pass false and skip the copy.
 func (e *Engine) compute(st *groupState, ws *core.Workspace, users []geom.Point, dirs []core.Direction, forceFull, wantEpochs bool) (geom.Point, []core.SafeRegion, []uint64, core.Stats, core.IncOutcome, error) {
 	if e.replan == nil {
-		meeting, regions, stats, err := e.plan(ws, users, dirs)
+		meeting, regions, stats, err := e.runPlan(ws, users, dirs)
 		return meeting, regions, nil, stats, core.IncFull, err
 	}
 	st.replanMu.Lock()
@@ -679,12 +809,49 @@ func (e *Engine) compute(st *groupState, ws *core.Workspace, users []geom.Point,
 	if forceFull {
 		st.planState.Invalidate()
 	}
-	meeting, regions, stats, outcome, err := e.replan(ws, &st.planState, users, dirs)
+	meeting, regions, stats, outcome, err := e.runReplan(ws, &st.planState, users, dirs)
+	if err != nil {
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			// The panic may have left the retained state half-written.
+			// Drop it so the group's next recomputation replans from
+			// scratch off a clean slate instead of trusting torn state.
+			st.planState.Invalidate()
+		}
+		return meeting, regions, nil, stats, outcome, err
+	}
 	var epochs []uint64
-	if wantEpochs && err == nil {
+	if wantEpochs {
 		epochs = append([]uint64(nil), st.planState.Epochs()...)
 	}
 	return meeting, regions, epochs, stats, outcome, err
+}
+
+// runPlan invokes the full planner through the EnginePlan failpoint with
+// panic isolation: a panic — the planner's own or an injected one —
+// comes back as a *PanicError instead of unwinding the calling
+// goroutine (which on the worker path would kill a pool worker).
+func (e *Engine) runPlan(ws *core.Workspace, users []geom.Point, dirs []core.Direction) (meeting geom.Point, regions []core.SafeRegion, stats core.Stats, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	faultinject.Fire(faultinject.EnginePlan)
+	return e.plan(ws, users, dirs)
+}
+
+// runReplan is runPlan for the incremental replanner. Callers holding
+// the group's replan lock must invalidate the retained state when the
+// returned error is a *PanicError (see compute).
+func (e *Engine) runReplan(ws *core.Workspace, st *core.PlanState, users []geom.Point, dirs []core.Direction) (meeting geom.Point, regions []core.SafeRegion, stats core.Stats, outcome core.IncOutcome, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	faultinject.Fire(faultinject.EnginePlan)
+	return e.replan(ws, st, users, dirs)
 }
 
 // Update recomputes synchronously on the caller's goroutine and emits the
@@ -709,9 +876,10 @@ func (e *Engine) UpdateFull(id GroupID, users []geom.Point, dirs []core.Directio
 }
 
 func (e *Engine) update(id GroupID, users []geom.Point, dirs []core.Direction, forceFull bool) error {
-	if e.closed.Load() {
+	if !e.beginOp() {
 		return ErrClosed
 	}
+	defer e.opGate.RUnlock()
 	st := e.lookup(id)
 	if st == nil {
 		return ErrUnknownGroup
@@ -830,10 +998,7 @@ func (e *Engine) worker(sh *shard) {
 			e.emit(n)
 		}
 		if requeue {
-			// Unbounded push: a worker must never block on its own
-			// queue's capacity. Overshoot is at most one entry per
-			// worker.
-			sh.push(st, false)
+			sh.pushUnbounded(st)
 		}
 	}
 }
@@ -999,20 +1164,71 @@ func (e *Engine) NumGroups() int {
 	return n
 }
 
-// Close stops the workers: recomputations already running or already in
-// a shard queue complete and emit their notifications, but a snapshot
-// accepted while its group's recomputation was in flight may be
-// discarded without one — Close is a shutdown, not a flush. Once the
-// workers exit, every subscription channel is closed. Subsequent
-// Submit/Update/Register calls return ErrClosed.
+// Close shuts the engine down with a drain deadline. The post-Close
+// contract:
+//
+//   - Synchronous operations (Register, Update, Submit) that were
+//     admitted before Close have fully finished — computation and
+//     notification emission included — by the time Close returns; calls
+//     arriving after return ErrClosed. This is the opGate: Close waits
+//     for every in-flight caller, so an Update returning nil has had its
+//     notification offered to subscribers before any channel closes.
+//   - Recomputations already running or already queued get
+//     Options.CloseTimeout to complete and emit. When the deadline
+//     passes, the remaining queue entries are abandoned (counted in
+//     ShardStats.Abandoned) and workers exit after their current
+//     recomputation; a worker wedged inside the planner past a second
+//     deadline is left behind rather than hanging Close. A snapshot
+//     accepted while its group's recomputation was in flight may be
+//     discarded without a notification — Close is a shutdown, not a
+//     flush.
+//   - Every subscription channel is closed last, after all emission has
+//     ceased.
 func (e *Engine) Close() {
 	if !e.closed.CompareAndSwap(false, true) {
 		return
 	}
+	// Closing the shards first wakes producers blocked in admission
+	// waits (they return ErrClosed and release the op gate) and tells
+	// workers to exit once their queues drain.
 	for _, sh := range e.shards {
 		sh.close()
 	}
-	e.wg.Wait()
+	// Wait for in-flight synchronous operations to finish.
+	e.opGate.Lock()
+	e.opGate.Unlock() //nolint:staticcheck // gate barrier, not a critical section
+	// Drain the worker pool under the deadline.
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	if d := e.opts.CloseTimeout; d > 0 {
+		t := time.NewTimer(d)
+		select {
+		case <-done:
+			t.Stop()
+		case <-t.C:
+			// Deadline passed with work still queued: abandon the queues
+			// so workers stop after their current recomputation, then
+			// give them one more deadline to come home.
+			for _, sh := range e.shards {
+				sh.abandon()
+			}
+			t2 := time.NewTimer(d)
+			select {
+			case <-done:
+				t2.Stop()
+			case <-t2.C:
+				// A recomputation is wedged inside the planner. Leaving
+				// its worker behind is safe: the subscription map empties
+				// below before any channel closes, so a late emit sends
+				// nowhere.
+			}
+		}
+	} else {
+		<-done
+	}
 	e.subMu.Lock()
 	for s := range e.subs {
 		delete(e.subs, s)
@@ -1020,4 +1236,39 @@ func (e *Engine) Close() {
 	}
 	e.nsubs.Store(0)
 	e.subMu.Unlock()
+}
+
+// ShardStats is one shard's admission and shutdown accounting.
+type ShardStats struct {
+	// Queued is the current run-queue length.
+	Queued int
+	// Shed counts submissions rejected with ErrOverloaded because the
+	// queue stayed full for the whole admission wait.
+	Shed uint64
+	// Abandoned counts queued recomputations discarded when Close's
+	// drain deadline passed.
+	Abandoned uint64
+}
+
+// ShardStats returns a snapshot of every shard's admission counters,
+// indexed by shard.
+func (e *Engine) ShardStats() []ShardStats {
+	out := make([]ShardStats, len(e.shards))
+	for i, sh := range e.shards {
+		sh.mu.Lock()
+		q := len(sh.ready)
+		sh.mu.Unlock()
+		out[i] = ShardStats{Queued: q, Shed: sh.shed.Load(), Abandoned: sh.abandoned.Load()}
+	}
+	return out
+}
+
+// Shed returns the total number of submissions rejected with
+// ErrOverloaded across all shards — the headline overload counter.
+func (e *Engine) Shed() uint64 {
+	var n uint64
+	for _, sh := range e.shards {
+		n += sh.shed.Load()
+	}
+	return n
 }

@@ -1,0 +1,114 @@
+package faultinject
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ConnOpts schedules transport faults on a wrapped connection. All
+// schedules are counter-based over the wrapper's Write calls — the wire
+// protocol writes exactly one frame per Write, so "every Nth write" is
+// "every Nth frame" — which keeps a fault run deterministic for a given
+// schedule and workload. Zero values disable each fault.
+type ConnOpts struct {
+	// Seed feeds the wrapper's private rand source, used only to pick
+	// tear split positions. The same seed and workload tear at the same
+	// offsets.
+	Seed int64
+	// DropEveryNth swallows every Nth outbound frame entirely: the
+	// caller sees a successful write, the peer sees nothing. Because
+	// whole frames vanish, the stream stays framed — this models frame
+	// loss above a reliable transport (a crashed proxy flushing its
+	// buffer, a dropped queue entry), not TCP corruption.
+	DropEveryNth int
+	// TearEveryNth splits every Nth outbound frame into two raw writes
+	// with a pause between them, exercising every reader's partial-read
+	// handling.
+	TearEveryNth int
+	// TearPause is the gap between the two halves of a torn frame
+	// (default 1ms when tearing is enabled).
+	TearPause time.Duration
+	// DelayEveryNth sleeps Delay before every Nth outbound frame.
+	DelayEveryNth int
+	// Delay is the sleep applied by DelayEveryNth.
+	Delay time.Duration
+	// CutAfter hard-closes the connection after the Nth outbound frame
+	// has been written — a mid-stream connection cut.
+	CutAfter int
+}
+
+// Conn wraps a net.Conn with the fault schedule in ConnOpts. Reads pass
+// through untouched; faults are injected on the write side, where frame
+// alignment is known.
+type Conn struct {
+	net.Conn
+	opts ConnOpts
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	writes int
+	// Dropped, Torn, Delayed count applied faults (guarded by mu).
+	dropped, torn, delayed int
+}
+
+// WrapConn wraps inner with the given fault schedule.
+func WrapConn(inner net.Conn, opts ConnOpts) *Conn {
+	if opts.TearEveryNth > 0 && opts.TearPause <= 0 {
+		opts.TearPause = time.Millisecond
+	}
+	return &Conn{Conn: inner, opts: opts, rng: rand.New(rand.NewSource(opts.Seed))}
+}
+
+// Faults reports how many frames were dropped, torn, and delayed.
+func (c *Conn) Faults() (dropped, torn, delayed int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped, c.torn, c.delayed
+}
+
+// Write applies the fault schedule to one outbound frame.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.writes++
+	n := c.writes
+	drop := c.opts.DropEveryNth > 0 && n%c.opts.DropEveryNth == 0
+	tear := c.opts.TearEveryNth > 0 && n%c.opts.TearEveryNth == 0
+	delay := c.opts.DelayEveryNth > 0 && n%c.opts.DelayEveryNth == 0
+	cut := c.opts.CutAfter > 0 && n >= c.opts.CutAfter
+	split := 0
+	if tear && len(p) > 1 {
+		split = 1 + c.rng.Intn(len(p)-1)
+	}
+	switch {
+	case drop:
+		c.dropped++
+	case tear:
+		c.torn++
+	case delay:
+		c.delayed++
+	}
+	c.mu.Unlock()
+
+	if delay {
+		time.Sleep(c.opts.Delay)
+	}
+	if drop {
+		// Pretend success; the peer never sees the frame.
+		return len(p), nil
+	}
+	if tear && split > 0 {
+		if _, err := c.Conn.Write(p[:split]); err != nil {
+			return 0, err
+		}
+		time.Sleep(c.opts.TearPause)
+		m, err := c.Conn.Write(p[split:])
+		return split + m, err
+	}
+	written, err := c.Conn.Write(p)
+	if err == nil && cut {
+		_ = c.Conn.Close()
+	}
+	return written, err
+}

@@ -1,0 +1,172 @@
+package faultinject
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestDisarmedFireIsNoOp(t *testing.T) {
+	Disarm()
+	if Armed() {
+		t.Fatal("armed with no script")
+	}
+	Fire(EnginePlan) // must not panic or block
+	if got := Hits(EnginePlan); got != 0 {
+		t.Fatalf("disarmed hits = %d", got)
+	}
+}
+
+func TestPanicOnExactHit(t *testing.T) {
+	Arm(Script{EnginePlan: PanicOn(3, "boom")})
+	defer Disarm()
+	fire := func() (panicked bool) {
+		defer func() { panicked = recover() != nil }()
+		Fire(EnginePlan)
+		return false
+	}
+	for i := 1; i <= 5; i++ {
+		got := fire()
+		if want := i == 3; got != want {
+			t.Fatalf("hit %d: panicked=%v, want %v", i, got, want)
+		}
+	}
+	if got := Hits(EnginePlan); got != 5 {
+		t.Fatalf("hits = %d, want 5", got)
+	}
+}
+
+func TestHitCountersArePerPoint(t *testing.T) {
+	Arm(Script{EnginePlan: PanicEvery(2, "x")})
+	defer Disarm()
+	Fire(CoordDeliver)
+	Fire(CoordDeliver)
+	Fire(EnginePlan) // hit 1 for EnginePlan: no panic despite two prior CoordDeliver hits
+	if got := Hits(CoordDeliver); got != 2 {
+		t.Fatalf("CoordDeliver hits = %d", got)
+	}
+}
+
+func TestStallFirst(t *testing.T) {
+	const d = 20 * time.Millisecond
+	Arm(Script{EngineSubmit: StallFirst(1, d)})
+	defer Disarm()
+	start := time.Now()
+	Fire(EngineSubmit)
+	if el := time.Since(start); el < d {
+		t.Fatalf("first hit stalled only %v", el)
+	}
+	start = time.Now()
+	Fire(EngineSubmit)
+	if el := time.Since(start); el > d/2 {
+		t.Fatalf("second hit stalled %v, want none", el)
+	}
+}
+
+// pipeConn runs a reader goroutine collecting everything the wrapped
+// side writes.
+func pipeConn(t *testing.T) (wrapped net.Conn, rx func() []byte) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	var buf bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = io.Copy(&buf, b)
+	}()
+	return a, func() []byte {
+		a.Close()
+		<-done
+		return buf.Bytes()
+	}
+}
+
+func TestConnDropEveryNth(t *testing.T) {
+	inner, rx := pipeConn(t)
+	c := WrapConn(inner, ConnOpts{DropEveryNth: 2})
+	frames := [][]byte{[]byte("aa"), []byte("bb"), []byte("cc"), []byte("dd"), []byte("ee")}
+	for _, f := range frames {
+		if n, err := c.Write(f); err != nil || n != len(f) {
+			t.Fatalf("write: n=%d err=%v", n, err)
+		}
+	}
+	if got, want := string(rx()), "aaccee"; got != want {
+		t.Fatalf("peer saw %q, want %q", got, want)
+	}
+	dropped, _, _ := c.Faults()
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+}
+
+func TestConnTearPreservesBytes(t *testing.T) {
+	inner, rx := pipeConn(t)
+	c := WrapConn(inner, ConnOpts{Seed: 7, TearEveryNth: 1, TearPause: time.Millisecond})
+	msg := []byte("hello-torn-frame")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(rx()); got != string(msg) {
+		t.Fatalf("peer saw %q, want %q", got, string(msg))
+	}
+	if _, torn, _ := c.Faults(); torn != 1 {
+		t.Fatalf("torn = %d, want 1", torn)
+	}
+}
+
+func TestConnCutAfter(t *testing.T) {
+	inner, _ := pipeConn(t)
+	c := WrapConn(inner, ConnOpts{CutAfter: 1})
+	if _, err := c.Write([]byte("last")); err != nil {
+		t.Fatalf("the cut write itself succeeds: %v", err)
+	}
+	if _, err := c.Write([]byte("after")); err == nil {
+		t.Fatal("write after cut succeeded")
+	}
+}
+
+func TestConnDeterministicTearOffsets(t *testing.T) {
+	// Same seed and workload ⇒ same split positions: the two runs must
+	// present identical write sequences to their peers.
+	run := func() []int {
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		var sizes []int
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			buf := make([]byte, 64)
+			for {
+				n, err := b.Read(buf)
+				if n > 0 {
+					sizes = append(sizes, n)
+				}
+				if err != nil {
+					return
+				}
+			}
+		}()
+		c := WrapConn(a, ConnOpts{Seed: 42, TearEveryNth: 1, TearPause: time.Millisecond})
+		for i := 0; i < 4; i++ {
+			if _, err := c.Write([]byte("0123456789abcdef")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		a.Close()
+		<-done
+		return sizes
+	}
+	first, second := run(), run()
+	if len(first) != len(second) {
+		t.Fatalf("runs diverged: %v vs %v", first, second)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("runs diverged at %d: %v vs %v", i, first, second)
+		}
+	}
+}

@@ -6,8 +6,11 @@ import (
 	"io"
 	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"mpn/internal/core"
+	"mpn/internal/faultinject"
 	"mpn/internal/geom"
 )
 
@@ -27,6 +30,24 @@ type ClientOption func(*Client)
 // prove it.
 func WithoutDelta() ClientOption { return func(c *Client) { c.delta = false } }
 
+// WithoutCompactProbe disables compact-probe negotiation: the client
+// registers without FlagCompactProbe and the server probes it with
+// classic TProbe frames. The exchange is semantically identical; only
+// the wire layout differs.
+func WithoutCompactProbe() ClientOption { return func(c *Client) { c.compact = false } }
+
+// WithHeartbeat enables the client's liveness machinery: Run sends a
+// TPing every interval, and — when the connection supports read
+// deadlines — arms a read deadline of 2.5× the interval before every
+// frame read. A healthy server answers each ping with a TPong, so the
+// deadline keeps sliding; a silently dead peer (half-open TCP, wedged
+// middlebox) fails the read within ~2.5 intervals and Run returns the
+// timeout instead of blocking forever. Non-positive intervals disable
+// the heartbeat (the default).
+func WithHeartbeat(interval time.Duration) ClientOption {
+	return func(c *Client) { c.heartbeat = interval }
+}
+
 // Client is the user-side state machine: it registers, answers probes
 // with the location supplier, reports escapes, and surfaces notifications.
 //
@@ -39,10 +60,14 @@ func WithoutDelta() ClientOption { return func(c *Client) { c.delta = false } }
 // Meeting/Region/NeedsUpdate is byte-identical to the full protocol's at
 // every step.
 type Client struct {
-	conn  io.ReadWriter
-	group uint32
-	user  uint32
-	delta bool
+	conn      io.ReadWriter
+	group     uint32
+	user      uint32
+	delta     bool
+	compact   bool
+	heartbeat time.Duration
+
+	pongs atomic.Uint64
 
 	loc      LocFunc
 	onNotify NotifyFunc
@@ -63,7 +88,7 @@ func NewClient(conn io.ReadWriter, group, user uint32, loc LocFunc, onNotify Not
 	if loc == nil {
 		return nil, errors.New("proto: nil location supplier")
 	}
-	c := &Client{conn: conn, group: group, user: user, delta: true, loc: loc, onNotify: onNotify}
+	c := &Client{conn: conn, group: group, user: user, delta: true, compact: true, loc: loc, onNotify: onNotify}
 	for _, o := range opts {
 		o(c)
 	}
@@ -81,6 +106,9 @@ func (c *Client) Register(groupSize uint32) error {
 	var flags uint8
 	if c.delta {
 		flags |= FlagDeltaCapable
+	}
+	if c.compact {
+		flags |= FlagCompactProbe
 	}
 	return c.write(Message{
 		Type: TRegister, Group: c.group, User: c.user,
@@ -128,11 +156,27 @@ func (c *Client) Epoch() uint64 {
 	return c.epoch
 }
 
+// Pongs returns how many heartbeat replies the client has received —
+// observability for liveness tests and monitoring.
+func (c *Client) Pongs() uint64 { return c.pongs.Load() }
+
 // Run processes server frames until EOF or error. Run answers probes
-// automatically; notifications — full or delta — update Meeting/Region
-// and invoke the callback. It returns nil on clean EOF.
+// automatically (in the layout they arrived in, so a classic server
+// keeps its classic replies); notifications — full or delta — update
+// Meeting/Region and invoke the callback. With WithHeartbeat it also
+// pings the server and arms read deadlines. It returns nil on clean EOF.
 func (c *Client) Run() error {
+	if c.heartbeat > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go c.pinger(stop)
+	}
+	deadliner, _ := c.conn.(interface{ SetReadDeadline(time.Time) error })
 	for {
+		faultinject.Fire(faultinject.ClientRead)
+		if c.heartbeat > 0 && deadliner != nil {
+			_ = deadliner.SetReadDeadline(time.Now().Add(c.heartbeat * 5 / 2))
+		}
 		msg, err := Read(c.conn)
 		if err != nil {
 			if errors.Is(err, io.EOF) {
@@ -141,12 +185,16 @@ func (c *Client) Run() error {
 			return err
 		}
 		switch msg.Type {
-		case TProbe:
-			if err := c.write(Message{
-				Type: TProbeReply, Group: c.group, User: c.user, Loc: c.loc(),
-			}); err != nil {
+		case TProbe, TProbeC:
+			reply := Message{Type: TProbeReply, Group: c.group, User: c.user, Loc: c.loc()}
+			if msg.Type == TProbeC {
+				reply.Type = TProbeReplyC
+			}
+			if err := c.write(reply); err != nil {
 				return err
 			}
+		case TPong:
+			c.pongs.Add(1)
 		case TNotify:
 			region, err := DecodeRegion(msg.Region)
 			if err != nil {
@@ -169,6 +217,26 @@ func (c *Client) Run() error {
 			return errors.New("proto: server error: " + msg.Text)
 		default:
 			return errors.New("proto: unexpected " + msg.Type.String() + " from server")
+		}
+	}
+}
+
+// pinger sends a TPing every heartbeat interval until stop closes or a
+// write fails (Run then notices through its own read error — either the
+// read deadline or the broken connection).
+func (c *Client) pinger(stop <-chan struct{}) {
+	t := time.NewTicker(c.heartbeat)
+	defer t.Stop()
+	var seq uint64
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			seq++
+			if err := c.write(Message{Type: TPing, Epoch: seq}); err != nil {
+				return
+			}
 		}
 	}
 }

@@ -7,8 +7,10 @@ import (
 	"io"
 	"log"
 	"sync"
+	"sync/atomic"
 
 	"mpn/internal/core"
+	"mpn/internal/faultinject"
 	"mpn/internal/geom"
 	"mpn/internal/tileenc"
 )
@@ -63,10 +65,90 @@ type Coordinator struct {
 	// them (see SetDeltaEnabled).
 	delta bool
 
+	// slowLimit is the slow-client policy knob (see SetSlowClientLimit):
+	// after this many consecutive outbox drops the member's connection is
+	// kicked. 0 selects DefaultSlowClientLimit; negative disables kicks.
+	slowLimit int
+
+	stats coordCounters
+
 	mu     sync.Mutex
 	groups map[uint32]*group
 	// locs holds the last reported location per group and user.
 	locs map[uint32]map[uint32]geom.Point
+}
+
+// coordCounters are the coordinator's monotone counters, updated with
+// atomics so Stats never takes the coordinator lock.
+type coordCounters struct {
+	droppedFrames   atomic.Uint64
+	slowKicks       atomic.Uint64
+	nackRepairs     atomic.Uint64
+	staleDeliveries atomic.Uint64
+	protocolErrors  atomic.Uint64
+	heartbeats      atomic.Uint64
+	compactProbes   atomic.Uint64
+}
+
+// CoordStats is a snapshot of the coordinator's failure-semantics
+// counters (see Coordinator.Stats).
+type CoordStats struct {
+	// DroppedFrames counts outbound frames discarded because a member's
+	// outbox was full (the member is repaired by a later full notify).
+	DroppedFrames uint64
+	// SlowClientDisconnects counts members kicked by the slow-client
+	// policy: their outbox stayed full for SlowClientLimit consecutive
+	// deliveries.
+	SlowClientDisconnects uint64
+	// NackRepairs counts full notifies sent in answer to client NACKs.
+	NackRepairs uint64
+	// StaleDeliveries counts async plan deliveries dropped because group
+	// membership changed while the plan was being computed.
+	StaleDeliveries uint64
+	// ProtocolErrors counts client frames rejected as protocol
+	// violations (wrong type, register twice, report before register…).
+	ProtocolErrors uint64
+	// Heartbeats counts TPing frames answered with TPong.
+	Heartbeats uint64
+	// CompactProbes counts probes sent in the compact TProbeC form.
+	CompactProbes uint64
+}
+
+// Stats returns a snapshot of the coordinator's counters. Safe to call
+// from any goroutine; never blocks on the coordinator lock.
+func (c *Coordinator) Stats() CoordStats {
+	return CoordStats{
+		DroppedFrames:         c.stats.droppedFrames.Load(),
+		SlowClientDisconnects: c.stats.slowKicks.Load(),
+		NackRepairs:           c.stats.nackRepairs.Load(),
+		StaleDeliveries:       c.stats.staleDeliveries.Load(),
+		ProtocolErrors:        c.stats.protocolErrors.Load(),
+		Heartbeats:            c.stats.heartbeats.Load(),
+		CompactProbes:         c.stats.compactProbes.Load(),
+	}
+}
+
+// DefaultSlowClientLimit is how many consecutive outbox drops a member
+// gets before the slow-client policy kicks its connection. Drops are
+// already coalesced — a member with a full outbox keeps only needing one
+// repair frame — so consecutive drops mean the client has not drained
+// outboxSize frames across that many deliveries: it is not slow, it is
+// gone.
+const DefaultSlowClientLimit = 8
+
+// SetSlowClientLimit configures the slow-client coalesce-then-disconnect
+// policy: a member whose outbox drops n consecutive outbound frames has
+// its connection closed (observable in Stats().SlowClientDisconnects and
+// the log, with the drop streak as the reason). 0 selects
+// DefaultSlowClientLimit; negative disables kicking — drops then only
+// coalesce. Call before serving connections.
+func (c *Coordinator) SetSlowClientLimit(n int) { c.slowLimit = n }
+
+func (c *Coordinator) slowClientLimit() int {
+	if c.slowLimit == 0 {
+		return DefaultSlowClientLimit
+	}
+	return c.slowLimit
 }
 
 // SetDeltaEnabled turns delta notifications on or off. Call it before
@@ -147,6 +229,33 @@ type member struct {
 	needFull bool
 	epoch    uint64
 	meeting  geom.Point
+
+	// compact is the registration-time FlagCompactProbe negotiation:
+	// probes to this member go out as TProbeC.
+	compact bool
+	// drops counts consecutive outbox drops (guarded by the coordinator
+	// lock); any successful send resets it. kick, when non-nil, closes
+	// the member's connection — the slow-client policy's teeth.
+	drops int
+	kick  func()
+}
+
+// noteSend updates the slow-client drop streak after a send attempt and
+// applies the policy: limit consecutive drops close the connection. Must
+// be called with the coordinator lock held.
+func (m *member) noteSend(c *Coordinator, gid uint32, ok bool) {
+	if ok {
+		m.drops = 0
+		return
+	}
+	m.drops++
+	c.stats.droppedFrames.Add(1)
+	if limit := c.slowClientLimit(); limit > 0 && m.drops == limit && m.kick != nil {
+		c.stats.slowKicks.Add(1)
+		c.logger.Printf("group %d: user %d disconnected by slow-client policy (%d consecutive outbox drops)",
+			gid, m.user, m.drops)
+		m.kick()
+	}
 }
 
 // newMember starts the writer goroutine for one connection.
@@ -236,6 +345,7 @@ func (c *Coordinator) Deliver(gid uint32, ids []uint32, meeting geom.Point, regi
 // back to comparing fresh encodings against the cache — correct for any
 // backend, just not encode-free.
 func (c *Coordinator) DeliverEpochs(gid uint32, ids []uint32, meeting geom.Point, regions []core.SafeRegion, epochs []uint64, err error) {
+	faultinject.Fire(faultinject.CoordDeliver)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	g := c.groups[gid]
@@ -251,6 +361,7 @@ func (c *Coordinator) DeliverEpochs(gid uint32, ids []uint32, meeting geom.Point
 		return
 	}
 	if len(current) != len(regions) || (ids != nil && !sameIDs(ids, current)) {
+		c.stats.staleDeliveries.Add(1)
 		c.logger.Printf("group %d: dropping stale delivery (members %v, computed for %v, %d regions)",
 			gid, current, ids, len(regions))
 		return
@@ -308,12 +419,14 @@ func (c *Coordinator) ServeConn(conn io.ReadWriteCloser) error {
 				continue
 			}
 			c.handleReport(msg)
-		case TProbeReply:
+		case TProbeReply, TProbeReplyC:
 			if !registered {
 				c.sendError(conn, "reply before register")
 				continue
 			}
 			c.handleProbeReply(msg)
+		case TPing:
+			c.handlePing(msg, conn, registered, gid, uid)
 		case TNack:
 			if !registered {
 				c.sendError(conn, "nack before register")
@@ -330,7 +443,31 @@ func (c *Coordinator) ServeConn(conn io.ReadWriteCloser) error {
 // outbox (or for protocol violations where blocking the offender is
 // acceptable).
 func (c *Coordinator) sendError(w io.Writer, text string) {
+	c.stats.protocolErrors.Add(1)
 	_ = Write(w, Message{Type: TError, Text: text})
+}
+
+// handlePing answers a heartbeat with TPong echoing the sequence number.
+// A registered member's pong rides its outbox — the writer goroutine
+// owns the connection, and a wedged outbox failing the heartbeat is
+// exactly the liveness signal the peer wants. Before registration the
+// read loop may write directly (nothing else owns the connection yet).
+func (c *Coordinator) handlePing(msg Message, conn io.Writer, registered bool, gid, uid uint32) {
+	c.stats.heartbeats.Add(1)
+	pong := Message{Type: TPong, Epoch: msg.Epoch}
+	if !registered {
+		_ = Write(conn, pong)
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.groups[gid]
+	if g == nil {
+		return
+	}
+	if mb := g.members[uid]; mb != nil {
+		mb.noteSend(c, gid, mb.send(pong))
+	}
 }
 
 // register adds the member; when the group completes, the first plan is
@@ -358,6 +495,12 @@ func (c *Coordinator) register(msg Message, w io.Writer) error {
 	}
 	mb := newMember(msg.User, w, c.logger)
 	mb.delta = msg.Flags&FlagDeltaCapable != 0
+	mb.compact = msg.Flags&FlagCompactProbe != 0
+	if closer, ok := w.(io.Closer); ok {
+		// The slow-client policy's kick: closing the connection fails the
+		// member's read loop, which removes it through the normal path.
+		mb.kick = func() { _ = closer.Close() }
+	}
 	g.members[msg.User] = mb
 	c.locs[msg.Group][msg.User] = msg.Loc
 	c.logger.Printf("group %d: user %d registered (%d/%d)",
@@ -395,7 +538,14 @@ func (c *Coordinator) handleReport(msg Message) {
 			continue
 		}
 		g.probing[uid] = true
-		if !other.send(Message{Type: TProbe, Group: msg.Group, User: uid}) {
+		probe := Message{Type: TProbe, Group: msg.Group, User: uid}
+		if other.compact {
+			probe.Type = TProbeC
+			c.stats.compactProbes.Add(1)
+		}
+		ok := other.send(probe)
+		other.noteSend(c, msg.Group, ok)
+		if !ok {
 			c.logger.Printf("group %d: probe to user %d dropped (outbox full)", msg.Group, uid)
 			delete(g.probing, uid)
 		}
@@ -510,6 +660,7 @@ func (c *Coordinator) notifyLocked(gid uint32, g *group, ids []uint32, meeting g
 // next delivery to be a full frame, since the server can no longer prove
 // what the client holds.
 func (m *member) recordSend(c *Coordinator, gid uint32, ok bool, epoch uint64, meeting geom.Point) {
+	m.noteSend(c, gid, ok)
 	if ok {
 		m.needFull = false
 		m.epoch = epoch
@@ -575,6 +726,7 @@ func (c *Coordinator) handleNack(msg Message) {
 	})
 	mb.recordSend(c, msg.Group, ok, e.epoch, g.lastMeeting)
 	if ok {
+		c.stats.nackRepairs.Add(1)
 		c.logger.Printf("group %d: user %d nacked; repaired with full notify", msg.Group, msg.User)
 	}
 }

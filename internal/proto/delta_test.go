@@ -448,6 +448,9 @@ func TestCoordinatorDroppedFrameForcesFullRepair(t *testing.T) {
 	backend := &scriptedBackend{regions: circleRegions(1), epochs: []uint64{1}, meeting: geom.Pt(0.5, 0.5)}
 	coord := NewAsyncCoordinator(backend.submit, nil)
 	coord.SetDeltaEnabled(true)
+	// Kicks off: the overflow below must only coalesce, not disconnect,
+	// so the post-drop repair path can be observed on a live member.
+	coord.SetSlowClientLimit(-1)
 	rc := dialRaw(t, coord)
 	if err := Write(rc.conn, Message{
 		Type: TRegister, Group: 1, User: 0, GroupSize: 1,

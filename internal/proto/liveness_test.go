@@ -17,6 +17,9 @@ import (
 // coordinator mutex.
 func TestSlowClientDoesNotBlockCoordinator(t *testing.T) {
 	coord := NewCoordinator(testPlan(t, "circle"), nil)
+	// Kicks off: this test is about lock liveness under sustained drops,
+	// so the slow client must survive the whole flood.
+	coord.SetSlowClientLimit(-1)
 	serverSide, clientSide := net.Pipe()
 	go func() { _ = coord.ServeConn(serverSide) }()
 	defer clientSide.Close()

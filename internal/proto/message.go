@@ -11,6 +11,11 @@
 //	Notify      server → client   step 3: meeting point + safe region
 //	NotifyDelta server → client   step 3, delta form: only changed regions
 //	Nack        client → server   a delta could not be applied; send full
+//	Ping/Pong   either direction  liveness heartbeat (compact varint layout)
+//
+// The probe round also has a compact all-varint form (TProbeC and
+// TProbeReplyC, negotiated via FlagCompactProbe) that drops the classic
+// 58-byte fixed header — a probe is 4–6 bytes on the wire.
 //
 // Frames are length-prefixed little-endian binary; safe regions travel in
 // the mpn region encoding (25-byte circles — one tag byte plus three
@@ -45,7 +50,9 @@ import (
 // MsgType identifies a frame.
 type MsgType uint8
 
-// Frame types.
+// Frame types. TRegister through TNack use the classic fixed-header
+// layout (TNotifyDelta excepted); TPing and up use compact all-varint
+// layouts (see appendCompactPayload).
 const (
 	TRegister MsgType = iota + 1
 	TReport
@@ -55,6 +62,17 @@ const (
 	TError
 	TNotifyDelta
 	TNack
+	// TPing and TPong are the heartbeat: either peer may send TPing
+	// (Epoch carries an opaque sequence number) and the other answers
+	// TPong echoing it. Three payload bytes in the steady state.
+	TPing
+	TPong
+	// TProbeC and TProbeReplyC are the compact probe round — the same
+	// exchange as TProbe/TProbeReply without the 58-byte classic header,
+	// negotiated via FlagCompactProbe on Register. A probe is typically
+	// 4–6 payload bytes; the reply adds the 16-byte location.
+	TProbeC
+	TProbeReplyC
 )
 
 // String implements fmt.Stringer.
@@ -76,6 +94,14 @@ func (t MsgType) String() string {
 		return "notify-delta"
 	case TNack:
 		return "nack"
+	case TPing:
+		return "ping"
+	case TPong:
+		return "pong"
+	case TProbeC:
+		return "probe-compact"
+	case TProbeReplyC:
+		return "probe-reply-compact"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -90,6 +116,13 @@ func (t MsgType) String() string {
 // Epoch fields were added (fixed header 49 → 58 bytes), so peers from
 // before that change cannot interoperate regardless of the flag.
 const FlagDeltaCapable uint8 = 1 << 0
+
+// FlagCompactProbe, set on a Register frame, announces that the client
+// understands the compact probe round (TProbeC/TProbeReplyC). The server
+// probes such a member compactly and the client answers in kind; a
+// member without the flag keeps the classic TProbe/TProbeReply exchange,
+// so old clients interoperate with new servers and vice versa.
+const FlagCompactProbe uint8 = 1 << 1
 
 // deltaMeeting marks a TNotifyDelta frame that carries a meeting point
 // (it changed since the last delivery to this client).
@@ -113,7 +146,9 @@ type RegionDelta struct {
 // carry Group/User/Loc; Probe carries Group/User; Notify carries
 // Group/User/Meeting/Epoch/Region; NotifyDelta carries
 // Group/User/Epoch/Deltas (and Meeting when MeetingChanged); Nack
-// carries Group/User/Epoch; Error carries Text.
+// carries Group/User/Epoch; Error carries Text; Ping and Pong carry a
+// heartbeat sequence number in Epoch; ProbeC carries Group/User and
+// ProbeReplyC carries Group/User/Loc.
 type Message struct {
 	Type      MsgType
 	Group     uint32
@@ -144,6 +179,9 @@ var (
 func (m Message) appendPayload(buf []byte) []byte {
 	if m.Type == TNotifyDelta {
 		return m.appendDeltaPayload(buf)
+	}
+	if m.Type >= TPing {
+		return m.appendCompactPayload(buf)
 	}
 	buf = append(buf, byte(m.Type))
 	buf = binary.LittleEndian.AppendUint32(buf, m.Group)
@@ -183,6 +221,24 @@ func (m Message) appendDeltaPayload(buf []byte) []byte {
 		buf = binary.AppendUvarint(buf, d.Epoch)
 		buf = binary.AppendUvarint(buf, uint64(len(d.Region)))
 		buf = append(buf, d.Region...)
+	}
+	return buf
+}
+
+// appendCompactPayload serializes the all-varint frame family (TPing and
+// up): heartbeats are type + uvarint sequence, compact probes are type +
+// uvarint group + uvarint user (+ the 16-byte location on the reply).
+func (m Message) appendCompactPayload(buf []byte) []byte {
+	buf = append(buf, byte(m.Type))
+	switch m.Type {
+	case TPing, TPong:
+		buf = binary.AppendUvarint(buf, m.Epoch)
+	case TProbeC, TProbeReplyC:
+		buf = binary.AppendUvarint(buf, uint64(m.Group))
+		buf = binary.AppendUvarint(buf, uint64(m.User))
+		if m.Type == TProbeReplyC {
+			buf = appendPoint(buf, m.Loc)
+		}
 	}
 	return buf
 }
@@ -240,6 +296,9 @@ func parsePayload(p []byte) (Message, error) {
 	}
 	if MsgType(p[0]) == TNotifyDelta {
 		return parseDeltaPayload(p)
+	}
+	if MsgType(p[0]) >= TPing {
+		return parseCompactPayload(p)
 	}
 	// Fixed part: type(1) + group(4) + user(4) + size(4) + flags(1) +
 	// epoch(8) + 2 points(32) + region len(4).
@@ -360,6 +419,52 @@ func parseDeltaPayload(p []byte) (Message, error) {
 			rest = rest[rl:]
 		}
 		m.Deltas = append(m.Deltas, d)
+	}
+	if len(rest) != 0 {
+		return m, ErrCorruptFrame
+	}
+	return m, nil
+}
+
+// parseCompactPayload decodes the all-varint frame family (TPing and
+// up) with the codec's usual defensiveness: unknown types, truncation,
+// overflow, and trailing garbage are all ErrCorruptFrame, never a panic.
+func parseCompactPayload(p []byte) (Message, error) {
+	m := Message{Type: MsgType(p[0])}
+	rest := p[1:]
+	u32 := func() (uint32, bool) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 || v > math.MaxUint32 {
+			return 0, false
+		}
+		rest = rest[n:]
+		return uint32(v), true
+	}
+	var ok bool
+	switch m.Type {
+	case TPing, TPong:
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return m, ErrCorruptFrame
+		}
+		m.Epoch = v
+		rest = rest[n:]
+	case TProbeC, TProbeReplyC:
+		if m.Group, ok = u32(); !ok {
+			return m, ErrCorruptFrame
+		}
+		if m.User, ok = u32(); !ok {
+			return m, ErrCorruptFrame
+		}
+		if m.Type == TProbeReplyC {
+			if len(rest) < 16 {
+				return m, ErrCorruptFrame
+			}
+			m.Loc = readPoint(rest)
+			rest = rest[16:]
+		}
+	default:
+		return m, ErrCorruptFrame
 	}
 	if len(rest) != 0 {
 		return m, ErrCorruptFrame

@@ -1,0 +1,278 @@
+package proto
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpn/internal/core"
+	"mpn/internal/geom"
+)
+
+// DialFunc dials one connection attempt for a ReconnectClient.
+type DialFunc func() (io.ReadWriteCloser, error)
+
+// ErrDisconnected is returned by ReconnectClient.Report while no live
+// connection exists (a reconnect is in progress). The caller's next
+// escape report, after the session resumes, carries the fresh location —
+// nothing needs to be queued.
+var ErrDisconnected = errors.New("proto: not connected")
+
+// Backoff configures ReconnectClient's retry schedule: the delay starts
+// at Min, multiplies by Factor per consecutive failure up to Max, and
+// each sleep is stretched by a random factor in [1, 1+Jitter] drawn from
+// a private source seeded with Seed — deterministic for a given seed, so
+// chaos schedules replay exactly.
+type Backoff struct {
+	Min    time.Duration
+	Max    time.Duration
+	Factor float64
+	Jitter float64
+	Seed   int64
+}
+
+// withDefaults resolves zero fields.
+func (b Backoff) withDefaults() Backoff {
+	if b.Min <= 0 {
+		b.Min = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 15 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Jitter < 0 {
+		b.Jitter = 0
+	}
+	return b
+}
+
+// ReconnectClient wraps the client state machine with automatic
+// reconnection: when the session dies — connection error, server
+// restart, heartbeat timeout, a kick by the slow-client policy — it
+// redials with exponential backoff plus jitter, re-registers, and
+// resumes through the server's existing full-snapshot path (a fresh
+// member always receives a full TNotify first, so the retained plan
+// self-repairs; no session state needs to survive on the server). To
+// callers, a restarted server is invisible beyond latency: Meeting,
+// Region and NeedsUpdate keep answering from the last notified plan
+// across the gap.
+type ReconnectClient struct {
+	dial      DialFunc
+	group     uint32
+	user      uint32
+	groupSize uint32
+	loc       LocFunc
+	onNotify  NotifyFunc
+	opts      []ClientOption
+	backoff   Backoff
+	rng       *rand.Rand
+
+	reconnects atomic.Uint64
+	connected  atomic.Bool
+
+	mu      sync.Mutex
+	conn    io.Closer // live connection, for Stop to interrupt a blocked read
+	cur     *Client   // live session, for Report forwarding
+	stopped bool
+	stop    chan struct{}
+	done    chan struct{}
+
+	// Retained plan, updated by every notification on any session.
+	pmu     sync.RWMutex
+	meeting geom.Point
+	region  core.SafeRegion
+	haveReg bool
+}
+
+// NewReconnectClient builds a reconnecting client. dial and loc must be
+// non-nil; onNotify may be nil. opts are applied to every underlying
+// Client (session defaults: delta and compact probes negotiated).
+// Call Start to begin.
+func NewReconnectClient(dial DialFunc, group, user, groupSize uint32, loc LocFunc, onNotify NotifyFunc, backoff Backoff, opts ...ClientOption) (*ReconnectClient, error) {
+	if dial == nil {
+		return nil, errors.New("proto: nil dial function")
+	}
+	if loc == nil {
+		return nil, errors.New("proto: nil location supplier")
+	}
+	b := backoff.withDefaults()
+	return &ReconnectClient{
+		dial: dial, group: group, user: user, groupSize: groupSize,
+		loc: loc, onNotify: onNotify, opts: opts, backoff: b,
+		rng:  rand.New(rand.NewSource(b.Seed)),
+		stop: make(chan struct{}), done: make(chan struct{}),
+	}, nil
+}
+
+// Start launches the session loop in its own goroutine. It runs until
+// Stop.
+func (rc *ReconnectClient) Start() {
+	go func() {
+		defer close(rc.done)
+		rc.run()
+	}()
+}
+
+// Stop ends the session loop: the live connection (if any) is closed and
+// Start's goroutine is joined. Safe to call more than once.
+func (rc *ReconnectClient) Stop() {
+	rc.mu.Lock()
+	already := rc.stopped
+	rc.stopped = true
+	conn := rc.conn
+	if !already {
+		close(rc.stop)
+	}
+	rc.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+	if !already {
+		<-rc.done
+	}
+}
+
+// Connected reports whether a registered session is currently live.
+func (rc *ReconnectClient) Connected() bool { return rc.connected.Load() }
+
+// Reconnects returns how many times the session died and the loop went
+// back to dialing (the initial connection does not count).
+func (rc *ReconnectClient) Reconnects() uint64 { return rc.reconnects.Load() }
+
+// Report sends the user's current location on the live session;
+// ErrDisconnected while reconnecting.
+func (rc *ReconnectClient) Report() error {
+	rc.mu.Lock()
+	cl := rc.cur
+	rc.mu.Unlock()
+	if cl == nil || !rc.connected.Load() {
+		return ErrDisconnected
+	}
+	return cl.Report()
+}
+
+// Meeting returns the last notified meeting point, surviving reconnects.
+func (rc *ReconnectClient) Meeting() geom.Point {
+	rc.pmu.RLock()
+	defer rc.pmu.RUnlock()
+	return rc.meeting
+}
+
+// Region returns the last notified safe region, surviving reconnects.
+func (rc *ReconnectClient) Region() core.SafeRegion {
+	rc.pmu.RLock()
+	defer rc.pmu.RUnlock()
+	return rc.region
+}
+
+// NeedsUpdate reports whether loc escapes the retained safe region
+// (false before the first notification, like Client.NeedsUpdate).
+func (rc *ReconnectClient) NeedsUpdate(loc geom.Point) bool {
+	rc.pmu.RLock()
+	defer rc.pmu.RUnlock()
+	if !rc.haveReg {
+		return false
+	}
+	return !rc.region.Contains(loc)
+}
+
+// retain records a notification into the cross-session plan and forwards
+// it to the caller's callback.
+func (rc *ReconnectClient) retain(meeting geom.Point, region core.SafeRegion) {
+	rc.pmu.Lock()
+	rc.meeting = meeting
+	rc.region = region
+	rc.haveReg = true
+	rc.pmu.Unlock()
+	if rc.onNotify != nil {
+		rc.onNotify(meeting, region)
+	}
+}
+
+// run is the session loop: dial, register, pump frames; on any session
+// death, back off and start over. The backoff resets after every
+// successful registration, so an isolated restart costs one Min-scale
+// delay while a hard-down server is approached at Max cadence.
+func (rc *ReconnectClient) run() {
+	delay := rc.backoff.Min
+	for attempt := 0; ; attempt++ {
+		if rc.isStopped() {
+			return
+		}
+		if attempt > 0 {
+			rc.reconnects.Add(1)
+			if !rc.sleep(delay) {
+				return
+			}
+			delay = rc.nextDelay(delay)
+		}
+		conn, err := rc.dial()
+		if err != nil {
+			continue
+		}
+		cl, err := NewClient(conn, rc.group, rc.user, rc.loc, rc.retain, rc.opts...)
+		if err != nil {
+			_ = conn.Close()
+			continue
+		}
+		rc.mu.Lock()
+		if rc.stopped {
+			rc.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		rc.conn = conn
+		rc.cur = cl
+		rc.mu.Unlock()
+		if err := cl.Register(rc.groupSize); err == nil {
+			rc.connected.Store(true)
+			delay = rc.backoff.Min
+			_ = cl.Run() // until the session dies (error) or closes (nil)
+			rc.connected.Store(false)
+		}
+		rc.mu.Lock()
+		rc.conn = nil
+		rc.cur = nil
+		rc.mu.Unlock()
+		_ = conn.Close()
+	}
+}
+
+func (rc *ReconnectClient) isStopped() bool {
+	select {
+	case <-rc.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// sleep waits d or until Stop; it reports whether the loop should keep
+// going.
+func (rc *ReconnectClient) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-rc.stop:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// nextDelay advances the exponential schedule and applies jitter.
+func (rc *ReconnectClient) nextDelay(d time.Duration) time.Duration {
+	d = time.Duration(float64(d) * rc.backoff.Factor)
+	if d > rc.backoff.Max {
+		d = rc.backoff.Max
+	}
+	if rc.backoff.Jitter > 0 {
+		d = time.Duration(float64(d) * (1 + rc.backoff.Jitter*rc.rng.Float64()))
+	}
+	return d
+}

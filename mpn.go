@@ -34,6 +34,19 @@ type Stats = core.Stats
 // ErrNoGroup is returned when operating on an empty user group.
 var ErrNoGroup = errors.New("mpn: empty user group")
 
+// ErrOverloaded is returned by Group.SubmitUpdate when the target
+// shard's run queue stayed full for the whole admission wait (see
+// WithAdmissionWait): the submission was shed, not queued. The group's
+// retained plan is untouched — members still hold valid safe regions —
+// so the natural recovery is to resubmit after backoff, or simply wait
+// for the next escape report. It aliases the engine's sentinel, so
+// errors.Is works across layers.
+var ErrOverloaded = engine.ErrOverloaded
+
+// ErrServerClosed is returned by group operations after Server.Close.
+// It aliases the engine's sentinel, so errors.Is works across layers.
+var ErrServerClosed = engine.ErrClosed
+
 // GroupID identifies a registered group within a Server's engine; it
 // appears in notifications so subscribers can route them.
 type GroupID = engine.GroupID
@@ -109,6 +122,7 @@ func NewServer(pois []Point, opts ...Option) (*Server, error) {
 	s.planWS = engine.PlannerCachedWSFunc(planner, circle, s.cache)
 	eopts := engine.Options{
 		Shards: cfg.shards, Workers: cfg.workers, QueueDepth: cfg.queueDepth,
+		AdmissionWait: cfg.admissionWait, CloseTimeout: cfg.closeTimeout,
 		TileAffinity: cfg.tileAffinity,
 	}
 	if cfg.incremental {
@@ -117,6 +131,15 @@ func NewServer(pois []Point, opts ...Option) (*Server, error) {
 	s.engine = engine.NewWS(s.planWS, eopts)
 	return s, nil
 }
+
+// ShardStats is a snapshot of one engine shard's admission counters:
+// queued recomputations, submissions shed by admission control, and
+// recomputations abandoned by the Close drain deadline.
+type ShardStats = engine.ShardStats
+
+// ShardStats reports every engine shard's admission counters — the
+// observability face of WithAdmissionWait and WithCloseTimeout.
+func (s *Server) ShardStats() []ShardStats { return s.engine.ShardStats() }
 
 // GNNCacheStats reports the shared neighborhood cache's counters and
 // occupancy; ok is false (and the snapshot zero) when the server was

@@ -3,6 +3,7 @@ package mpn
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"mpn/internal/core"
 	"mpn/internal/engine"
@@ -75,6 +76,11 @@ type config struct {
 	shards     int
 	workers    int
 	queueDepth int
+
+	// Failure-semantics bounds; zero selects the engine's defaults (1s
+	// admission wait, 5s close drain).
+	admissionWait time.Duration
+	closeTimeout  time.Duration
 }
 
 func defaultConfig() config {
@@ -264,6 +270,39 @@ func WithQueueDepth(depth int) Option {
 			return fmt.Errorf("mpn: queue depth %d must be positive", depth)
 		}
 		c.queueDepth = depth
+		return nil
+	}
+}
+
+// WithAdmissionWait bounds how long Group.SubmitUpdate may wait for
+// space when its shard's run queue is full: once the wait expires the
+// submission is shed with ErrOverloaded instead of queued, so a
+// saturated server degrades into bounded-latency rejections rather than
+// unbounded caller stalls (coalescing makes shedding safe — the group's
+// retained plan stays valid and the next accepted update carries the
+// latest locations). The default is 1 second; a negative wait sheds
+// immediately (fail-fast admission). Shed counts are visible in
+// Server.ShardStats.
+func WithAdmissionWait(d time.Duration) Option {
+	return func(c *config) error {
+		if d == 0 {
+			return nil // keep the engine default
+		}
+		c.admissionWait = d
+		return nil
+	}
+}
+
+// WithCloseTimeout bounds how long Server.Close drains queued
+// recomputations before abandoning them (abandoned counts are visible
+// in Server.ShardStats). The default is 5 seconds; a negative timeout
+// waits unboundedly.
+func WithCloseTimeout(d time.Duration) Option {
+	return func(c *config) error {
+		if d == 0 {
+			return nil // keep the engine default
+		}
+		c.closeTimeout = d
 		return nil
 	}
 }
