@@ -4,11 +4,12 @@
 // regresses beyond tolerance — more than -tol relative ns/op increase
 // (default 0.25), or any allocs/op increase at all (allocation counts
 // are deterministic, so even +1 is a real regression; the churn_*
-// series alone get a slack of 2, see allocSlack). It also enforces two
+// series alone get a slack of 2, see allocSlack). It also enforces three
 // machine-independent floors on the current report: the delta
-// notification protocol's wire-byte reduction (enforceDeltaReduction)
-// and the shared cache's hit rate under localized POI churn
-// (enforceChurnHitRate).
+// notification protocol's wire-byte reduction (enforceDeltaReduction),
+// the shared cache's hit rate under localized POI churn
+// (enforceChurnHitRate), and the road-network backend's speedup over the
+// per-member full-SSSP oracle (enforceNetSpeedup).
 //
 // The baseline is typically produced on a different machine than the
 // gate run (a developer box vs a CI runner), so raw ns/op ratios mostly
@@ -176,6 +177,7 @@ func main() {
 	}
 	failures += enforceDeltaReduction(current)
 	failures += enforceChurnHitRate(current)
+	failures += enforceNetSpeedup(current)
 	if failures > 0 {
 		fmt.Printf("\nbenchgate: %d regression(s) beyond tolerance\n", failures)
 		os.Exit(1)
@@ -271,6 +273,43 @@ func enforceChurnHitRate(current map[key]benchfmt.Series) int {
 		}
 		fmt.Printf("churn cache hit rate m=%d: %.1f%% (%d hit / %d miss / %d rejected)%s\n",
 			s.GroupSize, 100*rate, s.CacheHits, s.CacheMisses, s.CacheRejected, status)
+	}
+	return failures
+}
+
+// minNetSpeedup is the enforced win of the ALT landmark-pruned network
+// backend over the per-member full-SSSP oracle at the default network
+// size. Both series run in the same process on the same machine, so the
+// ratio is machine-independent; losing it means the landmark pruning (or
+// the truncated resumable search behind it) stopped cutting work.
+const (
+	minNetSpeedup  = 5.0
+	netPlanSeries  = "net_plan"
+	netNaiveSeries = "net_plan_naive"
+)
+
+// enforceNetSpeedup checks the current report's net_plan series against
+// the naive-oracle floor. Returns the number of failures.
+func enforceNetSpeedup(current map[key]benchfmt.Series) int {
+	failures := 0
+	for _, s := range sortedSeries(current) {
+		if s.Name != netPlanSeries {
+			continue
+		}
+		naive, ok := current[key{netNaiveSeries, s.GroupSize}]
+		if !ok || s.NsPerOp <= 0 {
+			fmt.Printf("net plan speedup m=%d: naive baseline missing  FAIL\n", s.GroupSize)
+			failures++
+			continue
+		}
+		ratio := naive.NsPerOp / s.NsPerOp
+		status := ""
+		if ratio < minNetSpeedup {
+			status = fmt.Sprintf("  FAIL speedup %.1fx < %.0fx", ratio, minNetSpeedup)
+			failures++
+		}
+		fmt.Printf("net plan speedup m=%d: %.0f ns/op → %.0f ns/op (%.1fx)%s\n",
+			s.GroupSize, naive.NsPerOp, s.NsPerOp, ratio, status)
 	}
 	return failures
 }

@@ -19,7 +19,9 @@ import (
 	"mpn/internal/engine"
 	"mpn/internal/geom"
 	"mpn/internal/nbrcache"
+	"mpn/internal/netmpn"
 	"mpn/internal/proto"
+	"mpn/internal/roadnet"
 	"mpn/internal/stats"
 	"mpn/internal/workload"
 )
@@ -225,7 +227,7 @@ func collectPlanReport(log io.Writer) (benchfmt.Report, error) {
 				for j, u := range users {
 					locs[j] = geom.Pt(u.X+jitter, u.Y-jitter)
 				}
-				if _, err := planner.TileMSRInto(ws, locs, dirs); err != nil {
+				if _, _, err := planner.Plan(ws, core.PlanRequest{Kind: core.KindTiles, Users: locs, Dirs: dirs}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -335,7 +337,144 @@ func collectPlanReport(log io.Writer) (benchfmt.Report, error) {
 		return benchfmt.Report{}, err
 	}
 	runChurnBench(&report, pois, opts, log)
+	if err := runNetBench(&report, log); err != nil {
+		return benchfmt.Report{}, err
+	}
 	return report, nil
+}
+
+// runNetBench appends the road-network backend series at the default
+// network size: net_plan_naive (the per-member full-SSSP oracle the
+// paper's network variant starts from), net_plan (the production ALT
+// landmark-pruned backend through the core dispatch — byte-identical
+// plans, see internal/netmpn's differential fences), net_update_inc (the
+// incremental kept/partial protocol over a small-drift location stream),
+// and net_plan_cached (the nearest-node neighborhood cache under
+// clustered groups). CI gates net_plan_naive/net_plan at ≥5× (see
+// cmd/benchgate).
+func runNetBench(report *benchfmt.Report, log io.Writer) error {
+	const (
+		netM        = 3
+		netPOIEvery = 9
+	)
+	netw, err := roadnet.Generate(roadnet.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	var poiNodes []int
+	for i := 0; i < netw.NumNodes(); i += netPOIEvery {
+		poiNodes = append(poiNodes, i)
+	}
+	pois := make([]geom.Point, len(poiNodes))
+	for i, n := range poiNodes {
+		pois[i] = netw.Nodes[n].P
+	}
+	newNetPlanner := func(cacheEntries int) (*core.Planner, *netmpn.Backend, error) {
+		planner, err := core.NewPlanner(pois, core.DefaultOptions())
+		if err != nil {
+			return nil, nil, err
+		}
+		backend, err := netmpn.NewBackend(netw, poiNodes, netmpn.BackendConfig{
+			Aggregate: netmpn.Max, CacheEntries: cacheEntries, CacheK: 8,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		planner.RegisterNetBackend(backend)
+		return planner, backend, nil
+	}
+	planner, backend, err := newNetPlanner(0)
+	if err != nil {
+		return err
+	}
+	users, _ := jsonBenchGroup(netM)
+
+	// Naive oracle: one full SSSP per member per plan (snapping included,
+	// as the backend path snaps too).
+	naive := testing.Benchmark(func(b *testing.B) {
+		srv := backend.Server()
+		locs := make([]netmpn.Position, netM)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			jitter := 1e-5 * float64(i%7)
+			for j, u := range users {
+				locs[j] = backend.Snap(geom.Pt(u.X+jitter, u.Y-jitter))
+			}
+			if _, _, err := srv.Plan(locs, netmpn.Max); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	sNaive := toSeries("net_plan_naive", netM, naive)
+	report.Series = append(report.Series, sNaive)
+	fmt.Fprintf(log, "  %-18s m=%d  %10.0f ns/op %8.0f plans/s %4d allocs/op\n",
+		"net_plan_naive", netM, sNaive.NsPerOp, sNaive.OpsPerSec, sNaive.AllocsPerOp)
+
+	planBench := func(pl *core.Planner) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			ws := core.NewWorkspace()
+			locs := make([]geom.Point, netM)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				jitter := 1e-5 * float64(i%7)
+				for j, u := range users {
+					locs[j] = geom.Pt(u.X+jitter, u.Y-jitter)
+				}
+				if _, _, err := pl.Plan(ws, core.PlanRequest{Kind: core.KindNetRange, Users: locs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	sPlan := toSeries("net_plan", netM, planBench(planner))
+	report.Series = append(report.Series, sPlan)
+	speedup := 0.0
+	if sPlan.NsPerOp > 0 {
+		speedup = sNaive.NsPerOp / sPlan.NsPerOp
+	}
+	fmt.Fprintf(log, "  %-18s m=%d  %10.0f ns/op %8.0f plans/s %4d allocs/op (%.1fx vs naive)\n",
+		"net_plan", netM, sPlan.NsPerOp, sPlan.OpsPerSec, sPlan.AllocsPerOp, speedup)
+
+	inc := testing.Benchmark(func(b *testing.B) {
+		ws := core.NewWorkspace()
+		var st core.PlanState
+		locs := make([]geom.Point, netM)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Locations advance every 4th report: the coalesced-burst
+			// regime (identical repeats) the kept path accelerates.
+			jitter := 1e-5 * float64((i/4)%7)
+			for j, u := range users {
+				locs[j] = geom.Pt(u.X+jitter, u.Y-jitter)
+			}
+			if _, _, err := planner.Plan(ws, core.PlanRequest{Kind: core.KindNetRange, Users: locs, State: &st}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	sInc := toSeries("net_update_inc", netM, inc)
+	report.Series = append(report.Series, sInc)
+	fmt.Fprintf(log, "  %-18s m=%d  %10.0f ns/op %8.0f upd/s %4d allocs/op\n",
+		"net_update_inc", netM, sInc.NsPerOp, sInc.OpsPerSec, sInc.AllocsPerOp)
+
+	cachedPlanner, cachedBackend, err := newNetPlanner(256)
+	if err != nil {
+		return err
+	}
+	hits0, misses0, rejected0 := cachedBackend.CacheStats()
+	sCached := toSeries("net_plan_cached", netM, planBench(cachedPlanner))
+	hits, misses, rejected := cachedBackend.CacheStats()
+	sCached.CacheHits = hits - hits0
+	sCached.CacheMisses = misses - misses0
+	sCached.CacheRejected = rejected - rejected0
+	report.Series = append(report.Series, sCached)
+	extra := ""
+	if total := sCached.CacheHits + sCached.CacheMisses + sCached.CacheRejected; total > 0 {
+		extra = fmt.Sprintf(" (cache %.1f%% hit)", 100*float64(sCached.CacheHits)/float64(total))
+	}
+	fmt.Fprintf(log, "  %-18s m=%d  %10.0f ns/op %8.0f plans/s %4d allocs/op%s\n",
+		"net_plan_cached", netM, sCached.NsPerOp, sCached.OpsPerSec, sCached.AllocsPerOp, extra)
+	return nil
 }
 
 // runNotifyBench appends the notification wire series: what one
@@ -614,11 +753,7 @@ func runChurnBench(report *benchfmt.Report, pois []geom.Point, opts core.Options
 				for j, u := range users {
 					locs[j] = geom.Pt(u.X+jitter, u.Y-jitter)
 				}
-				if cache != nil {
-					_, err = planner.TileMSRCachedInto(ws, cache, locs, dirs)
-				} else {
-					_, err = planner.TileMSRInto(ws, locs, dirs)
-				}
+				_, _, err = planner.Plan(ws, core.PlanRequest{Kind: core.KindTiles, Users: locs, Dirs: dirs, Cache: cache})
 				if err != nil {
 					b.Fatal(err)
 				}

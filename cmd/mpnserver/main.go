@@ -21,13 +21,17 @@
 //
 // Usage:
 //
-//	mpnserver [-listen :7464] [-method circle|tile|tiled] [-agg max|sum]
+//	mpnserver [-listen :7464] [-method circle|tile|tiled|net] [-agg max|sum]
 //	          [-n 21287] [-alpha 30] [-buffer 100] [-seed 42] [-pois FILE.csv]
 //	          [-shards N] [-workers N] [-queue N] [-incremental] [-gnncache N]
-//	          [-delta=true] [-affinity]
+//	          [-delta=true] [-affinity] [-network] [-poi-every 9]
 //
 // POIs are generated synthetically unless -pois points to a CSV of "x,y"
-// lines (as produced by cmd/poigen).
+// lines (as produced by cmd/poigen). With -network (or -method net) the
+// server plans under shortest-path distance on a synthetic road network:
+// POIs sit on every k-th network node (-poi-every), safe regions are
+// covered road segments shipped with the 'N' wire tag, and -pois/-n are
+// ignored.
 package main
 
 import (
@@ -49,7 +53,9 @@ import (
 	"mpn/internal/geom"
 	"mpn/internal/gnn"
 	"mpn/internal/nbrcache"
+	"mpn/internal/netmpn"
 	"mpn/internal/proto"
+	"mpn/internal/roadnet"
 	"mpn/internal/workload"
 )
 
@@ -58,7 +64,9 @@ func main() {
 	log.SetPrefix("mpnserver: ")
 
 	listen := flag.String("listen", ":7464", "TCP listen address")
-	method := flag.String("method", "tiled", "safe-region method: circle, tile, or tiled")
+	method := flag.String("method", "tiled", "safe-region method: circle, tile, tiled, or net")
+	network := flag.Bool("network", false, "plan under shortest-path distance on a synthetic road network (same as -method net); POIs live on network nodes and safe regions are covered road segments")
+	poiEvery := flag.Int("poi-every", 9, "with -network, place a POI on every k-th network node")
 	agg := flag.String("agg", "max", "objective: max or sum")
 	n := flag.Int("n", workload.DefaultPOICount, "synthetic POI count (ignored with -pois)")
 	alpha := flag.Int("alpha", 30, "tile limit α")
@@ -79,12 +87,15 @@ func main() {
 	closeTimeout := flag.Duration("close-timeout", 0, "how long shutdown drains queued recomputations before abandoning them (0 = engine default, negative = unbounded)")
 	flag.Parse()
 
+	if *network {
+		*method = "net"
+	}
 	pois, err := loadPOIs(*poiPath, *n, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
 	srv, err := newServer(serverConfig{
-		pois: pois, method: *method, agg: *agg,
+		pois: pois, method: *method, agg: *agg, netPOIEvery: *poiEvery,
 		alpha: *alpha, buffer: *buffer,
 		shards: *shards, workers: *workers, queue: *queue,
 		incremental: *incremental,
@@ -126,6 +137,7 @@ func main() {
 type serverConfig struct {
 	pois                   []geom.Point
 	method, agg            string
+	netPOIEvery            int // "net" method: POI on every k-th network node (0 = 9)
 	alpha, buffer          int
 	shards, workers, queue int
 	incremental            bool
@@ -178,6 +190,37 @@ func newServer(cfg serverConfig) (*server, error) {
 	default:
 		return nil, fmt.Errorf("unknown aggregate %q", cfg.agg)
 	}
+	var backend *netmpn.Backend
+	if cfg.method == "net" {
+		netw, err := roadnet.Generate(roadnet.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		every := cfg.netPOIEvery
+		if every <= 0 {
+			every = 9
+		}
+		var poiNodes []int
+		for i := 0; i < netw.NumNodes(); i += every {
+			poiNodes = append(poiNodes, i)
+		}
+		// The planner indexes the POI nodes' embedded coordinates; network
+		// planning itself runs against the backend's shortest-path state.
+		cfg.pois = make([]geom.Point, len(poiNodes))
+		for i, node := range poiNodes {
+			cfg.pois[i] = netw.Nodes[node].P
+		}
+		bagg := netmpn.Max
+		if opts.Aggregate == gnn.Sum {
+			bagg = netmpn.Sum
+		}
+		backend, err = netmpn.NewBackend(netw, poiNodes, netmpn.BackendConfig{
+			Aggregate: bagg, CacheEntries: 256,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	planner, err := core.NewPlanner(cfg.pois, opts)
 	if err != nil {
 		return nil, err
@@ -186,7 +229,13 @@ func newServer(cfg serverConfig) (*server, error) {
 	if cfg.cacheBytes > 0 {
 		cache = nbrcache.New(nbrcache.Config{MaxBytes: cfg.cacheBytes})
 	}
-	plan := engine.PlannerCachedWSFunc(planner, cfg.method == "circle", cache)
+	var plan engine.PlanWSFunc
+	if backend != nil {
+		planner.RegisterNetBackend(backend)
+		plan = engine.PlannerKindWSFunc(planner, core.KindNetRange, nil)
+	} else {
+		plan = engine.PlannerCachedWSFunc(planner, cfg.method == "circle", cache)
+	}
 	if cfg.logger == nil {
 		cfg.logger = log.New(os.Stderr, "", 0)
 	}
@@ -195,7 +244,11 @@ func newServer(cfg serverConfig) (*server, error) {
 		AdmissionWait: cfg.admissionWait, CloseTimeout: cfg.closeTimeout,
 	}
 	if cfg.incremental {
-		eopts.Replan = engine.PlannerIncCachedFunc(planner, cfg.method == "circle", cache)
+		if backend != nil {
+			eopts.Replan = engine.PlannerKindIncFunc(planner, core.KindNetRange, nil)
+		} else {
+			eopts.Replan = engine.PlannerIncCachedFunc(planner, cfg.method == "circle", cache)
+		}
 	}
 	if cfg.affinity {
 		eopts.TileAffinity = engine.DefaultTileAffinity

@@ -65,12 +65,13 @@ func main() {
 		dirs[i] = core.Direction{Angle: rng.Float64() * 2 * math.Pi, Theta: math.Pi / 3}
 	}
 
-	var plan core.Plan
+	kind := core.KindTiles
 	if *method == "circle" {
-		plan, err = planner.CircleMSR(users)
-	} else {
-		plan, err = planner.TileMSR(users, dirs)
+		kind = core.KindCircle
 	}
+	ws := core.GetWorkspace()
+	plan, _, err := planner.Plan(ws, core.PlanRequest{Kind: kind, Users: users, Dirs: dirs})
+	core.PutWorkspace(ws)
 	if err != nil {
 		log.Fatal(err)
 	}

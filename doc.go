@@ -84,6 +84,56 @@
 // cmd/benchgate enforces in CI (a series failing by more than 25% ns/op,
 // or allocating more, fails the build).
 //
+// All planning flows through one entry point, core.Planner.Plan, which
+// takes a PlanRequest naming the region kind (tiles, circles, or network
+// ranges), the optional shared cache, and the optional PlanState for
+// incremental maintenance; the older TileMSR*/CircleMSR* methods remain
+// as deprecated thin wrappers over Plan and CI rejects new in-repo call
+// sites of them.
+//
+// # Road-network backend
+//
+// WithRoadNetwork(net, poiNodes) switches a server from Euclidean
+// planning to the paper's network variant: distances are shortest-path
+// distances over a road graph, POIs sit on graph nodes, and each user's
+// safe region is a network range — the set of road segments within a
+// safe radius of her snapped position (network distance is a metric, so
+// the paper's Theorem 1 radii carry over unchanged). The backend
+// (internal/netmpn over internal/roadnet) is a production peer of the
+// Euclidean one, reachable through the same Server/engine/wire stack
+// and the same Planner.Plan entry point (core.KindNetRange):
+//
+//   - ALT landmarks: NewServer precomputes shortest-path trees from a
+//     few far-apart landmark nodes (WithNetLandmarks); per-query work
+//     examines POI candidates in ascending landmark-lower-bound order
+//     and terminates early, with one resumable truncated Dijkstra per
+//     member instead of per (member, POI) pair. Selection replays the
+//     naive oracle's comparison order over the examined subset, so
+//     plans are byte-identical to per-query Dijkstra over all POIs —
+//     the differential fence asserts it. A uniform edge grid makes
+//     position snapping sublinear, again bit-identical to the
+//     exhaustive scan.
+//   - Workspace and epochs: network planning draws its heaps, distance
+//     maps, and candidate buffers from the same core.Workspace scratch
+//     as the Euclidean planners and stamps per-member region epochs
+//     into core.PlanState, so zero-allocation steady state, kept/partial
+//     incremental outcomes, and the delta wire protocol all work
+//     unchanged. Cleanliness is judged at the member's snapped network
+//     position, so an off-road GPS report a snap away from a covered
+//     segment does not spuriously dirty her.
+//   - Network neighborhood cache: WithNetCache keys recent top-k results
+//     by nearest node; a hit is certified by landmark lower bounds (the
+//     nbrcache triangle trick, transferred to network distance) and
+//     falls back to a real search when certification fails, so cached
+//     plans stay byte-identical to uncached ones.
+//
+// Network regions encode with a dedicated 'N'-tagged wire codec
+// (segments plus a center/radius summary) understood by EncodeRegion /
+// DecodeRegion and the coordinator. cmd/mpnserver -network serves the
+// network backend over TCP; the net_* series in BENCH_plan.json track
+// the ALT planner against the naive oracle (benchgate enforces ≥5×),
+// the incremental path, and the cache.
+//
 // # Incremental vs full replanning
 //
 // By default every report recomputes the whole plan: a fresh result set

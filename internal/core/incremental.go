@@ -147,6 +147,14 @@ func regionEqual(a, b SafeRegion) bool {
 	if a.Kind == KindCircle {
 		return a.Circle == b.Circle
 	}
+	if a.Kind == KindNetRange {
+		// Kept network regions alias the retained payload, so the pointer
+		// fast path covers the steady state.
+		if a.Net == b.Net {
+			return true
+		}
+		return a.Net != nil && b.Net != nil && a.Net.EqualRegion(b.Net)
+	}
 	if len(a.Tiles) != len(b.Tiles) {
 		return false
 	}
@@ -210,8 +218,10 @@ func regionEqual(a, b SafeRegion) bool {
 // The returned plan is exported by copy except on IncKept, where
 // Plan.Regions aliases the retained (immutable, previously exported)
 // regions.
+//
+// Deprecated: use Plan with a KindTiles PlanRequest carrying the state.
 func (pl *Planner) TileMSRIncInto(ws *Workspace, st *PlanState, users []geom.Point, dirs []Direction) (Plan, IncOutcome, error) {
-	return pl.tileMSRInc(ws, nil, st, users, dirs)
+	return pl.Plan(ws, PlanRequest{Kind: KindTiles, Users: users, Dirs: dirs, State: st})
 }
 
 // TileMSRIncCachedInto is TileMSRIncInto with every top-k retrieval —
@@ -219,8 +229,11 @@ func (pl *Planner) TileMSRIncInto(ws *Workspace, st *PlanState, users []geom.Poi
 // routed through the shared neighborhood cache. Outcomes and plans are
 // byte-identical to TileMSRIncInto's. A nil cache degrades to
 // TileMSRIncInto.
+//
+// Deprecated: use Plan with a KindTiles PlanRequest carrying the state
+// and cache.
 func (pl *Planner) TileMSRIncCachedInto(ws *Workspace, cache *nbrcache.Cache, st *PlanState, users []geom.Point, dirs []Direction) (Plan, IncOutcome, error) {
-	return pl.tileMSRInc(ws, cache, st, users, dirs)
+	return pl.Plan(ws, PlanRequest{Kind: KindTiles, Users: users, Dirs: dirs, Cache: cache, State: st})
 }
 
 func (pl *Planner) tileMSRInc(ws *Workspace, cache *nbrcache.Cache, st *PlanState, users []geom.Point, dirs []Direction) (Plan, IncOutcome, error) {
@@ -450,16 +463,21 @@ func (pl *Planner) regrowPredictedSlower(retained []SafeRegion, dirty []bool, m 
 // member's retained circle contributes its radius plus her drift from
 // the center. When the condition fails the call falls back to a full
 // replan, handing everyone fresh circles.
+//
+// Deprecated: use Plan with a KindCircle PlanRequest carrying the state.
 func (pl *Planner) CircleMSRIncInto(ws *Workspace, st *PlanState, users []geom.Point) (Plan, IncOutcome, error) {
-	return pl.circleMSRInc(ws, nil, st, users)
+	return pl.Plan(ws, PlanRequest{Kind: KindCircle, Users: users, State: st})
 }
 
 // CircleMSRIncCachedInto is CircleMSRIncInto with the top-2 retrieval
 // routed through the shared neighborhood cache; outcomes and plans are
 // byte-identical to CircleMSRIncInto's. A nil cache degrades to
 // CircleMSRIncInto.
+//
+// Deprecated: use Plan with a KindCircle PlanRequest carrying the state
+// and cache.
 func (pl *Planner) CircleMSRIncCachedInto(ws *Workspace, cache *nbrcache.Cache, st *PlanState, users []geom.Point) (Plan, IncOutcome, error) {
-	return pl.circleMSRInc(ws, cache, st, users)
+	return pl.Plan(ws, PlanRequest{Kind: KindCircle, Users: users, Cache: cache, State: st})
 }
 
 func (pl *Planner) circleMSRInc(ws *Workspace, cache *nbrcache.Cache, st *PlanState, users []geom.Point) (Plan, IncOutcome, error) {
@@ -541,6 +559,17 @@ func (pl *Planner) circleMSRInc(ws *Workspace, cache *nbrcache.Cache, st *PlanSt
 // was recorded (st.version != version) — the retained regions were
 // verified against a candidate set the mutation may have changed, so
 // their tiles carry no guarantee under the fresh snapshot.
+// Usable is the exported form of the retained-state gate for planning
+// backends outside core (see NetBackend): implementations run the same
+// check the built-in incremental planners do before trusting st.
+func (st *PlanState) Usable(version uint64, users []geom.Point, kind RegionKind) bool {
+	return st.usable(version, users, kind)
+}
+
+// BestID returns the retained result-set identity (the POI id Record
+// saved from Plan.Best); meaningless unless Valid.
+func (st *PlanState) BestID() int { return st.bestID }
+
 func (st *PlanState) usable(version uint64, users []geom.Point, kind RegionKind) bool {
 	if !st.valid || st.version != version || len(st.regions) != len(users) {
 		return false

@@ -173,6 +173,11 @@ type Plan struct {
 type Planner struct {
 	opts Options
 
+	// netBackend answers KindNetRange requests (see RegisterNetBackend);
+	// nil on Euclidean-only planners. Set once at server construction,
+	// before concurrent planning begins.
+	netBackend NetBackend
+
 	// snap is the published snapshot all readers pin (see Acquire).
 	snap atomic.Pointer[Snapshot]
 

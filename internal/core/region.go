@@ -26,8 +26,9 @@ import (
 	"mpn/internal/geom"
 )
 
-// RegionKind discriminates the two safe-region representations studied in
-// the paper.
+// RegionKind discriminates the safe-region representations: the two
+// Euclidean shapes studied in the paper's main body, and the road-network
+// range region of its Section 8 extension.
 type RegionKind int
 
 const (
@@ -36,24 +37,60 @@ const (
 	// KindTiles is a tile-based safe region: a union of axis-aligned
 	// squares (Section 5).
 	KindTiles
+	// KindNetRange is a road-network range region: the set of road-segment
+	// intervals within a network radius of the user (Section 8). The
+	// payload is opaque to core — a NetworkRegion produced by the
+	// registered network backend.
+	KindNetRange
 )
 
 // String implements fmt.Stringer.
 func (k RegionKind) String() string {
-	if k == KindCircle {
+	switch k {
+	case KindCircle:
 		return "circle"
+	case KindNetRange:
+		return "netrange"
+	default:
+		return "tiles"
 	}
-	return "tiles"
 }
 
-// SafeRegion is one user's safe region. Exactly one of Circle/Tiles is
-// meaningful depending on Kind. Tile regions may mix tile sizes: the
+// NetworkRegion is the opaque payload of a KindNetRange safe region,
+// implemented by the road-network backend (internal/netmpn). core needs
+// only the operations the engine and wire layers perform on any region:
+// the escape test, a content-equality test for the epoch protocol, and
+// the wire encoding. Implementations must be immutable once published in
+// a Plan.
+type NetworkRegion interface {
+	// ContainsPoint reports whether the planar point p — snapped onto the
+	// backend's road network — lies inside the region.
+	ContainsPoint(p geom.Point) bool
+	// EqualRegion reports content equality with another payload (same
+	// center, radius, and covered intervals). Used by PlanState's epoch
+	// bumping; pointer-identical payloads are equal without being asked.
+	EqualRegion(other NetworkRegion) bool
+	// AppendEncode appends the region's wire encoding (without any outer
+	// kind tag) to buf and returns it.
+	AppendEncode(buf []byte) []byte
+	// WireSize returns the encoding's length in bytes.
+	WireSize() int
+}
+
+// SafeRegion is one user's safe region. Exactly one of Circle/Tiles/Net
+// is meaningful depending on Kind. Tile regions may mix tile sizes: the
 // divide-and-conquer verification inserts quarter tiles down to the
 // configured split level.
 type SafeRegion struct {
 	Kind   RegionKind
 	Circle geom.Circle
 	Tiles  []geom.Rect
+	Net    NetworkRegion
+}
+
+// NetRegion constructs a road-network safe region over a backend payload.
+func NetRegion(n NetworkRegion) SafeRegion {
+	return SafeRegion{Kind: KindNetRange, Net: n}
 }
 
 // CircleRegion constructs a circular safe region.
@@ -72,6 +109,9 @@ func (r SafeRegion) Contains(p geom.Point) bool {
 	if r.Kind == KindCircle {
 		return r.Circle.Contains(p)
 	}
+	if r.Kind == KindNetRange {
+		return r.Net != nil && r.Net.ContainsPoint(p)
+	}
 	for _, t := range r.Tiles {
 		if t.Contains(p) {
 			return true
@@ -84,6 +124,11 @@ func (r SafeRegion) Contains(p geom.Point) bool {
 func (r SafeRegion) MinDist(p geom.Point) float64 {
 	if r.Kind == KindCircle {
 		return r.Circle.MinDist(p)
+	}
+	if r.Kind == KindNetRange {
+		// Network regions carry no planar geometry; 0 is the conservative
+		// lower bound for every caller of MinDist.
+		return 0
 	}
 	d := math.Inf(1)
 	for _, t := range r.Tiles {
@@ -101,6 +146,11 @@ func (r SafeRegion) MinDist(p geom.Point) float64 {
 func (r SafeRegion) MaxDist(p geom.Point) float64 {
 	if r.Kind == KindCircle {
 		return r.Circle.MaxDist(p)
+	}
+	if r.Kind == KindNetRange {
+		// Conservative upper bound; the network backend reasons about its
+		// own regions in network distance and never consults this.
+		return math.Inf(1)
 	}
 	d := 0.0
 	for _, t := range r.Tiles {
@@ -122,13 +172,16 @@ func (r SafeRegion) MaxExtent(u geom.Point) float64 {
 // region with zero tiles is empty; circles are never empty (a zero-radius
 // circle still contains its center).
 func (r SafeRegion) IsEmpty() bool {
+	if r.Kind == KindNetRange {
+		return r.Net == nil
+	}
 	return r.Kind == KindTiles && len(r.Tiles) == 0
 }
 
 // NumTiles returns the tile count (0 for circles). Exposed for the α-limit
 // accounting and the experiment reports.
 func (r SafeRegion) NumTiles() int {
-	if r.Kind == KindCircle {
+	if r.Kind != KindTiles {
 		return 0
 	}
 	return len(r.Tiles)
@@ -139,7 +192,7 @@ func (r SafeRegion) BoundingRect() geom.Rect {
 	if r.Kind == KindCircle {
 		return r.Circle.BoundingRect()
 	}
-	if len(r.Tiles) == 0 {
+	if r.Kind == KindNetRange || len(r.Tiles) == 0 {
 		return geom.Rect{}
 	}
 	b := r.Tiles[0]
@@ -151,8 +204,12 @@ func (r SafeRegion) BoundingRect() geom.Rect {
 
 // String implements fmt.Stringer.
 func (r SafeRegion) String() string {
-	if r.Kind == KindCircle {
+	switch r.Kind {
+	case KindCircle:
 		return r.Circle.String()
+	case KindNetRange:
+		return "netrange"
+	default:
+		return fmt.Sprintf("tiles(%d)", len(r.Tiles))
 	}
-	return fmt.Sprintf("tiles(%d)", len(r.Tiles))
 }

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+
+	"mpn/internal/geom"
+	"mpn/internal/nbrcache"
+)
+
+// ErrNoNetBackend is returned by Plan for a KindNetRange request on a
+// planner with no registered network backend.
+var ErrNoNetBackend = errors.New("core: no network backend registered")
+
+// PlanRequest describes one safe-region computation to Plan: the region
+// kind (which selects the planning backend), the group's locations and
+// optional headings, the optional shared neighborhood cache, and the
+// optional retained incremental state.
+//
+// PlanRequest replaces the {Tile,Circle}×{Inc}×{Cached}×{Into} method
+// matrix that core grew one entry point at a time: every combination is
+// one field away, and a new backend (the road-network planner) registers
+// once instead of doubling the matrix again.
+type PlanRequest struct {
+	// Kind selects the safe-region representation — and with it the
+	// planning backend: KindTiles and KindCircle run the Euclidean
+	// planners over the POI R-tree; KindNetRange dispatches to the
+	// registered network backend (see Planner.RegisterNetBackend).
+	Kind RegionKind
+
+	// Users holds the group members' current locations.
+	Users []geom.Point
+
+	// Dirs optionally holds per-member travel headings for the directed
+	// tile ordering. Ignored unless Kind is KindTiles with
+	// Options.Directed; may be nil or mismatched in length (both fall
+	// back to undirected defaults, as the matrix entry points did).
+	Dirs []Direction
+
+	// Cache optionally routes top-k retrievals through the shared
+	// neighborhood cache. Plans are byte-identical with or without it.
+	Cache *nbrcache.Cache
+
+	// State optionally carries the group's retained plan for incremental
+	// maintenance: non-nil selects the incremental path (kept/partial
+	// outcomes possible), nil recomputes from scratch. The state is
+	// mutated (recorded or invalidated) exactly as the *Inc* entry points
+	// did.
+	State *PlanState
+}
+
+// Plan is the single planning entry point: every safe-region computation
+// — any region kind, cached or not, incremental or from scratch — is one
+// call with the parameters carried in req. The deprecated TileMSR*/
+// CircleMSR* methods are thin wrappers over it.
+//
+// The returned IncOutcome is meaningful when req.State is non-nil;
+// from-scratch computations always report IncFull. Plans are exported by
+// copy (never aliasing ws) except on IncKept, where regions alias the
+// retained previously-exported plan.
+func (pl *Planner) Plan(ws *Workspace, req PlanRequest) (Plan, IncOutcome, error) {
+	switch req.Kind {
+	case KindCircle:
+		if req.State != nil {
+			return pl.circleMSRInc(ws, req.Cache, req.State, req.Users)
+		}
+		p, err := pl.circleMSR(ws, req.Cache, req.Users)
+		return p, IncFull, err
+	case KindNetRange:
+		b := pl.netBackend
+		if b == nil {
+			return Plan{}, IncFull, ErrNoNetBackend
+		}
+		return b.PlanNet(ws, req)
+	default: // KindTiles
+		if req.State != nil {
+			return pl.tileMSRInc(ws, req.Cache, req.State, req.Users, req.Dirs)
+		}
+		p, err := pl.tileMSR(ws, req.Cache, req.Users, req.Dirs)
+		return p, IncFull, err
+	}
+}
+
+// NetBackend is a road-network planning backend: an implementation that
+// answers KindNetRange requests with network meeting points and
+// KindNetRange safe regions, honoring the same contract as the Euclidean
+// paths (exported plans, PlanState protocol, IncOutcome semantics,
+// byte-identical cached retrieval). Implementations must be safe for
+// concurrent use with distinct workspaces and states.
+type NetBackend interface {
+	PlanNet(ws *Workspace, req PlanRequest) (Plan, IncOutcome, error)
+}
+
+// RegisterNetBackend installs the network backend Plan dispatches
+// KindNetRange requests to. Call once, before planning begins; a nil
+// backend unregisters.
+func (pl *Planner) RegisterNetBackend(b NetBackend) { pl.netBackend = b }
+
+// NetBackend returns the registered network backend (nil if none).
+func (pl *Planner) NetBackend() NetBackend { return pl.netBackend }

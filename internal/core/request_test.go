@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mpn/internal/geom"
+	"mpn/internal/nbrcache"
+)
+
+// The deprecated TileMSR*/CircleMSR* entry points are thin wrappers over
+// Planner.Plan; these fences pin that delegation byte-for-byte, so the
+// wrappers can never drift from the one real planning path.
+
+func plansEqual(a, b Plan) bool {
+	if a.Best.Item.ID != b.Best.Item.ID ||
+		a.Best.Item.P != b.Best.Item.P ||
+		math.Float64bits(a.Best.Dist) != math.Float64bits(b.Best.Dist) {
+		return false
+	}
+	return reflect.DeepEqual(a.Regions, b.Regions)
+}
+
+func TestWrappersDelegateToPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pts := randomPoints(3000, rng)
+	opts := DefaultOptions()
+	opts.Directed = true
+	pl := mustPlanner(t, pts, opts)
+	ws := NewWorkspace()
+
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + rng.Intn(4)
+		users := make([]geom.Point, m)
+		dirs := make([]Direction, m)
+		c := geom.Pt(0.2+0.6*rng.Float64(), 0.2+0.6*rng.Float64())
+		for i := range users {
+			users[i] = geom.Pt(c.X+(rng.Float64()-0.5)*0.05, c.Y+(rng.Float64()-0.5)*0.05)
+			dirs[i] = Direction{Angle: rng.Float64() * 2 * math.Pi}
+		}
+
+		want, _, err := pl.Plan(ws, PlanRequest{Kind: KindTiles, Users: users, Dirs: dirs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pl.TileMSR(users, dirs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plansEqual(want, got) {
+			t.Fatalf("trial %d: TileMSR diverged from Plan", trial)
+		}
+		got, err = pl.TileMSRInto(ws, users, dirs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plansEqual(want, got) {
+			t.Fatalf("trial %d: TileMSRInto diverged from Plan", trial)
+		}
+
+		want, _, err = pl.Plan(ws, PlanRequest{Kind: KindCircle, Users: users})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err = pl.CircleMSR(users)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plansEqual(want, got) {
+			t.Fatalf("trial %d: CircleMSR diverged from Plan", trial)
+		}
+		got, err = pl.CircleMSRInto(ws, users)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plansEqual(want, got) {
+			t.Fatalf("trial %d: CircleMSRInto diverged from Plan", trial)
+		}
+	}
+}
+
+func TestCachedWrappersDelegateToPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	pts := randomPoints(3000, rng)
+	pl := mustPlanner(t, pts, DefaultOptions())
+	ws := NewWorkspace()
+	cache := nbrcache.New(nbrcache.Config{MaxBytes: 1 << 20})
+	pl.ShareCache(cache)
+
+	for trial := 0; trial < 20; trial++ {
+		users := make([]geom.Point, 3)
+		c := geom.Pt(0.3+0.4*rng.Float64(), 0.3+0.4*rng.Float64())
+		for i := range users {
+			users[i] = geom.Pt(c.X+(rng.Float64()-0.5)*0.04, c.Y+(rng.Float64()-0.5)*0.04)
+		}
+		want, _, err := pl.Plan(ws, PlanRequest{Kind: KindTiles, Users: users, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pl.TileMSRCachedInto(ws, cache, users, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plansEqual(want, got) {
+			t.Fatalf("trial %d: TileMSRCachedInto diverged from Plan", trial)
+		}
+		wantC, _, err := pl.Plan(ws, PlanRequest{Kind: KindCircle, Users: users, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotC, err := pl.CircleMSRCachedInto(ws, cache, users)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !plansEqual(wantC, gotC) {
+			t.Fatalf("trial %d: CircleMSRCachedInto diverged from Plan", trial)
+		}
+	}
+}
+
+func TestIncWrappersDelegateToPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	pts := randomPoints(3000, rng)
+	pl := mustPlanner(t, pts, DefaultOptions())
+	ws := NewWorkspace()
+
+	// Two independent incremental states walked through identical
+	// location streams must agree step by step: same outcome, same plan.
+	var stWrap, stPlan PlanState
+	users := make([]geom.Point, 3)
+	c := geom.Pt(0.5, 0.5)
+	for i := range users {
+		users[i] = geom.Pt(c.X+(rng.Float64()-0.5)*0.04, c.Y+(rng.Float64()-0.5)*0.04)
+	}
+	for step := 0; step < 60; step++ {
+		for i := range users {
+			users[i] = geom.Pt(
+				users[i].X+(rng.Float64()-0.5)*0.002,
+				users[i].Y+(rng.Float64()-0.5)*0.002,
+			)
+		}
+		want, wantOut, err := pl.Plan(ws, PlanRequest{Kind: KindCircle, Users: users, State: &stPlan})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotOut, err := pl.CircleMSRIncInto(ws, &stWrap, users)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotOut != wantOut {
+			t.Fatalf("step %d: outcome %v (wrapper) != %v (Plan)", step, gotOut, wantOut)
+		}
+		if !plansEqual(want, got) {
+			t.Fatalf("step %d: CircleMSRIncInto diverged from Plan", step)
+		}
+	}
+}

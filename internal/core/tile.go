@@ -28,18 +28,24 @@ type Direction struct {
 // ordering; it may be nil when Options.Directed is false.
 //
 // TileMSR borrows a pooled Workspace; loops that recompute continuously
-// should own one and call TileMSRInto directly.
+// should own one and call Plan directly.
+//
+// Deprecated: use Plan with a KindTiles PlanRequest.
 func (pl *Planner) TileMSR(users []geom.Point, dirs []Direction) (Plan, error) {
 	ws := GetWorkspace()
 	defer PutWorkspace(ws)
-	return pl.TileMSRInto(ws, users, dirs)
+	p, _, err := pl.Plan(ws, PlanRequest{Kind: KindTiles, Users: users, Dirs: dirs})
+	return p, err
 }
 
 // TileMSRInto is TileMSR with all scratch state drawn from ws. The
 // returned plan is exported by copy (two allocations) and remains valid
 // after ws is reused or returned to the pool.
+//
+// Deprecated: use Plan with a KindTiles PlanRequest.
 func (pl *Planner) TileMSRInto(ws *Workspace, users []geom.Point, dirs []Direction) (Plan, error) {
-	return pl.tileMSR(ws, nil, users, dirs)
+	p, _, err := pl.Plan(ws, PlanRequest{Kind: KindTiles, Users: users, Dirs: dirs})
+	return p, err
 }
 
 // TileMSRCachedInto is TileMSRInto with the top-k result set retrieved
@@ -51,8 +57,11 @@ func (pl *Planner) TileMSRInto(ws *Workspace, users []geom.Point, dirs []Directi
 // exact (see internal/nbrcache) and every accepted tile is still
 // Divide-Verified against this group's actual members. A nil cache
 // degrades to TileMSRInto.
+//
+// Deprecated: use Plan with a KindTiles PlanRequest carrying the cache.
 func (pl *Planner) TileMSRCachedInto(ws *Workspace, cache *nbrcache.Cache, users []geom.Point, dirs []Direction) (Plan, error) {
-	return pl.tileMSR(ws, cache, users, dirs)
+	p, _, err := pl.Plan(ws, PlanRequest{Kind: KindTiles, Users: users, Dirs: dirs, Cache: cache})
+	return p, err
 }
 
 func (pl *Planner) tileMSR(ws *Workspace, cache *nbrcache.Cache, users []geom.Point, dirs []Direction) (Plan, error) {

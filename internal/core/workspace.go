@@ -45,6 +45,11 @@ type Workspace struct {
 	shrinkSel   shrinkSelection
 	shrinkIdx   []int
 	shrinkTiles []geom.Rect
+
+	// net is the registered network backend's scratch slot (see
+	// NetScratch): resumable Dijkstra searches, candidate buffers, and
+	// interval arenas whose concrete type core does not know.
+	net any
 }
 
 // NewWorkspace returns an empty workspace. Long-lived computation loops
@@ -63,6 +68,16 @@ func GetWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
 // ws, nor any Plan aliasing it (none: plans are exported by copy), after
 // the call.
 func PutWorkspace(ws *Workspace) { wsPool.Put(ws) }
+
+// NetScratch exposes the workspace's backend-owned scratch slot. The
+// road-network backend stores its reusable planning state (resumable
+// per-member Dijkstra searches, landmark-ranked candidate buffers,
+// interval arenas) here, so network plans reach the same steady state of
+// near-zero allocations the Euclidean planners get from the typed fields
+// — without core depending on the backend's types. The slot follows the
+// workspace's lifecycle: per goroutine, reused across plans, recycled
+// through the pool.
+func (ws *Workspace) NetScratch() *any { return &ws.net }
 
 // grown returns s with length exactly m, preserving capacity (and, for
 // indices below the old capacity, contents — callers overwrite or clear

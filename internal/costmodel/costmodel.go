@@ -88,19 +88,21 @@ func Predict(points []geom.Point, cfg Config) (Estimate, error) {
 			users[i] = geom.Pt(rng.Float64(), rng.Float64())
 		}
 		start := time.Now()
-		var plan core.Plan
+		req := core.PlanRequest{Kind: core.KindTiles, Users: users}
 		switch cfg.Method {
 		case sim.MethodCircle:
-			plan, err = planner.CircleMSR(users)
+			req.Kind = core.KindCircle
 		case sim.MethodTile:
-			plan, err = planner.TileMSR(users, nil)
 		default:
 			dirs := make([]core.Direction, cfg.GroupSize)
 			for i := range dirs {
 				dirs[i] = core.Direction{Angle: rng.Float64() * 2 * math.Pi}
 			}
-			plan, err = planner.TileMSR(users, dirs)
+			req.Dirs = dirs
 		}
+		ws := core.GetWorkspace()
+		plan, _, err := planner.Plan(ws, req)
+		core.PutWorkspace(ws)
 		if err != nil {
 			return Estimate{}, err
 		}

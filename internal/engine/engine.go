@@ -84,18 +84,29 @@ func PlannerFunc(pl *core.Planner, circle bool) PlanFunc {
 	}
 }
 
-// PlannerWSFunc adapts a core.Planner to a PlanWSFunc: CircleMSRInto when
-// circle is set, TileMSRInto otherwise. It is the one place the Plan
-// result shape is unpacked for the engine.
+// PlannerWSFunc adapts a core.Planner to a PlanWSFunc: circle planning
+// when circle is set, tiles otherwise.
 func PlannerWSFunc(pl *core.Planner, circle bool) PlanWSFunc {
+	return PlannerKindWSFunc(pl, kindFor(circle), nil)
+}
+
+// kindFor maps the engine adapters' legacy circle flag to a region kind.
+func kindFor(circle bool) core.RegionKind {
+	if circle {
+		return core.KindCircle
+	}
+	return core.KindTiles
+}
+
+// PlannerKindWSFunc adapts a core.Planner to a PlanWSFunc for any region
+// kind — the single unpacking point of the core.Plan result shape for
+// the engine. KindNetRange requires a backend registered on the planner
+// (see core.Planner.RegisterNetBackend). A non-nil cache routes top-k
+// retrievals through the shared neighborhood cache; plans are
+// byte-identical either way.
+func PlannerKindWSFunc(pl *core.Planner, kind core.RegionKind, cache *nbrcache.Cache) PlanWSFunc {
 	return func(ws *core.Workspace, users []geom.Point, dirs []core.Direction) (geom.Point, []core.SafeRegion, core.Stats, error) {
-		var p core.Plan
-		var err error
-		if circle {
-			p, err = pl.CircleMSRInto(ws, users)
-		} else {
-			p, err = pl.TileMSRInto(ws, users, dirs)
-		}
+		p, _, err := pl.Plan(ws, core.PlanRequest{Kind: kind, Users: users, Dirs: dirs, Cache: cache})
 		if err != nil {
 			return geom.Point{}, nil, core.Stats{}, err
 		}
@@ -103,12 +114,25 @@ func PlannerWSFunc(pl *core.Planner, circle bool) PlanWSFunc {
 	}
 }
 
-// PlannerIncFunc adapts a core.Planner to a ReplanWSFunc:
-// CircleMSRIncInto when circle is set, TileMSRIncInto otherwise. Wire it
-// into Options.Replan to give the engine incremental safe-region
-// maintenance.
+// PlannerKindIncFunc is the incremental counterpart of
+// PlannerKindWSFunc: the returned ReplanWSFunc threads the group's
+// retained core.PlanState through core.Plan, so kept and partial
+// outcomes flow to the engine for any region kind.
+func PlannerKindIncFunc(pl *core.Planner, kind core.RegionKind, cache *nbrcache.Cache) ReplanWSFunc {
+	return func(ws *core.Workspace, st *core.PlanState, users []geom.Point, dirs []core.Direction) (geom.Point, []core.SafeRegion, core.Stats, core.IncOutcome, error) {
+		p, out, err := pl.Plan(ws, core.PlanRequest{Kind: kind, Users: users, Dirs: dirs, Cache: cache, State: st})
+		if err != nil {
+			return geom.Point{}, nil, core.Stats{}, out, err
+		}
+		return p.Best.Item.P, p.Regions, p.Stats, out, nil
+	}
+}
+
+// PlannerIncFunc adapts a core.Planner to a ReplanWSFunc for circle or
+// tile planning. Wire it into Options.Replan to give the engine
+// incremental safe-region maintenance.
 func PlannerIncFunc(pl *core.Planner, circle bool) ReplanWSFunc {
-	return PlannerIncCachedFunc(pl, circle, nil)
+	return PlannerKindIncFunc(pl, kindFor(circle), nil)
 }
 
 // PlannerCachedWSFunc is PlannerWSFunc with every recomputation's top-k
@@ -118,39 +142,14 @@ func PlannerIncFunc(pl *core.Planner, circle bool) ReplanWSFunc {
 // traversals. Plans are byte-identical to the uncached adapter's; a nil
 // cache degrades to PlannerWSFunc.
 func PlannerCachedWSFunc(pl *core.Planner, circle bool, cache *nbrcache.Cache) PlanWSFunc {
-	return func(ws *core.Workspace, users []geom.Point, dirs []core.Direction) (geom.Point, []core.SafeRegion, core.Stats, error) {
-		var p core.Plan
-		var err error
-		if circle {
-			p, err = pl.CircleMSRCachedInto(ws, cache, users)
-		} else {
-			p, err = pl.TileMSRCachedInto(ws, cache, users, dirs)
-		}
-		if err != nil {
-			return geom.Point{}, nil, core.Stats{}, err
-		}
-		return p.Best.Item.P, p.Regions, p.Stats, nil
-	}
+	return PlannerKindWSFunc(pl, kindFor(circle), cache)
 }
 
 // PlannerIncCachedFunc is PlannerIncFunc over the shared neighborhood
 // cache (see PlannerCachedWSFunc); a nil cache yields the plain
 // incremental adapter.
 func PlannerIncCachedFunc(pl *core.Planner, circle bool, cache *nbrcache.Cache) ReplanWSFunc {
-	return func(ws *core.Workspace, st *core.PlanState, users []geom.Point, dirs []core.Direction) (geom.Point, []core.SafeRegion, core.Stats, core.IncOutcome, error) {
-		var p core.Plan
-		var out core.IncOutcome
-		var err error
-		if circle {
-			p, out, err = pl.CircleMSRIncCachedInto(ws, cache, st, users)
-		} else {
-			p, out, err = pl.TileMSRIncCachedInto(ws, cache, st, users, dirs)
-		}
-		if err != nil {
-			return geom.Point{}, nil, core.Stats{}, out, err
-		}
-		return p.Best.Item.P, p.Regions, p.Stats, out, nil
-	}
+	return PlannerKindIncFunc(pl, kindFor(circle), cache)
 }
 
 // GroupID identifies a registered group.

@@ -1,0 +1,172 @@
+// Package alt builds a landmark overlay (the "ALT" preprocessing of
+// Goldberg and Harrelson: A*, Landmarks, Triangle inequality) over a road
+// network. A handful of landmarks L are chosen by farthest-point
+// selection and a full shortest-path tree is computed from each once, at
+// build time. The triangle inequality then gives, for any two nodes u and
+// v, the constant-time lower bound
+//
+//	d(u,v) ≥ max_L |d(L,u) − d(L,v)|
+//
+// without touching the graph. The network planner uses these bounds to
+// rank meeting-POI candidates before paying for exact distances, and the
+// network neighborhood cache uses them to certify cached candidate sets —
+// the role the R-tree's MinDist bounds play for the Euclidean stack.
+package alt
+
+import (
+	"fmt"
+	"math"
+
+	"mpn/internal/heapq"
+	"mpn/internal/roadnet"
+)
+
+// DefaultLandmarks is the landmark count used when a caller passes 0:
+// enough for tight bounds on city-scale grids while keeping the overlay
+// a few hundred KB.
+const DefaultLandmarks = 8
+
+// Index is an immutable landmark distance overlay. Safe for concurrent
+// use once built.
+type Index struct {
+	landmarks []int
+	// vec holds the landmark distance vectors in node-major layout:
+	// vec[node*L+l] = d(landmark l, node), so one node's vector is
+	// contiguous and a LowerBound call walks two cache lines.
+	vec []float64
+	l   int
+}
+
+// Build computes the overlay: numLandmarks shortest-path trees over net
+// (0 selects DefaultLandmarks, capped at the node count). Selection is
+// farthest-point: the first landmark is the node farthest from node 0,
+// each next one maximizes the minimum distance to those already chosen —
+// pushing landmarks to the periphery, where triangle bounds are tightest.
+func Build(net *roadnet.Network, numLandmarks int) (*Index, error) {
+	if net == nil || net.NumNodes() == 0 {
+		return nil, fmt.Errorf("alt: empty network")
+	}
+	if numLandmarks <= 0 {
+		numLandmarks = DefaultLandmarks
+	}
+	n := net.NumNodes()
+	if numLandmarks > n {
+		numLandmarks = n
+	}
+
+	ix := &Index{l: numLandmarks, vec: make([]float64, n*numLandmarks)}
+	minDist := make([]float64, n) // distance to nearest chosen landmark
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	dist := make([]float64, n)
+	var q []spEntry
+
+	// Seed selection from node 0's tree without recording it as a
+	// landmark: its farthest node becomes landmark 0.
+	sssp(net, 0, dist, &q)
+	next := farthest(dist)
+	for l := 0; l < numLandmarks; l++ {
+		ix.landmarks = append(ix.landmarks, next)
+		sssp(net, next, dist, &q)
+		for v := 0; v < n; v++ {
+			ix.vec[v*numLandmarks+l] = dist[v]
+			if dist[v] < minDist[v] {
+				minDist[v] = dist[v]
+			}
+		}
+		next = farthest(minDist)
+	}
+	return ix, nil
+}
+
+// farthest returns the index of the maximum finite entry (0 if none).
+func farthest(dist []float64) int {
+	best, bestD := 0, -1.0
+	for i, d := range dist {
+		if !math.IsInf(d, 1) && d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+// spEntry is the Dijkstra priority-queue element for heapq.
+type spEntry struct {
+	node int
+	dist float64
+}
+
+func (e spEntry) Less(o spEntry) bool { return e.dist < o.dist }
+
+// sssp fills dist with single-source shortest path lengths from src.
+func sssp(net *roadnet.Network, src int, dist []float64, q *[]spEntry) {
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	heap := append((*q)[:0], spEntry{node: src})
+	for len(heap) > 0 {
+		var e spEntry
+		e, heap = heapq.Pop(heap)
+		if e.dist > dist[e.node] {
+			continue
+		}
+		for _, ed := range net.Adj[e.node] {
+			if nd := e.dist + ed.Len; nd < dist[ed.To] {
+				dist[ed.To] = nd
+				heap = heapq.Push(heap, spEntry{node: ed.To, dist: nd})
+			}
+		}
+	}
+	*q = heap
+}
+
+// NumLandmarks returns the landmark count.
+func (ix *Index) NumLandmarks() int { return ix.l }
+
+// Landmarks returns the chosen landmark node ids (read-only).
+func (ix *Index) Landmarks() []int { return ix.landmarks }
+
+// LowerBound returns max_L |d(L,u) − d(L,v)|, a lower bound on the
+// network distance between nodes u and v. Non-finite landmark distances
+// (unreachable nodes on a disconnected input) contribute nothing.
+func (ix *Index) LowerBound(u, v int) float64 {
+	lu := ix.vec[u*ix.l : u*ix.l+ix.l]
+	lv := ix.vec[v*ix.l : v*ix.l+ix.l]
+	bound := 0.0
+	for i, du := range lu {
+		d := du - lv[i]
+		if d < 0 {
+			d = -d
+		}
+		// A NaN (Inf−Inf) or +Inf difference carries no information.
+		if d > bound && !math.IsInf(d, 1) && !math.IsNaN(d) {
+			bound = d
+		}
+	}
+	return bound
+}
+
+// Vec returns node's landmark distance vector (read-only, length
+// NumLandmarks). Callers that bound many pairs against one fixed node
+// fetch its vector once and use BoundTo.
+func (ix *Index) Vec(node int) []float64 {
+	return ix.vec[node*ix.l : node*ix.l+ix.l]
+}
+
+// BoundTo is LowerBound with u's vector pre-fetched via Vec.
+func (ix *Index) BoundTo(uvec []float64, v int) float64 {
+	lv := ix.vec[v*ix.l : v*ix.l+ix.l]
+	bound := 0.0
+	for i, du := range uvec {
+		d := du - lv[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > bound && !math.IsInf(d, 1) && !math.IsNaN(d) {
+			bound = d
+		}
+	}
+	return bound
+}

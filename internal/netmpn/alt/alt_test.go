@@ -1,0 +1,113 @@
+package alt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mpn/internal/roadnet"
+)
+
+func testNet(t testing.TB) *roadnet.Network {
+	t.Helper()
+	net, err := roadnet.Generate(roadnet.Config{
+		Rows: 14, Cols: 14, Jitter: 0.25, DropFrac: 0.1, Arterials: 8, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, 4); err == nil {
+		t.Fatal("nil network accepted")
+	}
+}
+
+func TestLandmarkCountCaps(t *testing.T) {
+	net := testNet(t)
+	ix, err := Build(net, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumLandmarks() != DefaultLandmarks {
+		t.Fatalf("landmarks=%d want %d", ix.NumLandmarks(), DefaultLandmarks)
+	}
+	ix, err = Build(net, net.NumNodes()+50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumLandmarks() != net.NumNodes() {
+		t.Fatalf("landmark count not capped: %d", ix.NumLandmarks())
+	}
+}
+
+func TestLandmarksDistinct(t *testing.T) {
+	net := testNet(t)
+	ix, err := Build(net, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, l := range ix.Landmarks() {
+		if l < 0 || l >= net.NumNodes() {
+			t.Fatalf("landmark %d out of range", l)
+		}
+		if seen[l] {
+			t.Fatalf("landmark %d chosen twice", l)
+		}
+		seen[l] = true
+	}
+}
+
+// The triangle-inequality contract: every lower bound is ≤ the true
+// shortest-path distance, and the bound between a node and itself is 0.
+func TestLowerBoundSound(t *testing.T) {
+	net := testNet(t)
+	ix, err := Build(net, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		u, v := net.RandomNode(rng), net.RandomNode(rng)
+		_, want, ok := net.ShortestPath(u, v)
+		if !ok {
+			t.Fatal("disconnected network")
+		}
+		lb := ix.LowerBound(u, v)
+		if lb > want+1e-9 {
+			t.Fatalf("LowerBound(%d,%d)=%v exceeds true distance %v", u, v, lb, want)
+		}
+		if bt := ix.BoundTo(ix.Vec(u), v); bt != lb {
+			t.Fatalf("BoundTo disagrees with LowerBound: %v vs %v", bt, lb)
+		}
+	}
+	if lb := ix.LowerBound(3, 3); lb != 0 {
+		t.Fatalf("self bound %v", lb)
+	}
+}
+
+// Landmark distances must be exact shortest-path lengths: the bound
+// from a landmark to any node is tight.
+func TestBoundTightAtLandmarks(t *testing.T) {
+	net := testNet(t)
+	ix, err := Build(net, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for _, l := range ix.Landmarks() {
+		for trial := 0; trial < 10; trial++ {
+			v := net.RandomNode(rng)
+			_, want, ok := net.ShortestPath(l, v)
+			if !ok {
+				t.Fatal("disconnected")
+			}
+			if lb := ix.LowerBound(l, v); math.Abs(lb-want) > 1e-9 {
+				t.Fatalf("bound from landmark %d to %d = %v want %v", l, v, lb, want)
+			}
+		}
+	}
+}

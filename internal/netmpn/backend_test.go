@@ -1,0 +1,384 @@
+package netmpn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mpn/internal/core"
+	"mpn/internal/geom"
+)
+
+func testBackend(t testing.TB, poiEvery int, cfg BackendConfig) *Backend {
+	t.Helper()
+	net := testNet(t)
+	var pois []int
+	for n := 0; n < net.NumNodes(); n += poiEvery {
+		pois = append(pois, n)
+	}
+	b, err := NewBackend(net, pois, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func sameResult(t *testing.T, tag string, gotNode int, gotDist float64, want Result) {
+	t.Helper()
+	if gotNode != want.Node {
+		t.Fatalf("%s: best node %d, oracle %d", tag, gotNode, want.Node)
+	}
+	if math.Float64bits(gotDist) != math.Float64bits(want.Dist) {
+		t.Fatalf("%s: best dist %v, oracle %v (not bit-identical)", tag, gotDist, want.Dist)
+	}
+}
+
+func sameRegions(t *testing.T, tag string, got []core.SafeRegion, oracle []RangeRegion, s *Server) {
+	t.Helper()
+	if len(got) != len(oracle) {
+		t.Fatalf("%s: %d regions, oracle %d", tag, len(got), len(oracle))
+	}
+	for i := range got {
+		if got[i].Kind != core.KindNetRange {
+			t.Fatalf("%s: region %d kind %v", tag, i, got[i].Kind)
+		}
+		nr, ok := got[i].Net.(*Region)
+		if !ok {
+			t.Fatalf("%s: region %d payload %T", tag, i, got[i].Net)
+		}
+		want := s.exportRegion(&oracle[i], s.posPoint(oracle[i].Center))
+		if !nr.EqualRegion(want) {
+			t.Fatalf("%s: region %d differs from oracle export (radius %v vs %v, %d vs %d segs)",
+				tag, i, nr.Radius, want.Radius, len(nr.Segs), len(want.Segs))
+		}
+	}
+}
+
+// TestBackendMatchesOracle is the ALT correctness fence: across random
+// groups, sizes, and both aggregates, the landmark-accelerated plan must
+// be byte-identical to the naive full-Dijkstra Server.Plan — same best
+// POI, bit-identical aggregate distance, equal safe regions.
+func TestBackendMatchesOracle(t *testing.T) {
+	for _, agg := range []Aggregate{Max, Sum} {
+		b := testBackend(t, 9, BackendConfig{Aggregate: agg})
+		ws := core.NewWorkspace()
+		rng := rand.New(rand.NewSource(7 + int64(agg)))
+		for trial := 0; trial < 60; trial++ {
+			m := 1 + rng.Intn(5)
+			users := make([]geom.Point, m)
+			pos := make([]Position, m)
+			for i := range users {
+				users[i] = geom.Pt(rng.Float64(), rng.Float64())
+				pos[i] = b.Snap(users[i])
+			}
+			wantBest, wantRegs, err := b.Server().Plan(pos, agg)
+			plan, out, gotErr := b.PlanNet(ws, core.PlanRequest{Kind: core.KindNetRange, Users: users})
+			if (err != nil) != (gotErr != nil) {
+				t.Fatalf("trial %d: oracle err %v, backend err %v", trial, err, gotErr)
+			}
+			if err != nil {
+				continue
+			}
+			if out != core.IncFull {
+				t.Fatalf("trial %d: stateless plan reported %v", trial, out)
+			}
+			sameResult(t, "plan", plan.Best.Item.ID, plan.Best.Dist, wantBest)
+			sameRegions(t, "plan", plan.Regions, wantRegs, b.Server())
+			if plan.Stats.CandidatesChecked >= len(b.Server().pois) && len(b.Server().pois) > 4 {
+				t.Fatalf("trial %d: ALT pruned nothing (%d of %d candidates examined)",
+					trial, plan.Stats.CandidatesChecked, len(b.Server().pois))
+			}
+		}
+	}
+}
+
+// TestBackendSinglePOI covers the single-POI degenerate case: infinite
+// radius, whole-network regions, kept forever.
+func TestBackendSinglePOI(t *testing.T) {
+	net := testNet(t)
+	b, err := NewBackend(net, []int{5}, BackendConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := core.NewWorkspace()
+	var st core.PlanState
+	users := []geom.Point{geom.Pt(0.1, 0.1), geom.Pt(0.9, 0.8)}
+	plan, _, err := b.PlanNet(ws, core.PlanRequest{Kind: core.KindNetRange, Users: users, State: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(plan.Regions[0].Net.(*Region).Radius, 1) {
+		t.Fatalf("single POI radius %v, want +Inf", plan.Regions[0].Net.(*Region).Radius)
+	}
+	users2 := []geom.Point{geom.Pt(0.5, 0.5), geom.Pt(0.2, 0.9)}
+	_, out, err := b.PlanNet(ws, core.PlanRequest{Kind: core.KindNetRange, Users: users2, State: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != core.IncKept {
+		t.Fatalf("single-POI update outcome %v, want kept", out)
+	}
+}
+
+// TestBackendIncSound drives a group of network walkers through many
+// update rounds against the incremental path and enforces the Theorem 1
+// contract at every step: as long as no member escaped her retained
+// region, the naive oracle recomputed at the CURRENT positions must
+// still elect the retained meeting POI. It also checks that full
+// outcomes are byte-identical to a from-scratch plan and that the walk
+// exercised kept, partial, and full at least once each.
+func TestBackendIncSound(t *testing.T) {
+	for _, agg := range []Aggregate{Max, Sum} {
+		b := testBackend(t, 13, BackendConfig{Aggregate: agg})
+		net := b.Server().net
+		ws, wsFresh := core.NewWorkspace(), core.NewWorkspace()
+		var st core.PlanState
+		// m = 2 keeps gap/(2m) an exact binary division, so a stationary
+		// round's Σρ' equals gap/2 with no rounding excess — the Sum
+		// walk's kept rounds depend on it.
+		const m = 2
+		walkers := make([]*Walker, m)
+		for i := range walkers {
+			w, err := NewWalker(net, 0.0012, int64(100*i)+int64(agg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			walkers[i] = w
+		}
+		users := make([]geom.Point, m)
+		seen := map[core.IncOutcome]int{}
+		for step := 0; step < 300; step++ {
+			if step%4 != 3 { // every fourth round the group idles in place
+				for i, w := range walkers {
+					users[i] = b.Server().posPoint(w.Step())
+				}
+			}
+			plan, out, err := b.PlanNet(ws, core.PlanRequest{Kind: core.KindNetRange, Users: users, State: &st})
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen[out]++
+			if out == core.IncFull {
+				fresh, _, err := b.PlanNet(wsFresh, core.PlanRequest{Kind: core.KindNetRange, Users: users})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResult(t, "full-vs-fresh", plan.Best.Item.ID, plan.Best.Dist,
+					Result{Node: fresh.Best.Item.ID, Dist: fresh.Best.Dist})
+				for i := range plan.Regions {
+					if !plan.Regions[i].Net.(*Region).EqualRegion(fresh.Regions[i].Net.(*Region)) {
+						t.Fatalf("step %d: full region %d differs from fresh plan", step, i)
+					}
+				}
+			}
+			// Soundness: while everyone stays inside, the retained POI
+			// must still be optimal at the members' actual locations.
+			inside := true
+			for i := range users {
+				if !plan.Regions[i].Contains(users[i]) {
+					inside = false
+				}
+			}
+			if inside {
+				pos := make([]Position, m)
+				for i := range users {
+					pos[i] = b.Snap(users[i])
+				}
+				oracleBest, _, err := b.Server().Plan(pos, agg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if oracleBest.Dist < planAgg(b, pos, plan.Best.Item.ID, agg) &&
+					oracleBest.Node != plan.Best.Item.ID {
+					t.Fatalf("step %d (%v): members inside regions but oracle best %d (%v) beats retained %d (%v)",
+						step, out, oracleBest.Node, oracleBest.Dist,
+						plan.Best.Item.ID, planAgg(b, pos, plan.Best.Item.ID, agg))
+				}
+			}
+		}
+		if seen[core.IncKept] == 0 || seen[core.IncPartial] == 0 || seen[core.IncFull] == 0 {
+			t.Fatalf("agg %v: walk did not exercise all outcomes: %v", agg, seen)
+		}
+	}
+}
+
+// planAgg computes the aggregate network distance from pos to a POI node
+// with the naive per-member Dijkstra.
+func planAgg(b *Backend, pos []Position, node int, agg Aggregate) float64 {
+	var d float64
+	for _, p := range pos {
+		v := b.Server().Dist(p, node)
+		if agg == Max {
+			if v > d {
+				d = v
+			}
+		} else {
+			d += v
+		}
+	}
+	return d
+}
+
+// TestBackendCachedEquivUncached is the cache fence: with the
+// neighborhood cache enabled, every plan must stay byte-identical to the
+// uncached backend's across a workload with heavy key-node reuse — and
+// the cache must actually serve certified hits on it.
+func TestBackendCachedEquivUncached(t *testing.T) {
+	for _, agg := range []Aggregate{Max, Sum} {
+		plain := testBackend(t, 9, BackendConfig{Aggregate: agg})
+		cached := testBackend(t, 9, BackendConfig{Aggregate: agg, CacheEntries: 64, CacheK: 8})
+		wsA, wsB := core.NewWorkspace(), core.NewWorkspace()
+		rng := rand.New(rand.NewSource(11 + int64(agg)))
+		centers := make([]geom.Point, 6)
+		for i := range centers {
+			centers[i] = geom.Pt(rng.Float64(), rng.Float64())
+		}
+		for trial := 0; trial < 120; trial++ {
+			c := centers[rng.Intn(len(centers))]
+			m := 2 + rng.Intn(3)
+			users := make([]geom.Point, m)
+			for i := range users {
+				users[i] = geom.Pt(
+					math.Min(1, math.Max(0, c.X+0.02*(rng.Float64()-0.5))),
+					math.Min(1, math.Max(0, c.Y+0.02*(rng.Float64()-0.5))),
+				)
+			}
+			req := core.PlanRequest{Kind: core.KindNetRange, Users: users}
+			a, _, errA := plain.PlanNet(wsA, req)
+			bp, _, errB := cached.PlanNet(wsB, req)
+			if (errA != nil) != (errB != nil) {
+				t.Fatalf("trial %d: plain err %v, cached err %v", trial, errA, errB)
+			}
+			if errA != nil {
+				continue
+			}
+			sameResult(t, "cached", bp.Best.Item.ID, bp.Best.Dist,
+				Result{Node: a.Best.Item.ID, Dist: a.Best.Dist})
+			for i := range a.Regions {
+				if !bp.Regions[i].Net.(*Region).EqualRegion(a.Regions[i].Net.(*Region)) {
+					t.Fatalf("trial %d: cached region %d differs", trial, i)
+				}
+			}
+		}
+		hits, misses, rejected := cached.CacheStats()
+		if hits == 0 {
+			t.Fatalf("agg %v: cache never hit (misses %d, rejected %d)", agg, misses, rejected)
+		}
+	}
+}
+
+// TestRegionWireRoundTrip checks that a planned region survives the wire
+// byte-for-byte and that the decoded copy answers containment like the
+// original.
+func TestRegionWireRoundTrip(t *testing.T) {
+	b := testBackend(t, 9, BackendConfig{})
+	ws := core.NewWorkspace()
+	users := []geom.Point{geom.Pt(0.3, 0.4), geom.Pt(0.35, 0.45), geom.Pt(0.4, 0.38)}
+	plan, _, err := b.PlanNet(ws, core.PlanRequest{Kind: core.KindNetRange, Users: users})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := range plan.Regions {
+		nr := plan.Regions[i].Net.(*Region)
+		enc := nr.AppendEncode(nil)
+		if len(enc) != nr.WireSize() {
+			t.Fatalf("region %d: encoded %d bytes, WireSize %d", i, len(enc), nr.WireSize())
+		}
+		dec, err := DecodeRegion(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.EqualRegion(nr) {
+			t.Fatalf("region %d: decode not equal to original", i)
+		}
+		onNet := b.Server().posPoint(b.Snap(users[i]))
+		if !dec.ContainsPoint(onNet) {
+			t.Fatalf("region %d: decoded region does not contain its member's snapped location", i)
+		}
+		for trial := 0; trial < 50; trial++ {
+			p := geom.Pt(rng.Float64(), rng.Float64())
+			if dec.ContainsPoint(p) != nr.ContainsPoint(p) {
+				t.Fatalf("region %d: containment disagrees at %v", i, p)
+			}
+		}
+		if _, err := DecodeRegion(enc[:len(enc)-1]); err == nil {
+			t.Fatal("truncated encoding accepted")
+		}
+	}
+}
+
+// TestSnapDeterministic pins the snapping used by the differential
+// fences: equal inputs must land on equal positions, and points sitting
+// exactly on a node must snap to that node's location.
+func TestSnapDeterministic(t *testing.T) {
+	b := testBackend(t, 9, BackendConfig{})
+	net := b.Server().net
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		p := geom.Pt(rng.Float64(), rng.Float64())
+		if b.Snap(p) != b.Snap(p) {
+			t.Fatal("snap not deterministic")
+		}
+	}
+	for n := 0; n < net.NumNodes(); n += 17 {
+		pos := b.Snap(net.Nodes[n].P)
+		if err := b.Server().validate(pos); err != nil {
+			t.Fatalf("node %d snapped to invalid position %v", n, pos)
+		}
+		if d := b.Server().posPoint(pos).Dist(net.Nodes[n].P); d > 1e-9 {
+			t.Fatalf("node %d snapped %v away", n, d)
+		}
+	}
+}
+
+// TestSnapGridMatchesScan fences the snap grid against the exhaustive
+// projection scan: bit-identical positions everywhere, including points
+// far outside the network's bounding box.
+func TestSnapGridMatchesScan(t *testing.T) {
+	b := testBackend(t, 9, BackendConfig{})
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		var p geom.Point
+		switch trial % 3 {
+		case 0: // uniform over the network
+			p = geom.Pt(rng.Float64(), rng.Float64())
+		case 1: // clustered near roads (grid cells hold few candidates)
+			n := b.Server().net.Nodes[rng.Intn(b.Server().net.NumNodes())].P
+			p = geom.Pt(n.X+(rng.Float64()-0.5)*0.01, n.Y+(rng.Float64()-0.5)*0.01)
+		default: // outside the bounding box
+			p = geom.Pt(rng.Float64()*4-1.5, rng.Float64()*4-1.5)
+		}
+		if got, want := b.Snap(p), b.snapSlow(p); got != want {
+			t.Fatalf("trial %d: grid snap %v != scan %v for %v", trial, got, want, p)
+		}
+	}
+}
+
+// TestBackendThroughCoreDispatch checks the registration seam: a planner
+// with the backend registered serves KindNetRange through Plan, and one
+// without reports ErrNoNetBackend.
+func TestBackendThroughCoreDispatch(t *testing.T) {
+	b := testBackend(t, 9, BackendConfig{})
+	pois := []geom.Point{geom.Pt(0.5, 0.5), geom.Pt(0.1, 0.9)}
+	pl, err := core.NewPlanner(pois, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := core.NewWorkspace()
+	users := []geom.Point{geom.Pt(0.2, 0.3)}
+	if _, _, err := pl.Plan(ws, core.PlanRequest{Kind: core.KindNetRange, Users: users}); err != core.ErrNoNetBackend {
+		t.Fatalf("unregistered planner: err %v, want ErrNoNetBackend", err)
+	}
+	pl.RegisterNetBackend(b)
+	plan, _, err := pl.Plan(ws, core.PlanRequest{Kind: core.KindNetRange, Users: users})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _, err := b.PlanNet(core.NewWorkspace(), core.PlanRequest{Kind: core.KindNetRange, Users: users})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "dispatch", plan.Best.Item.ID, plan.Best.Dist,
+		Result{Node: direct.Best.Item.ID, Dist: direct.Best.Dist})
+}

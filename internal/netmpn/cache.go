@@ -1,0 +1,200 @@
+package netmpn
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"mpn/internal/geom"
+)
+
+// DefaultCacheK is how many network-nearest POIs a neighborhood cache
+// entry certifies when BackendConfig.CacheK is zero.
+const DefaultCacheK = 16
+
+// nbrCache is the network analogue of internal/nbrcache: entries are
+// keyed by the road node nearest the group's Euclidean centroid, and
+// each entry stores the key node's J network-nearest POIs together with
+// the guarantee radius dJ — the network distance of the J-th (farthest
+// stored) POI, +Inf when every POI fits. Any POI absent from the entry
+// therefore sits at network distance ≥ dJ from the key node, which is
+// the triangle-inequality handle the hit path certifies exact results
+// with (see Backend.cacheTop2).
+//
+// The cache is shared across workers and guarded by one mutex; the hot
+// path holds it only for the map lookup and LRU bump, never during
+// Dijkstra work.
+type nbrCache struct {
+	mu      sync.Mutex
+	cap     int
+	k       int
+	entries map[int]*cacheEnt
+	clock   uint64 // recency ticks, guarded by mu
+
+	hits, misses, rejected uint64
+}
+
+// cacheEnt is one cached neighborhood: the key node's k network-nearest
+// POIs (as ascending indices into Server.pois) and the guarantee radius.
+type cacheEnt struct {
+	pois []int32
+	dj   float64
+	all  bool // entry covers the entire POI set
+	tick uint64
+}
+
+func newNbrCache(entries, k int) *nbrCache {
+	if k <= 0 {
+		k = DefaultCacheK
+	}
+	return &nbrCache{cap: entries, k: k, entries: make(map[int]*cacheEnt)}
+}
+
+// CacheStats reports the neighborhood cache counters: certified hits,
+// misses (no entry for the key node), and rejections (entry present but
+// the certification bound failed, falling back to the full ALT path).
+// All zero when the cache is disabled.
+func (b *Backend) CacheStats() (hits, misses, rejected uint64) {
+	if b.cache == nil {
+		return 0, 0, 0
+	}
+	b.cache.mu.Lock()
+	defer b.cache.mu.Unlock()
+	return b.cache.hits, b.cache.misses, b.cache.rejected
+}
+
+// get returns the entry for key (nil if absent), bumping its recency.
+func (c *nbrCache) get(key int) *cacheEnt {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	if e != nil {
+		c.clock++
+		e.tick = c.clock
+	}
+	return e
+}
+
+// put inserts an entry for key, evicting the least recently used entry
+// when the cache is full.
+func (c *nbrCache) put(key int, e *cacheEnt) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; !ok && len(c.entries) >= c.cap {
+		lruKey, lruTick := -1, uint64(math.MaxUint64)
+		for k, ent := range c.entries {
+			if ent.tick < lruTick {
+				lruKey, lruTick = k, ent.tick
+			}
+		}
+		delete(c.entries, lruKey)
+	}
+	c.clock++
+	e.tick = c.clock
+	c.entries[key] = e
+}
+
+// cacheTop2 attempts the certified cached top-2: exact aggregates are
+// computed (through the same resumable searches, hence bit-identical to
+// the full scan's values) for the cached candidate POIs only, and the
+// result is accepted iff every omitted POI provably aggregates worse
+// than the found runner-up:
+//
+//	MAX: d(uᵢ,p) ≥ dJ − d(uᵢ,key)   ⇒ agg(p) ≥ dJ − minᵢ d(uᵢ,key)
+//	SUM: Σᵢ d(uᵢ,p) ≥ m·dJ − Σᵢ d(uᵢ,key)
+//
+// so requiring second.Dist < bound makes the omission invisible to the
+// oracle's selection scan. A failed certification counts as rejected
+// and the caller falls back to the ALT ranking (byte-identical result
+// either way). On a miss the entry for the key node is built afterwards
+// by the caller via buildEntry.
+func (b *Backend) cacheTop2(ns *netScratch, m int) (best, second Result, checked int, ok bool) {
+	key := b.nearestToCentroid(ns, m)
+	ent := b.cache.get(key)
+	if ent == nil {
+		// Build the neighborhood now so the next co-located group hits.
+		b.cache.put(key, b.buildEntry(ns, key))
+		b.cache.mu.Lock()
+		b.cache.misses++
+		b.cache.mu.Unlock()
+		return Result{}, Result{}, 0, false
+	}
+	for _, j := range ent.pois {
+		if !ns.done[j] {
+			ns.exact[j] = b.exactAgg(ns, int(j), m)
+			ns.done[j] = true
+			checked++
+		}
+	}
+	best, second = replayScan(b.s.pois, ns)
+	if !ent.all {
+		var bound float64
+		if b.agg == Max {
+			minD := math.Inf(1)
+			for i := 0; i < m; i++ {
+				if d := ns.searches[i].distTo(b.s, key); d < minD {
+					minD = d
+				}
+			}
+			bound = ent.dj - minD
+		} else {
+			var sumD float64
+			for i := 0; i < m; i++ {
+				sumD += ns.searches[i].distTo(b.s, key)
+			}
+			bound = float64(m)*ent.dj - sumD
+		}
+		if best.Node == -1 || !(second.Dist < bound) {
+			b.cache.mu.Lock()
+			b.cache.rejected++
+			b.cache.mu.Unlock()
+			return Result{}, Result{}, checked, false
+		}
+	}
+	b.cache.mu.Lock()
+	b.cache.hits++
+	b.cache.mu.Unlock()
+	return best, second, checked, true
+}
+
+// nearestToCentroid returns the road node nearest the members'
+// Euclidean centroid — the cache key for this group constellation.
+func (b *Backend) nearestToCentroid(ns *netScratch, m int) int {
+	var cx, cy float64
+	for i := 0; i < m; i++ {
+		p := b.s.posPoint(ns.pos[i])
+		cx += p.X
+		cy += p.Y
+	}
+	inv := 1 / float64(m)
+	return b.s.net.NearestNode(geom.Pt(cx*inv, cy*inv))
+}
+
+// buildEntry runs one truncated Dijkstra from the key node, collecting
+// its k network-nearest POIs and the guarantee radius.
+func (b *Backend) buildEntry(ns *netScratch, key int) *cacheEnt {
+	var sr search
+	sr.reset(b.s, NodePos(key))
+	e := &cacheEnt{dj: math.Inf(1)}
+	for len(e.pois) < b.cache.k {
+		node, d, ok := sr.settleNext(b.s)
+		if !ok {
+			break
+		}
+		if j := b.poiIdx[node]; j >= 0 {
+			e.pois = append(e.pois, j)
+			e.dj = d
+		}
+	}
+	if len(e.pois) >= len(b.s.pois) {
+		e.all = true
+	}
+	if len(e.pois) < b.cache.k {
+		// Exhausted the component: every reachable POI is stored, and
+		// unreachable ones are at infinite distance anyway.
+		e.all = len(e.pois) == len(b.s.pois)
+		e.dj = math.Inf(1)
+	}
+	sort.Slice(e.pois, func(x, y int) bool { return e.pois[x] < e.pois[y] })
+	return e
+}

@@ -17,11 +17,11 @@
 package netmpn
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
 
+	"mpn/internal/heapq"
 	"mpn/internal/roadnet"
 )
 
@@ -68,9 +68,10 @@ type Server struct {
 
 // Errors returned by the package.
 var (
-	ErrNoPOIs  = errors.New("netmpn: no POIs")
-	ErrNoUsers = errors.New("netmpn: no users")
-	ErrBadPos  = errors.New("netmpn: invalid position")
+	ErrNoPOIs      = errors.New("netmpn: no POIs")
+	ErrNoUsers     = errors.New("netmpn: no users")
+	ErrBadPos      = errors.New("netmpn: invalid position")
+	ErrUnreachable = errors.New("netmpn: POIs unreachable from some user")
 )
 
 // NewServer builds a network MPN server. poiNodes are the node ids that
@@ -139,11 +140,11 @@ func (s *Server) sssp(from Position) []float64 {
 	for i := range dist {
 		dist[i] = math.Inf(1)
 	}
-	var q nodeQueue
+	var q []nodeEntry
 	push := func(n int, d float64) {
 		if d < dist[n] {
 			dist[n] = d
-			heap.Push(&q, nodeEntry{node: n, dist: d})
+			q = heapq.Push(q, nodeEntry{node: n, dist: d})
 		}
 	}
 	if from.A == from.B {
@@ -153,8 +154,9 @@ func (s *Server) sssp(from Position) []float64 {
 		push(from.A, from.T*l)
 		push(from.B, (1-from.T)*l)
 	}
-	for q.Len() > 0 {
-		e := heap.Pop(&q).(nodeEntry)
+	for len(q) > 0 {
+		var e nodeEntry
+		e, q = heapq.Pop(q)
 		if e.dist > dist[e.node] {
 			continue
 		}
@@ -179,6 +181,12 @@ type Result struct {
 // Plan computes the optimal meeting POI and one network range safe region
 // per user. The same Theorem 1/5 radius argument applies because the
 // network distance is a metric.
+//
+// Plan pays one full single-source Dijkstra per member and scans every
+// POI — the naive baseline. It is retained as the differential oracle
+// for the landmark-accelerated Backend (whose plans are byte-identical
+// to Plan's on every input, see backend.go) and as the net_plan_naive
+// benchmark series the speedup gate compares against.
 func (s *Server) Plan(users []Position, agg Aggregate) (Result, []RangeRegion, error) {
 	if len(users) == 0 {
 		return Result{}, nil, ErrNoUsers
@@ -216,7 +224,7 @@ func (s *Server) Plan(users []Position, agg Aggregate) (Result, []RangeRegion, e
 		}
 	}
 	if best.Node == -1 || math.IsInf(best.Dist, 1) {
-		return Result{}, nil, errors.New("netmpn: POIs unreachable from some user")
+		return Result{}, nil, ErrUnreachable
 	}
 
 	var rmax float64
@@ -241,21 +249,16 @@ func (s *Server) Plan(users []Position, agg Aggregate) (Result, []RangeRegion, e
 	return best, regions, nil
 }
 
-// nodeEntry / nodeQueue implement the Dijkstra priority queue.
+// nodeEntry is one Dijkstra frontier entry; the queues are plain
+// []nodeEntry slices driven by the generic internal/heapq primitives, so
+// pushes and pops move typed values with no interface boxing (the seed
+// implementation went through container/heap, which allocated one
+// interface{} conversion per operation on the hottest loop of the
+// package).
 type nodeEntry struct {
 	node int
 	dist float64
 }
 
-type nodeQueue []nodeEntry
-
-func (q nodeQueue) Len() int            { return len(q) }
-func (q nodeQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
-func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(nodeEntry)) }
-func (q *nodeQueue) Pop() interface{} {
-	old := *q
-	e := old[len(old)-1]
-	*q = old[:len(old)-1]
-	return e
-}
+// Less orders the frontier by tentative distance (heapq.Ordered).
+func (e nodeEntry) Less(o nodeEntry) bool { return e.dist < o.dist }

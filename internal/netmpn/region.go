@@ -1,9 +1,10 @@
 package netmpn
 
 import (
-	"container/heap"
 	"math"
 	"sort"
+
+	"mpn/internal/heapq"
 )
 
 // RangeRegion is a network range safe region: every point of the road
@@ -48,14 +49,14 @@ func (s *Server) rangeRegion(center Position, radius float64) RangeRegion {
 
 	// Truncated Dijkstra over nodes.
 	dist := make(map[int]float64)
-	var q nodeQueue
+	var q []nodeEntry
 	push := func(n int, d float64) {
 		if d > radius {
 			return
 		}
 		if old, ok := dist[n]; !ok || d < old {
 			dist[n] = d
-			heap.Push(&q, nodeEntry{node: n, dist: d})
+			q = heapq.Push(q, nodeEntry{node: n, dist: d})
 		}
 	}
 	if center.A == center.B {
@@ -68,8 +69,9 @@ func (s *Server) rangeRegion(center Position, radius float64) RangeRegion {
 		// the endpoints are out of range.
 		r.coverAround(center, l, radius)
 	}
-	for q.Len() > 0 {
-		e := heap.Pop(&q).(nodeEntry)
+	for len(q) > 0 {
+		var e nodeEntry
+		e, q = heapq.Pop(q)
 		if d, ok := dist[e.node]; !ok || e.dist > d {
 			continue
 		}

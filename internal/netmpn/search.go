@@ -1,0 +1,129 @@
+package netmpn
+
+import (
+	"math"
+
+	"mpn/internal/heapq"
+)
+
+// search is a resumable single-source Dijkstra: it advances the frontier
+// only until the distances a caller actually asks for are settled, and
+// picks up where it stopped on the next ask. This is what lets the
+// landmark-accelerated planner (backend.go) answer "distance from user u
+// to POI p" for a handful of candidate POIs without paying the full
+// network sweep the naive Server.Plan pays per member.
+//
+// The settled distances are bit-identical to Server.sssp's: the seeding
+// and relaxation follow the same discipline (push iff strictly closer,
+// skip stale pops), and a Dijkstra label is final the moment its node
+// settles — the min over already-settled in-neighbors of dist+len, a
+// value independent of how the frontier orders equal keys, so stopping
+// early and resuming later replays a prefix of the very same
+// computation. The differential fences in backend_test.go hold the
+// planner to that claim.
+//
+// A search's slices persist across resets (grown once per workspace), so
+// steady-state planning performs no per-plan allocations here beyond
+// heap growth.
+type search struct {
+	dist    []float64
+	settled []bool
+	q       []nodeEntry
+	// touched records every node whose dist/settled slot was written, so
+	// reset clears O(|explored|) slots instead of O(|V|).
+	touched []int32
+}
+
+// reset re-seeds the search from a position, clearing only the state the
+// previous run dirtied.
+func (sr *search) reset(s *Server, from Position) {
+	n := s.net.NumNodes()
+	if cap(sr.dist) < n {
+		sr.dist = make([]float64, n)
+		sr.settled = make([]bool, n)
+		for i := range sr.dist {
+			sr.dist[i] = math.Inf(1)
+		}
+	} else {
+		sr.dist = sr.dist[:n]
+		sr.settled = sr.settled[:n]
+		for _, t := range sr.touched {
+			sr.dist[t] = math.Inf(1)
+			sr.settled[t] = false
+		}
+	}
+	sr.touched = sr.touched[:0]
+	sr.q = sr.q[:0]
+	if from.A == from.B {
+		sr.push(from.A, 0)
+	} else {
+		l := s.edgeLen[edgeKey(from.A, from.B)]
+		sr.push(from.A, from.T*l)
+		sr.push(from.B, (1-from.T)*l)
+	}
+}
+
+func (sr *search) push(n int, d float64) {
+	if d < sr.dist[n] {
+		if math.IsInf(sr.dist[n], 1) {
+			sr.touched = append(sr.touched, int32(n))
+		}
+		sr.dist[n] = d
+		sr.q = heapq.Push(sr.q, nodeEntry{node: n, dist: d})
+	}
+}
+
+// settleNext advances the frontier until one more node settles and
+// returns it; ok is false when the reachable component is exhausted.
+func (sr *search) settleNext(s *Server) (node int, d float64, ok bool) {
+	for len(sr.q) > 0 {
+		var e nodeEntry
+		e, sr.q = heapq.Pop(sr.q)
+		if e.dist > sr.dist[e.node] {
+			continue // stale entry, already settled closer
+		}
+		sr.settled[e.node] = true
+		for _, ed := range s.net.Adj[e.node] {
+			sr.push(ed.To, e.dist+ed.Len)
+		}
+		return e.node, e.dist, true
+	}
+	return 0, 0, false
+}
+
+// distTo returns the network distance from the search source to node,
+// advancing the frontier until node settles (or the reachable component
+// is exhausted, in which case the distance is +Inf).
+func (sr *search) distTo(s *Server, node int) float64 {
+	for !sr.settled[node] {
+		if _, _, ok := sr.settleNext(s); !ok {
+			break
+		}
+	}
+	return sr.dist[node]
+}
+
+// distToPos returns the network distance from the search source to an
+// arbitrary position: the best of entering p's edge through either
+// endpoint, and — when the source sits on the same undirected edge — the
+// direct along-edge walk.
+func (sr *search) distToPos(s *Server, src, p Position) float64 {
+	if p.A == p.B {
+		return sr.distTo(s, p.A)
+	}
+	l := s.edgeLen[edgeKey(p.A, p.B)]
+	d := sr.distTo(s, p.A) + p.T*l
+	if v := sr.distTo(s, p.B) + (1-p.T)*l; v < d {
+		d = v
+	}
+	if src.A != src.B && edgeKey(src.A, src.B) == edgeKey(p.A, p.B) {
+		st, pt := src.T, p.T
+		if src.A != p.A {
+			pt = 1 - pt // express both offsets from src's A endpoint
+		}
+		if v := math.Abs(st-pt) * l; v < d {
+			d = v
+		}
+	}
+	return d
+}

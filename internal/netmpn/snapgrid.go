@@ -1,0 +1,162 @@
+package netmpn
+
+import (
+	"math"
+
+	"mpn/internal/geom"
+	"mpn/internal/roadnet"
+)
+
+// snapGrid buckets the network's undirected edges into a uniform cell
+// grid so Snap projects a point onto the few nearby edges instead of
+// every edge in the network. Results are bit-identical to the exhaustive
+// scan (see snapSlow): candidate edges carry their exhaustive-scan index,
+// and ties on squared distance resolve to the lowest index, exactly the
+// order the full scan would have kept.
+type snapGrid struct {
+	edges []gridEdge
+	cells [][]int32 // cell (row-major) -> edge indices
+	n     int       // cells per axis
+	minX  float64
+	minY  float64
+	cell  float64 // cell side length
+}
+
+// gridEdge is one undirected edge with endpoints resolved, in the
+// exhaustive scan's iteration order (a ascending, adjacency order).
+type gridEdge struct {
+	a, b   int32
+	pa, pb geom.Point
+}
+
+func buildSnapGrid(net *roadnet.Network) *snapGrid {
+	g := &snapGrid{}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for a := range net.Adj {
+		pa := net.Nodes[a].P
+		minX, maxX = math.Min(minX, pa.X), math.Max(maxX, pa.X)
+		minY, maxY = math.Min(minY, pa.Y), math.Max(maxY, pa.Y)
+		for _, e := range net.Adj[a] {
+			if e.To < a {
+				continue // each undirected edge once, as in the full scan
+			}
+			g.edges = append(g.edges, gridEdge{
+				a: int32(a), b: int32(e.To),
+				pa: pa, pb: net.Nodes[e.To].P,
+			})
+		}
+	}
+	n := int(math.Sqrt(float64(len(g.edges))))
+	if n < 1 {
+		n = 1
+	}
+	if n > 256 {
+		n = 256
+	}
+	g.n = n
+	g.minX, g.minY = minX, minY
+	span := math.Max(maxX-minX, maxY-minY)
+	if span <= 0 {
+		span = 1
+	}
+	g.cell = span / float64(n)
+	g.cells = make([][]int32, n*n)
+	for i, e := range g.edges {
+		x0, y0 := g.cellOf(math.Min(e.pa.X, e.pb.X), math.Min(e.pa.Y, e.pb.Y))
+		x1, y1 := g.cellOf(math.Max(e.pa.X, e.pb.X), math.Max(e.pa.Y, e.pb.Y))
+		for cy := y0; cy <= y1; cy++ {
+			for cx := x0; cx <= x1; cx++ {
+				c := cy*n + cx
+				g.cells[c] = append(g.cells[c], int32(i))
+			}
+		}
+	}
+	return g
+}
+
+func (g *snapGrid) cellOf(x, y float64) (cx, cy int) {
+	cx = int((x - g.minX) / g.cell)
+	cy = int((y - g.minY) / g.cell)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= g.n {
+		cx = g.n - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= g.n {
+		cy = g.n - 1
+	}
+	return cx, cy
+}
+
+// project returns the squared distance from p to edge i and the clamped
+// edge parameter, with the same floating-point operations as the
+// exhaustive scan.
+func (g *snapGrid) project(i int32, p geom.Point) (d2, t float64) {
+	e := &g.edges[i]
+	ab := e.pb.Sub(e.pa)
+	den := ab.Dot(ab)
+	if den > 0 {
+		t = p.Sub(e.pa).Dot(ab) / den
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+	}
+	return p.Dist2(e.pa.Add(ab.Scale(t))), t
+}
+
+// snap finds the network position nearest to p: the grid is searched in
+// expanding Chebyshev rings around p's cell, stopping once no farther
+// ring can hold a closer edge. Chebyshev cell distance lower-bounds
+// Euclidean distance, so the cut is safe; the ≤ in the stop test keeps
+// ring candidates that tie the current best, preserving the lowest-index
+// tie-break of the exhaustive scan.
+func (g *snapGrid) snap(p geom.Point) Position {
+	if len(g.edges) == 0 {
+		return Position{}
+	}
+	cx, cy := g.cellOf(p.X, p.Y)
+	best := math.Inf(1)
+	bestIdx := int32(-1)
+	bestT := 0.0
+	consider := func(c int) {
+		for _, i := range g.cells[c] {
+			d2, t := g.project(i, p)
+			if d2 < best || (d2 == best && i < bestIdx) {
+				best, bestIdx, bestT = d2, i, t
+			}
+		}
+	}
+	for ring := 0; ring < 2*g.n; ring++ {
+		if bestIdx >= 0 {
+			// Any cell at Chebyshev ring r is at least (r−1)·cell from p
+			// (p lies somewhere inside its own cell).
+			if lb := float64(ring-1) * g.cell; lb > 0 && lb*lb > best {
+				break
+			}
+		}
+		x0, x1 := cx-ring, cx+ring
+		y0, y1 := cy-ring, cy+ring
+		for y := y0; y <= y1; y++ {
+			if y < 0 || y >= g.n {
+				continue
+			}
+			for x := x0; x <= x1; x++ {
+				if x < 0 || x >= g.n {
+					continue
+				}
+				// Ring perimeter only: interior cells were prior rings.
+				if ring > 0 && x != x0 && x != x1 && y != y0 && y != y1 {
+					continue
+				}
+				consider(y*g.n + x)
+			}
+		}
+	}
+	e := &g.edges[bestIdx]
+	return Position{A: int(e.a), B: int(e.b), T: bestT}
+}

@@ -12,6 +12,7 @@ import (
 	"mpn/internal/core"
 	"mpn/internal/faultinject"
 	"mpn/internal/geom"
+	"mpn/internal/netmpn"
 	"mpn/internal/tileenc"
 )
 
@@ -784,7 +785,8 @@ func sortU32(xs []uint32) {
 
 // EncodeRegion mirrors the public mpn.EncodeRegion format so clients of
 // either layer interoperate: 25 bytes for a circle (tag byte + three
-// float64s), the tileenc codec for tile regions. encodeRegion is the
+// float64s), the 'N'-tagged covered-segment codec for network range
+// regions, the tileenc codec for tile regions. encodeRegion is the
 // internal alias.
 func EncodeRegion(r core.SafeRegion) []byte { return encodeRegion(r) }
 
@@ -796,6 +798,9 @@ func encodeRegion(r core.SafeRegion) []byte {
 		buf = appendF(buf, r.Circle.C.Y)
 		buf = appendF(buf, r.Circle.R)
 		return buf
+	}
+	if r.Kind == core.KindNetRange {
+		return r.Net.AppendEncode(nil)
 	}
 	delta := 0.0
 	for _, t := range r.Tiles {
@@ -810,6 +815,13 @@ func encodeRegion(r core.SafeRegion) []byte {
 func DecodeRegion(data []byte) (core.SafeRegion, error) {
 	if len(data) == 25 && data[0] == 'C' {
 		return core.CircleRegion(geom.Pt(readF(data, 1), readF(data, 9)), readF(data, 17)), nil
+	}
+	if len(data) > 0 && data[0] == 'N' {
+		nr, err := netmpn.DecodeRegion(data)
+		if err != nil {
+			return core.SafeRegion{}, err
+		}
+		return core.NetRegion(nr), nil
 	}
 	tiles, err := tileenc.Decode(data)
 	if err != nil {

@@ -296,19 +296,14 @@ func (s *session) update(t int, met *Metrics, initial bool) {
 			}
 		}
 	}
-	var plan core.Plan
-	out := core.IncFull
-	var err error
-	switch {
-	case s.cfg.Method == MethodCircle && s.cfg.Incremental:
-		plan, out, err = s.planner.CircleMSRIncCachedInto(s.ws, s.cfg.SharedCache, &s.state, users)
-	case s.cfg.Method == MethodCircle:
-		plan, err = s.planner.CircleMSRCachedInto(s.ws, s.cfg.SharedCache, users)
-	case s.cfg.Incremental:
-		plan, out, err = s.planner.TileMSRIncCachedInto(s.ws, s.cfg.SharedCache, &s.state, users, dirs)
-	default:
-		plan, err = s.planner.TileMSRCachedInto(s.ws, s.cfg.SharedCache, users, dirs)
+	req := core.PlanRequest{Kind: core.KindTiles, Users: users, Dirs: dirs, Cache: s.cfg.SharedCache}
+	if s.cfg.Method == MethodCircle {
+		req.Kind = core.KindCircle
 	}
+	if s.cfg.Incremental {
+		req.State = &s.state
+	}
+	plan, out, err := s.planner.Plan(s.ws, req)
 	met.ServerCPU += time.Since(start)
 	switch out {
 	case core.IncKept:

@@ -7,9 +7,27 @@ import (
 	"mpn/internal/core"
 	"mpn/internal/engine"
 	"mpn/internal/geom"
+	"mpn/internal/gnn"
 	"mpn/internal/nbrcache"
+	"mpn/internal/netmpn"
+	"mpn/internal/roadnet"
 	"mpn/internal/tileenc"
 )
+
+// RoadNetwork is an embedded road network for the NetRange method (see
+// WithRoadNetwork). It aliases the internal type, so generated or
+// hand-built networks flow into the public API without conversion.
+type RoadNetwork = roadnet.Network
+
+// RoadNetConfig parameterizes GenerateRoadNetwork.
+type RoadNetConfig = roadnet.Config
+
+// DefaultRoadNetConfig returns the standard synthetic grid-with-defects
+// road network configuration.
+func DefaultRoadNetConfig() RoadNetConfig { return roadnet.DefaultConfig() }
+
+// GenerateRoadNetwork builds a synthetic embedded road network.
+func GenerateRoadNetwork(cfg RoadNetConfig) (*RoadNetwork, error) { return roadnet.Generate(cfg) }
 
 // Point is a planar location. It aliases the internal geometry type so
 // values flow between the public API and the internal packages without
@@ -103,6 +121,22 @@ func NewServer(pois []Point, opts ...Option) (*Server, error) {
 			return nil, err
 		}
 	}
+	if cfg.method == NetRange {
+		if cfg.network == nil {
+			return nil, fmt.Errorf("mpn: method %v requires WithRoadNetwork", NetRange)
+		}
+		if cfg.cacheBytes > 0 {
+			return nil, fmt.Errorf("mpn: WithSharedGNNCache applies to Euclidean planning; use WithNetCache with %v", NetRange)
+		}
+		// The indexed POI set is the network POI nodes' embedded
+		// coordinates; the pois argument is ignored (see WithRoadNetwork).
+		pois = make([]Point, len(cfg.poiNodes))
+		for i, n := range cfg.poiNodes {
+			pois[i] = cfg.network.Nodes[n].P
+		}
+	} else if cfg.network != nil {
+		return nil, fmt.Errorf("mpn: WithRoadNetwork requires method %v, got %v", NetRange, cfg.method)
+	}
 	planner, err := core.NewPlanner(pois, cfg.core)
 	if err != nil {
 		return nil, fmt.Errorf("mpn: %w", err)
@@ -119,14 +153,35 @@ func NewServer(pois []Point, opts ...Option) (*Server, error) {
 		// (dirty-tile invalidation) instead of cooling the whole cache.
 		planner.ShareCache(s.cache)
 	}
-	s.planWS = engine.PlannerCachedWSFunc(planner, circle, s.cache)
 	eopts := engine.Options{
 		Shards: cfg.shards, Workers: cfg.workers, QueueDepth: cfg.queueDepth,
 		AdmissionWait: cfg.admissionWait, CloseTimeout: cfg.closeTimeout,
 		TileAffinity: cfg.tileAffinity,
 	}
-	if cfg.incremental {
-		eopts.Replan = engine.PlannerIncCachedFunc(planner, circle, s.cache)
+	if cfg.method == NetRange {
+		agg := netmpn.Max
+		if cfg.core.Aggregate == gnn.Sum {
+			agg = netmpn.Sum
+		}
+		backend, err := netmpn.NewBackend(cfg.network, cfg.poiNodes, netmpn.BackendConfig{
+			Aggregate:    agg,
+			Landmarks:    cfg.landmarks,
+			CacheEntries: cfg.netCacheEntries,
+			CacheK:       cfg.netCacheK,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("mpn: %w", err)
+		}
+		planner.RegisterNetBackend(backend)
+		s.planWS = engine.PlannerKindWSFunc(planner, core.KindNetRange, nil)
+		if cfg.incremental {
+			eopts.Replan = engine.PlannerKindIncFunc(planner, core.KindNetRange, nil)
+		}
+	} else {
+		s.planWS = engine.PlannerCachedWSFunc(planner, circle, s.cache)
+		if cfg.incremental {
+			eopts.Replan = engine.PlannerIncCachedFunc(planner, circle, s.cache)
+		}
 	}
 	s.engine = engine.NewWS(s.planWS, eopts)
 	return s, nil
@@ -333,8 +388,9 @@ func (g *Group) Stats() Stats {
 }
 
 // EncodeRegion serializes a safe region for transmission: 25 bytes for a
-// circle (1 tag byte + 3 little-endian float64s), the compact tile codec
-// otherwise. DecodeRegion reverses it.
+// circle (1 tag byte + 3 little-endian float64s), a tagged
+// covered-segment encoding for a network range region, the compact tile
+// codec otherwise. DecodeRegion reverses it.
 func EncodeRegion(r SafeRegion) []byte {
 	if r.Kind == core.KindCircle {
 		buf := make([]byte, 0, 25)
@@ -343,6 +399,9 @@ func EncodeRegion(r SafeRegion) []byte {
 		buf = appendFloat(buf, r.Circle.C.Y)
 		buf = appendFloat(buf, r.Circle.R)
 		return buf
+	}
+	if r.Kind == core.KindNetRange {
+		return r.Net.AppendEncode(nil)
 	}
 	delta := 0.0
 	for _, t := range r.Tiles {
@@ -360,6 +419,13 @@ func DecodeRegion(data []byte) (SafeRegion, error) {
 			Pt(floatAt(data, 1), floatAt(data, 9)),
 			floatAt(data, 17),
 		), nil
+	}
+	if len(data) > 0 && data[0] == 'N' {
+		nr, err := netmpn.DecodeRegion(data)
+		if err != nil {
+			return SafeRegion{}, err
+		}
+		return core.NetRegion(nr), nil
 	}
 	tiles, err := tileenc.Decode(data)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"mpn/internal/core"
 	"mpn/internal/engine"
 	"mpn/internal/gnn"
+	"mpn/internal/roadnet"
 )
 
 // Aggregate selects the meeting-point objective.
@@ -49,6 +50,11 @@ const (
 	// Circle assigns every user a circle of the maximal common radius:
 	// cheapest to compute, most frequent updates.
 	Circle
+	// NetRange computes the meeting point and safe regions under
+	// shortest-path distance on a road network instead of Euclidean
+	// distance: each user's region is the set of network positions within
+	// a common network radius of her location. Requires WithRoadNetwork.
+	NetRange
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +64,8 @@ func (m Method) String() string {
 		return "circle"
 	case Tile:
 		return "tile"
+	case NetRange:
+		return "net-range"
 	default:
 		return "tile-directed"
 	}
@@ -81,6 +89,13 @@ type config struct {
 	// admission wait, 5s close drain).
 	admissionWait time.Duration
 	closeTimeout  time.Duration
+
+	// Road-network backend (NetRange method only).
+	network         *roadnet.Network
+	poiNodes        []int
+	landmarks       int
+	netCacheEntries int
+	netCacheK       int
 }
 
 func defaultConfig() config {
@@ -97,13 +112,76 @@ type Option func(*config) error
 func WithMethod(m Method) Option {
 	return func(c *config) error {
 		switch m {
-		case Circle, Tile, TileDirected:
+		case Circle, Tile, TileDirected, NetRange:
 			c.method = m
 			c.core.Directed = m == TileDirected
 			return nil
 		default:
 			return fmt.Errorf("mpn: unknown method %d", m)
 		}
+	}
+}
+
+// WithRoadNetwork supplies the road network the NetRange method plans
+// over and selects that method. The POI set is the given network nodes
+// (by index into net's node slice); the pois argument of NewServer is
+// ignored for planning and may be nil. Safe regions become network range
+// regions: the covered road segments within a common shortest-path
+// radius of each member, encoded on the wire with the 'N' tag.
+func WithRoadNetwork(net *RoadNetwork, poiNodes []int) Option {
+	return func(c *config) error {
+		if net == nil {
+			return fmt.Errorf("mpn: nil road network")
+		}
+		if len(poiNodes) == 0 {
+			return fmt.Errorf("mpn: road network POI node set is empty")
+		}
+		for _, n := range poiNodes {
+			if n < 0 || n >= net.NumNodes() {
+				return fmt.Errorf("mpn: POI node %d out of range [0, %d)", n, net.NumNodes())
+			}
+		}
+		c.network = net
+		c.poiNodes = poiNodes
+		c.method = NetRange
+		c.core.Directed = false
+		return nil
+	}
+}
+
+// WithNetLandmarks sets the ALT landmark count for the road-network
+// backend's lower-bound pruning (default 8). More landmarks tighten the
+// bounds at higher preprocessing and per-query cost. Only meaningful
+// together with WithRoadNetwork.
+func WithNetLandmarks(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("mpn: landmark count %d must be positive", n)
+		}
+		c.landmarks = n
+		return nil
+	}
+}
+
+// WithNetCache enables the road-network neighborhood cache: entries keyed
+// by each group's nearest network node certify cached candidate POIs with
+// landmark lower bounds, so clustered groups skip most shortest-path
+// work. Cached plans are byte-identical to uncached ones (every hit is
+// certified exactly; uncertifiable hits fall back to the full search).
+// entries bounds the LRU entry count; k is how many network-nearest POIs
+// each entry certifies (0 selects the backend default). Only meaningful
+// together with WithRoadNetwork.
+func WithNetCache(entries, k int) Option {
+	return func(c *config) error {
+		if entries < 1 {
+			return fmt.Errorf("mpn: net cache entry bound %d must be positive", entries)
+		}
+		if k < 0 {
+			return fmt.Errorf("mpn: net cache k %d must be non-negative", k)
+		}
+		c.netCacheEntries = entries
+		c.netCacheK = k
+		return nil
 	}
 }
 
