@@ -4,12 +4,14 @@
 // regresses beyond tolerance — more than -tol relative ns/op increase
 // (default 0.25), or any allocs/op increase at all (allocation counts
 // are deterministic, so even +1 is a real regression; the churn_*
-// series alone get a slack of 2, see allocSlack). It also enforces three
-// machine-independent floors on the current report: the delta
+// series alone get a slack of 2, see allocSlack). It also enforces four
+// machine-independent in-report bounds on the current report: the delta
 // notification protocol's wire-byte reduction (enforceDeltaReduction),
 // the shared cache's hit rate under localized POI churn
-// (enforceChurnHitRate), and the road-network backend's speedup over the
-// per-member full-SSSP oracle (enforceNetSpeedup).
+// (enforceChurnHitRate), the road-network backend's speedup over the
+// per-member full-SSSP oracle (enforceNetSpeedup), and the WAL
+// journal's overhead ceiling on the steady-state update path
+// (enforceDurableOverhead).
 //
 // The baseline is typically produced on a different machine than the
 // gate run (a developer box vs a CI runner), so raw ns/op ratios mostly
@@ -178,6 +180,7 @@ func main() {
 	failures += enforceDeltaReduction(current)
 	failures += enforceChurnHitRate(current)
 	failures += enforceNetSpeedup(current)
+	failures += enforceDurableOverhead(current)
 	if failures > 0 {
 		fmt.Printf("\nbenchgate: %d regression(s) beyond tolerance\n", failures)
 		os.Exit(1)
@@ -310,6 +313,58 @@ func enforceNetSpeedup(current map[key]benchfmt.Series) int {
 		}
 		fmt.Printf("net plan speedup m=%d: %.0f ns/op → %.0f ns/op (%.1fx)%s\n",
 			s.GroupSize, naive.NsPerOp, s.NsPerOp, ratio, status)
+	}
+	return failures
+}
+
+// maxDurableOverhead is the enforced ceiling on what WAL journaling may
+// cost the steady-state update path: durable_update (update_inc's exact
+// workload with the group-state journal attached at fsync=interval) may
+// take at most this many times update_inc's ns/op. The hook only
+// encodes and enqueues — file I/O runs on the store's writer goroutine —
+// so the true per-update cost is a record encode plus a channel send
+// (~hundreds of ns on a multi-µs update). The ceiling is deliberately
+// coarse: on shared CI runners the writer goroutine's background I/O
+// adds scheduler noise well above the hook's own cost, and what the
+// fence exists to catch — an fsync or compaction accidentally moved
+// onto the update's critical path — is a 10×+ effect, not a 2× one.
+const (
+	maxDurableOverhead  = 2.0
+	durableUpdateSeries = "durable_update"
+	updateIncSeries     = "update_inc"
+)
+
+// enforceDurableOverhead checks the current report's durable_update
+// series against the update_inc baseline at the same group size. Both
+// run in the same process on the same machine, so the ratio is
+// machine-independent. A missing pair fails — the durability series must
+// not silently drop out of the report. Returns the number of failures.
+func enforceDurableOverhead(current map[key]benchfmt.Series) int {
+	failures := 0
+	seen := false
+	for _, s := range sortedSeries(current) {
+		if s.Name != durableUpdateSeries {
+			continue
+		}
+		seen = true
+		inc, ok := current[key{updateIncSeries, s.GroupSize}]
+		if !ok || inc.NsPerOp <= 0 {
+			fmt.Printf("durable overhead m=%d: update_inc baseline missing  FAIL\n", s.GroupSize)
+			failures++
+			continue
+		}
+		ratio := s.NsPerOp / inc.NsPerOp
+		status := ""
+		if ratio > maxDurableOverhead {
+			status = fmt.Sprintf("  FAIL overhead %.2fx > %.2fx", ratio, maxDurableOverhead)
+			failures++
+		}
+		fmt.Printf("durable update overhead m=%d: %.0f ns/op → %.0f ns/op (%.2fx, ceiling %.2fx)%s\n",
+			s.GroupSize, inc.NsPerOp, s.NsPerOp, ratio, maxDurableOverhead, status)
+	}
+	if !seen {
+		fmt.Printf("durable overhead: durable_update series missing from report  FAIL\n")
+		failures++
 	}
 	return failures
 }

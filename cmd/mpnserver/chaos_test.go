@@ -47,6 +47,12 @@ type chaosSchedule struct {
 	// restart kills the server mid-churn and brings a fresh one up on a
 	// new port (clients must re-register and rebuild the group).
 	restart bool
+	// durable runs the server with a state directory shared across the
+	// restart: the kill is a simulated crash (WAL truncated to its last
+	// fsynced byte, nothing drained), and the replacement server must
+	// re-own every durable group from the recovered log before taking
+	// traffic.
+	durable bool
 	// tweak adjusts the server config (e.g. a starved queue).
 	tweak func(*serverConfig)
 }
@@ -101,6 +107,46 @@ func chaosSchedules() []chaosSchedule {
 		{
 			name:    "server-restart",
 			restart: true,
+		},
+		{
+			// Kill-and-restore: crash the durable server mid-churn and
+			// fence the restored one against the same fault-free plan.
+			name:    "kill-restore",
+			restart: true,
+			durable: true,
+		},
+		{
+			// Same, with a torn write on disk: one WAL append persists
+			// only its first 5 bytes (a frame header cut mid-field, as a
+			// real power cut can leave), then the writer wedges. Recovery
+			// must truncate the torn tail and restore the valid prefix.
+			name:    "kill-restore-torn",
+			restart: true,
+			durable: true,
+			script: func(seed int64) faultinject.Script {
+				return faultinject.Script{
+					faultinject.WALAppend: func(hit uint64) faultinject.Effect {
+						if hit == 3 {
+							return faultinject.Effect{ShortWrite: 5}
+						}
+						return faultinject.Effect{}
+					},
+				}
+			},
+		},
+		{
+			// Same, crashing before the fsync can run: the sync path
+			// panics (recovered by the writer as a crash), so everything
+			// after the last completed sync is lost — recovery must come
+			// up from the older prefix without phantom state.
+			name:    "kill-restore-nosync",
+			restart: true,
+			durable: true,
+			script: func(seed int64) faultinject.Script {
+				return faultinject.Script{
+					faultinject.WALSync: faultinject.PanicOn(2, "chaos: injected crash before fsync"),
+				}
+			},
 		},
 	}
 }
@@ -183,6 +229,38 @@ func (h *chaosHarness) kill() {
 	ln.Close()
 	ln.(*trackingListener).killConns()
 	srv.close()
+}
+
+// crash is kill without the clean shutdown: the WAL is truncated to its
+// last fsynced byte before anything drains, so the replacement server
+// recovers exactly what a dead process would have left on disk.
+func (h *chaosHarness) crash() {
+	h.mu.Lock()
+	srv, ln, live := h.srv, h.ln, h.live
+	h.live = false
+	h.mu.Unlock()
+	if !live {
+		return
+	}
+	// Wedge the WAL before severing connections: a dead process cannot
+	// journal the group teardowns its disappearing clients would cause.
+	// (Severing first would fsync those unregistrations and durably
+	// dissolve groups the crash should have preserved.)
+	srv.crash()
+	ln.Close()
+	ln.(*trackingListener).killConns()
+}
+
+// ownsGroup reports whether the current server holds an engine mapping
+// for the protocol group (i.e. re-owns it after a durable restore).
+func (h *chaosHarness) ownsGroup(gid uint32) bool {
+	h.mu.Lock()
+	srv := h.srv
+	h.mu.Unlock()
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	_, ok := srv.gidToEngine[gid]
+	return ok
 }
 
 func (h *chaosHarness) setFaultsLive(v bool) {
@@ -338,6 +416,14 @@ func runChaosSchedule(t *testing.T, sched chaosSchedule, seed int64, pois, start
 		readTimeout: 2 * time.Second, writeTimeout: 2 * time.Second,
 		logger: log.New(io.Discard, "", 0),
 	}
+	if sched.durable {
+		// One state directory across the whole schedule: the restarted
+		// server recovers from it. A short fsync interval keeps the
+		// crash loss window tight relative to the 20ms churn cadence.
+		cfg.stateDir = t.TempDir()
+		cfg.fsync = "interval"
+		cfg.fsyncEvery = 2 * time.Millisecond
+	}
 	if sched.tweak != nil {
 		sched.tweak(&cfg)
 	}
@@ -381,8 +467,20 @@ func runChaosSchedule(t *testing.T, sched chaosSchedule, seed int64, pois, start
 	const rounds = 18
 	for r := 0; r < rounds; r++ {
 		if sched.restart && r == rounds/2 {
-			h.kill()
-			h.start() // fresh port; the dial function re-reads addr()
+			if sched.durable {
+				h.crash()
+				h.start() // recovers the state directory on boot
+				// The group was journaled and fsynced long before the
+				// crash (registration commits at round 0, the fsync
+				// interval is milliseconds), so the restored server must
+				// already own it — before any client reconnects.
+				if !h.ownsGroup(1) {
+					t.Fatal("restored server does not own the durable group")
+				}
+			} else {
+				h.kill()
+				h.start() // fresh port; the dial function re-reads addr()
+			}
 		}
 		u := users[r%len(users)]
 		u.setLoc(scriptLoc(r))

@@ -19,12 +19,26 @@
 // is ~10 bytes — with automatic full-frame fallback on registration,
 // reconnect, dropped frames, and client NACKs.
 //
+// With -state-dir the server's authoritative state — group
+// registrations and membership, last committed member locations, and
+// POI mutations — is journaled to a CRC-framed write-ahead log with
+// periodic snapshot compaction (internal/durable). On boot the
+// directory is replayed (a torn tail from a crash is truncated, never
+// fatal) and every recovered group is re-registered with the compute
+// engine, so reconnecting clients resume through the ordinary
+// full-snapshot-on-register path. -fsync picks the loss window:
+// "always" survives any crash minus the queued tail, "interval"
+// (default) bounds loss to one sync period, "off" defers to the OS.
+// Journaling runs behind a bounded queue off the planning path — under
+// pressure records are shed and counted, never blocking a replan.
+//
 // Usage:
 //
 //	mpnserver [-listen :7464] [-method circle|tile|tiled|net] [-agg max|sum]
 //	          [-n 21287] [-alpha 30] [-buffer 100] [-seed 42] [-pois FILE.csv]
 //	          [-shards N] [-workers N] [-queue N] [-incremental] [-gnncache N]
 //	          [-delta=true] [-affinity] [-network] [-poi-every 9]
+//	          [-state-dir DIR] [-fsync always|interval|off]
 //
 // POIs are generated synthetically unless -pois points to a CSV of "x,y"
 // lines (as produced by cmd/poigen). With -network (or -method net) the
@@ -42,6 +56,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -49,6 +64,7 @@ import (
 	"time"
 
 	"mpn/internal/core"
+	"mpn/internal/durable"
 	"mpn/internal/engine"
 	"mpn/internal/geom"
 	"mpn/internal/gnn"
@@ -85,6 +101,8 @@ func main() {
 	slowLimit := flag.Int("slow-limit", 0, "consecutive outbox drops before a slow client is disconnected (0 = default, negative = never)")
 	admissionWait := flag.Duration("admission-wait", 0, "how long a report may wait for shard queue space before being shed (0 = engine default, negative = shed immediately)")
 	closeTimeout := flag.Duration("close-timeout", 0, "how long shutdown drains queued recomputations before abandoning them (0 = engine default, negative = unbounded)")
+	stateDir := flag.String("state-dir", "", "durable state directory (write-ahead log + snapshots); restored on boot, empty disables durability")
+	fsync := flag.String("fsync", "interval", "WAL fsync policy: always (per write batch), interval (periodic, bounded loss), off (clean close only)")
 	flag.Parse()
 
 	if *network {
@@ -105,6 +123,7 @@ func main() {
 		readTimeout: *readTimeout, writeTimeout: *writeTimeout,
 		slowLimit:     *slowLimit,
 		admissionWait: *admissionWait, closeTimeout: *closeTimeout,
+		stateDir: *stateDir, fsync: *fsync,
 		logger: log.Default(),
 	})
 	if err != nil {
@@ -149,7 +168,14 @@ type serverConfig struct {
 	readTimeout, writeTimeout   time.Duration
 	slowLimit                   int
 	admissionWait, closeTimeout time.Duration
-	logger                      *log.Logger
+	// Durability (empty stateDir disables): fsync is the WAL sync
+	// policy ("" = interval), fsyncEvery shortens the interval period
+	// (0 = store default; tests use milliseconds to tighten the crash
+	// loss window deterministically).
+	stateDir   string
+	fsync      string
+	fsyncEvery time.Duration
+	logger     *log.Logger
 }
 
 // server wires the protocol coordinator to the sharded group engine: the
@@ -157,10 +183,18 @@ type serverConfig struct {
 // pool, and the fan-out goroutine delivers notifications back to the
 // members' connections.
 type server struct {
-	eng    *engine.Engine
-	coord  *proto.Coordinator
-	sub    *engine.Subscription
-	logger *log.Logger
+	eng     *engine.Engine
+	coord   *proto.Coordinator
+	sub     *engine.Subscription
+	planner *core.Planner
+	logger  *log.Logger
+
+	// store journals group/POI state when durability is on (nil
+	// otherwise); journalOn gates the engine's journal hook so
+	// boot-time restore — whose state is already in the log — is not
+	// re-journaled while it re-registers recovered groups.
+	store     *durable.Store
+	journalOn atomic.Bool
 
 	readTimeout  time.Duration
 	writeTimeout time.Duration
@@ -175,6 +209,39 @@ type server struct {
 	engineToGid map[engine.GroupID]uint32
 
 	fanoutDone chan struct{}
+}
+
+// reportTag travels with every engine registration and submission for a
+// protocol group: the protocol group id plus the ascending member-id
+// ordering the location snapshot was computed for. The fan-out fences
+// deliveries against membership churn with ids; the durable journal
+// logs committed state under gid, the group's stable identity.
+type reportTag struct {
+	gid uint32
+	ids []uint32
+}
+
+// serverJournal adapts engine.Journal to the durable store. The store's
+// hooks encode and enqueue without blocking, so these run safely under
+// the engine's group lock.
+type serverJournal struct{ s *server }
+
+func (j serverJournal) GroupCommitted(tag any, users []geom.Point, _ []core.Direction) {
+	if !j.s.journalOn.Load() {
+		return
+	}
+	if rt, ok := tag.(reportTag); ok {
+		j.s.store.GroupUpsert(rt.gid, rt.ids, users)
+	}
+}
+
+func (j serverJournal) GroupRemoved(tag any) {
+	if !j.s.journalOn.Load() {
+		return
+	}
+	if rt, ok := tag.(reportTag); ok {
+		j.s.store.GroupUnregister(rt.gid)
+	}
 }
 
 func newServer(cfg serverConfig) (*server, error) {
@@ -225,6 +292,55 @@ func newServer(cfg serverConfig) (*server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.logger == nil {
+		cfg.logger = log.New(os.Stderr, "", 0)
+	}
+
+	// Durable state: recover whatever a previous process persisted —
+	// truncating a torn tail from an unclean death — before any plan
+	// is computed, so restored groups plan against the restored POI
+	// set. The recorded POI base fences config drift: a state
+	// directory from a different -n/-seed/-pois boot is refused rather
+	// than silently merged.
+	var (
+		store    *durable.Store
+		restored *durable.State
+	)
+	if cfg.stateDir != "" {
+		pol := durable.PolicyInterval
+		if cfg.fsync != "" {
+			p, perr := durable.ParsePolicy(cfg.fsync)
+			if perr != nil {
+				return nil, perr
+			}
+			pol = p
+		}
+		var info durable.RecoverInfo
+		store, restored, info, err = durable.Open(durable.Config{
+			Dir: cfg.stateDir, Fsync: pol, Interval: cfg.fsyncEvery,
+			POIBase: len(cfg.pois),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("durable state %s: %w", cfg.stateDir, err)
+		}
+		if info.TornBytes > 0 {
+			cfg.logger.Printf("durable log had a torn tail: truncated %dB after %d valid records", info.TornBytes, info.LogRecords)
+		}
+		if len(restored.POIInserts) > 0 || len(restored.POIDeleted) > 0 {
+			if backend != nil {
+				store.Close()
+				return nil, fmt.Errorf("durable state %s holds POI churn, which the net method cannot replay", cfg.stateDir)
+			}
+			if _, aerr := planner.ApplyPOIs(restored.POIInserts, restored.POIDeleted); aerr != nil {
+				store.Close()
+				return nil, fmt.Errorf("durable state %s: POI replay: %w", cfg.stateDir, aerr)
+			}
+		}
+		// From here on, every applied POI batch is journaled (replay
+		// above predates the hook on purpose — it is already logged).
+		planner.OnMutate(store.POIBatch)
+	}
+
 	var cache *nbrcache.Cache // nil degrades the cached adapters below
 	if cfg.cacheBytes > 0 {
 		cache = nbrcache.New(nbrcache.Config{MaxBytes: cfg.cacheBytes})
@@ -235,9 +351,6 @@ func newServer(cfg serverConfig) (*server, error) {
 		plan = engine.PlannerKindWSFunc(planner, core.KindNetRange, nil)
 	} else {
 		plan = engine.PlannerCachedWSFunc(planner, cfg.method == "circle", cache)
-	}
-	if cfg.logger == nil {
-		cfg.logger = log.New(os.Stderr, "", 0)
 	}
 	eopts := engine.Options{
 		Shards: cfg.shards, Workers: cfg.workers, QueueDepth: cfg.queue,
@@ -254,7 +367,8 @@ func newServer(cfg serverConfig) (*server, error) {
 		eopts.TileAffinity = engine.DefaultTileAffinity
 	}
 	s := &server{
-		eng:          engine.NewWS(plan, eopts),
+		planner:      planner,
+		store:        store,
 		logger:       cfg.logger,
 		readTimeout:  cfg.readTimeout,
 		writeTimeout: cfg.writeTimeout,
@@ -262,6 +376,39 @@ func newServer(cfg serverConfig) (*server, error) {
 		engineToGid:  map[engine.GroupID]uint32{},
 		fanoutDone:   make(chan struct{}),
 	}
+	if store != nil {
+		eopts.Journal = serverJournal{s}
+	}
+	s.eng = engine.NewWS(plan, eopts)
+
+	// Re-own every recovered group before taking traffic: each is
+	// registered with its last committed member locations and retained
+	// id ordering, and its plan recomputes synchronously, so a member
+	// reconnecting a moment later resumes through the ordinary
+	// full-snapshot-on-register path as if the process never died. The
+	// journal stays disarmed — this state is already in the log.
+	if restored != nil && len(restored.Groups) > 0 {
+		gids := make([]uint32, 0, len(restored.Groups))
+		for gid := range restored.Groups {
+			gids = append(gids, gid)
+		}
+		sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+		ok := 0
+		for _, gid := range gids {
+			g := restored.Groups[gid]
+			eid, rerr := s.eng.RegisterTag(g.Locs, nil, reportTag{gid: gid, ids: g.IDs})
+			if rerr != nil {
+				cfg.logger.Printf("group %d: restore failed: %v", gid, rerr)
+				continue
+			}
+			s.gidToEngine[gid] = eid
+			s.engineToGid[eid] = gid
+			ok++
+		}
+		cfg.logger.Printf("restored %d/%d durable groups", ok, len(gids))
+	}
+	s.journalOn.Store(true)
+
 	s.coord = proto.NewAsyncCoordinator(s.submit, cfg.logger)
 	s.coord.SetGroupEmptyHook(s.onGroupEmpty)
 	s.coord.SetDeltaEnabled(cfg.delta)
@@ -285,9 +432,20 @@ func newServer(cfg serverConfig) (*server, error) {
 func (s *server) submit(gid uint32, ids []uint32, users []geom.Point) (geom.Point, []core.SafeRegion, []uint64, bool) {
 	s.mu.Lock()
 	eid, ok := s.gidToEngine[gid]
+	if ok && s.eng.Size(eid) != len(users) {
+		// The engine group was restored from the durable log with a
+		// member count the reconnecting clients no longer have (the
+		// group changed shape while the server was down). Retire the
+		// stale engine group — journaled, so a crash right here does
+		// not resurrect it — and register afresh from current state.
+		delete(s.gidToEngine, gid)
+		delete(s.engineToGid, eid)
+		s.eng.Unregister(eid)
+		ok = false
+	}
 	if !ok {
 		var err error
-		eid, err = s.eng.RegisterTag(users, nil, ids)
+		eid, err = s.eng.RegisterTag(users, nil, reportTag{gid: gid, ids: ids})
 		if err != nil {
 			s.mu.Unlock()
 			s.deliverError(gid, err)
@@ -304,7 +462,7 @@ func (s *server) submit(gid uint32, ids []uint32, users []geom.Point) (geom.Poin
 		return meeting, regions, epochs, true
 	}
 	s.mu.Unlock()
-	if err := s.eng.SubmitTag(eid, users, nil, ids); err != nil {
+	if err := s.eng.SubmitTag(eid, users, nil, reportTag{gid: gid, ids: ids}); err != nil {
 		s.deliverError(gid, err)
 	}
 	return geom.Point{}, nil, nil, false
@@ -350,8 +508,8 @@ func (s *server) fanout() {
 		if !ok {
 			continue // group already unregistered
 		}
-		ids, _ := n.Tag.([]uint32) // id ordering the snapshot was computed for
-		s.coord.DeliverEpochs(gid, ids, n.Meeting, n.Regions, n.Epochs, n.Err)
+		rt, _ := n.Tag.(reportTag) // id ordering the snapshot was computed for
+		s.coord.DeliverEpochs(gid, rt.ids, n.Meeting, n.Regions, n.Epochs, n.Err)
 		if n.Coalesced > 1 {
 			s.logger.Printf("group %d: recompute covered %d coalesced reports", gid, n.Coalesced)
 		}
@@ -410,7 +568,8 @@ type serverStats struct {
 	ReadErrors    uint64
 	WriteErrors   uint64
 	IdleTimeouts  uint64
-	FanoutDropped uint64 // engine→coordinator notification drops
+	FanoutDropped uint64        // engine→coordinator notification drops
+	WAL           durable.Stats // zero when durability is off
 }
 
 func (s *server) stats() serverStats {
@@ -419,7 +578,7 @@ func (s *server) stats() serverStats {
 		shed += sh.Shed
 		abandoned += sh.Abandoned
 	}
-	return serverStats{
+	st := serverStats{
 		ShedReports:   s.shedReports.Load(),
 		EngineShed:    shed,
 		EngineAbandon: abandoned,
@@ -432,6 +591,10 @@ func (s *server) stats() serverStats {
 		IdleTimeouts:  s.cstats.idleTimeouts.Load(),
 		FanoutDropped: s.sub.Dropped(),
 	}
+	if s.store != nil {
+		st.WAL = s.store.Stats()
+	}
+	return st
 }
 
 // close stops the engine (draining queued recomputations up to the
@@ -441,11 +604,34 @@ func (s *server) close() {
 	s.eng.Close()
 	<-s.fanoutDone
 	st := s.stats()
+	if s.store != nil {
+		// After the engine drained: the final journal records are
+		// queued, and a clean close fsyncs them.
+		if err := s.store.Close(); err != nil {
+			s.logger.Printf("durable close: %v", err)
+		}
+		w := s.store.Stats()
+		s.logger.Printf("wal: appended=%d shed=%d syncs=%d compactions=%d errors=%d wedged=%v",
+			w.Appended, w.Shed, w.Syncs, w.Compactions, w.Errors, w.Wedged)
+	}
 	s.logger.Printf("served %d conns (%dB in, %dB out); shed=%d abandoned=%d slow-kicks=%d dropped-frames=%d idle-timeouts=%d read-errs=%d write-errs=%d",
 		st.ConnsAccepted, st.ReadBytes, st.WriteBytes,
 		st.ShedReports+st.EngineShed, st.EngineAbandon,
 		st.Coord.SlowClientDisconnects, st.Coord.DroppedFrames,
 		st.IdleTimeouts, st.ReadErrors, st.WriteErrors)
+}
+
+// crash tears the server down as if the process died at this instant:
+// the WAL is wedged at its last fsynced byte first — nothing appended
+// after the crash point may persist — and only then is the serving
+// stack dismantled (so the test harness leaks no goroutines). The
+// kill-and-restore chaos schedule drives recovery through this.
+func (s *server) crash() {
+	if s.store != nil {
+		s.store.Crash()
+	}
+	s.eng.Close()
+	<-s.fanoutDone
 }
 
 // loadPOIs reads a poigen CSV or generates a synthetic set.

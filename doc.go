@@ -220,6 +220,17 @@
 //     with a forced mid-stream reconnect, and compares after every
 //     round).
 //
+// Beyond its members, a group can be watched: a connection registering
+// with proto.FlagObserver (proto.AsObserver on the client) subscribes to
+// the group without joining it — it is never probed, never reports, and
+// does not count toward the group size. Each notify fans one
+// TNotifyDelta to every observer carrying all member regions that
+// changed since that observer's last delivery (all of them on
+// subscription, after a drop, or after a membership change, flagged so
+// the client resets its retained map); the observer reassembles the
+// whole group's state from the same epoch machinery members use.
+// Observers are torn down with the group when its last member leaves.
+//
 // On the kept-path steady state at m=6 the notification round shrinks
 // from ~1.3 KB to ~60 B (≈20×) and serialization from ~17µs to ~250ns;
 // the notify_bytes_*/notify_encode_* series in BENCH_plan.json carry
@@ -356,6 +367,47 @@
 //     counter. Corrupt or truncated frames surface as ErrCorruptFrame
 //     (never a panic; FuzzFrame enforces this), which tears down only
 //     the one connection.
+//
+// # Durability and crash recovery
+//
+// cmd/mpnserver -state-dir makes the serving state crash-safe: a
+// CRC-framed append-only write-ahead log plus periodic snapshot
+// compaction (internal/durable) persist every durably significant
+// transition — group registrations with member ids and last committed
+// locations, group unregistrations, and applied POI mutation batches
+// (stamped with the external-id base so replay reproduces id
+// assignment). The engine emits these through a journal hook at its
+// commit sites; the hook only encodes and enqueues to a bounded queue
+// drained by one writer goroutine, so the update hot path never touches
+// a file — when the queue is full, records are shed and counted rather
+// than ever blocking serving (the next commit re-records the group's
+// current state, so a shed is lost freshness, not corruption).
+//
+// -fsync picks the loss window: "always" fsyncs every write batch (a
+// crash loses only records still queued), "interval" (the default)
+// fsyncs at most once per interval (a crash loses at most one interval),
+// "off" never fsyncs until clean close. On boot the server replays
+// snapshot plus log, re-applies POI batches, re-registers every durable
+// group into the engine, and only then arms the journal and accepts
+// connections — reconnecting clients resume through the same
+// full-snapshot-on-register path an ordinary reconnect uses, and a
+// group whose membership changed across the restart is retired and
+// re-registered on its first report.
+//
+// Recovery tolerates torn writes by construction: the log is scanned
+// frame by frame and truncated at the first bad length, CRC, or short
+// frame — the valid prefix is the recovered state, never a panic, never
+// a phantom record (FuzzWALRecover feeds arbitrary corruption to the
+// recovery path to enforce exactly this; snapshots are written to a
+// temp file, fsynced, and atomically renamed, so a torn snapshot cannot
+// exist). The chaos suite's kill-and-restore schedules crash the server
+// mid-churn — including through injected torn tails and
+// crash-before-fsync faults — restart it from the state directory, and
+// fence the restored server's plans byte-for-byte against a fault-free
+// run. The durable_update and wal_append series in BENCH_plan.json
+// price the journal on the steady-state update path and the store's
+// sustained append rate; cmd/benchgate enforces the disclosed overhead
+// ceiling against update_inc.
 //
 // The internal packages implement the full substrate from scratch: an
 // R-tree (internal/rtree), top-k group nearest neighbor search

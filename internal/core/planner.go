@@ -181,17 +181,26 @@ type Planner struct {
 	// snap is the published snapshot all readers pin (see Acquire).
 	snap atomic.Pointer[Snapshot]
 
-	// Writer state, guarded by mu: the canonical id-indexed point table
-	// (append-only; ids are never reused), tombstones, the running
-	// mutation count, the lagging shadow buffer, and the caches to
-	// notify on publish.
+	// Writer state, guarded by mu: the canonical slot-indexed point
+	// table, tombstones, the running mutation count, the lagging shadow
+	// buffer, and the caches to notify on publish. External POI ids are
+	// assigned sequentially and never reused; they equal table slots
+	// until the first id-space compaction, after which extSlot/ids
+	// carry the indirection (see ApplyPOIs).
 	mu      sync.Mutex
 	points  []geom.Point
-	deleted []bool // nil until the first delete
+	deleted []bool // nil until the first delete (and after a compaction)
 	ndel    int
+	nextExt int     // next external id to assign
+	extSlot []int32 // ext→slot, -1 = deleted; nil until first compaction
+	ids     []int   // slot→ext; nil until first compaction
 	version uint64
 	shadow  *shadowState
 	caches  []*nbrcache.Cache
+
+	// onMutate, when set, observes every applied ApplyPOIs batch (see
+	// OnMutate); called with mu held.
+	onMutate func(baseExt int, inserts []geom.Point, deleteIDs []int)
 }
 
 // NewPlanner builds a planner over the POI set points. The R-tree index is
@@ -210,7 +219,7 @@ func NewPlanner(points []geom.Point, opts Options) (*Planner, error) {
 	}
 	own := make([]geom.Point, len(points))
 	copy(own, points)
-	pl := &Planner{opts: opts, points: own}
+	pl := &Planner{opts: opts, points: own, nextExt: len(own)}
 	pl.snap.Store(&Snapshot{
 		tree:   rtree.Bulk(items, rtree.DefaultMaxEntries),
 		points: own[:len(own):len(own)],
@@ -240,14 +249,31 @@ func (pl *Planner) lookupTopK(ws *Workspace, cache *nbrcache.Cache, snap *Snapsh
 // reads should Acquire a snapshot instead.
 func (pl *Planner) Tree() *rtree.Tree { return pl.snap.Load().tree }
 
-// Points returns the current snapshot's id-indexed point table. Slots of
-// deleted POIs retain their last location (ids are never reused); use
-// Acquire and Snapshot.Deleted to distinguish them when the planner has
-// seen deletions.
+// Points returns the current snapshot's slot-indexed point table. Slots
+// of deleted POIs retain their last location; use Acquire and
+// Snapshot.Deleted to distinguish them when the planner has seen
+// deletions. Slots coincide with external POI ids until the planner's
+// first id-space compaction densifies the table (see ApplyPOIs).
 func (pl *Planner) Points() []geom.Point { return pl.snap.Load().points }
 
 // NumPOIs returns the number of live (non-deleted) POIs.
 func (pl *Planner) NumPOIs() int { return pl.snap.Load().live }
+
+// OnMutate registers a hook observing every applied ApplyPOIs batch:
+// called after the batch publishes, while the writer lock is still held,
+// so batches are reported exactly once and in application order —
+// replaying them through ApplyPOIs on a fresh planner reproduces the
+// same external id assignment. baseExt is the external id the batch's
+// first insert received (equivalently, the external id-space size
+// before the batch); inserts and deleteIDs are the caller's arguments,
+// valid only for the duration of the call. The hook must be fast and
+// must not call back into the planner. The durable store's POI capture
+// is the intended consumer: it encodes and enqueues without blocking.
+func (pl *Planner) OnMutate(fn func(baseExt int, inserts []geom.Point, deleteIDs []int)) {
+	pl.mu.Lock()
+	pl.onMutate = fn
+	pl.mu.Unlock()
+}
 
 // maxLayers resolves the layer cap for tile orderings.
 func (pl *Planner) maxLayers() int {

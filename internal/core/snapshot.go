@@ -46,9 +46,12 @@ func (s *Snapshot) Tree() *rtree.Tree { return s.tree }
 // POIs (see Deleted) hold their last location. Valid until Release.
 func (s *Snapshot) Points() []geom.Point { return s.points }
 
-// Deleted reports whether id is tombstoned in this snapshot.
+// Deleted reports whether the table slot id is tombstoned in this
+// snapshot. Bounds-checked: tombstone tables are shared across
+// publishes (see ApplyPOIs), so a snapshot's table may be shorter than
+// its point table — absent slots are live.
 func (s *Snapshot) Deleted(id int) bool {
-	return s.deleted != nil && s.deleted[id]
+	return id >= 0 && id < len(s.deleted) && s.deleted[id]
 }
 
 // Live returns the number of POIs the snapshot's index holds.
@@ -122,12 +125,20 @@ func (pl *Planner) DeletePOI(id int) bool {
 	return err == nil
 }
 
+// compactMinTable is the point-table size below which id-space
+// compaction never triggers: tiny data sets keep the identity mapping
+// between external POI ids and table slots for their whole life, which
+// the API's edge-semantics tests pin.
+const compactMinTable = 256
+
 // ApplyPOIs applies one batched mutation — inserts appended to the data
 // set, deleteIDs tombstoned and removed from the index — and publishes
 // the result as a single new snapshot, returning the inserted points'
-// ids. The whole batch becomes visible atomically: no reader ever
-// observes a prefix of it, and a snapshot's (tree, version) pair is
-// always internally consistent.
+// external ids. External ids are assigned sequentially and never
+// reused, for the planner's whole life, even across internal id-space
+// compactions (see below). The whole batch becomes visible atomically:
+// no reader ever observes a prefix of it, and a snapshot's (tree,
+// version) pair is always internally consistent.
 //
 // ApplyPOIs returns an error, and applies nothing, when a delete id is
 // out of range, already deleted, repeated within the batch, or when the
@@ -139,6 +150,16 @@ func (pl *Planner) DeletePOI(id int) bool {
 // publishes ago, after its last readers drain — and publishes it with
 // one atomic pointer swap, then tells every cache registered via
 // ShareCache which entries the batch could have invalidated.
+//
+// Memory: tombstoned slots normally live for the planner's life, but
+// once tombstones outnumber live points (and the table is at least
+// compactMinTable slots) the batch ends in an id-space compaction: a
+// fresh slot table holding only live points is published in one epoch,
+// an external-id→slot indirection keeps every previously returned id
+// valid, and shared caches flush once via version self-invalidation.
+// Point-table memory is therefore bounded by twice the live set; the
+// indirection itself grows 4 bytes per id ever inserted — the
+// irreducible cost of the ids-never-reused contract.
 func (pl *Planner) ApplyPOIs(inserts []geom.Point, deleteIDs []int) ([]int, error) {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
@@ -158,17 +179,21 @@ func (pl *Planner) ApplyPOIs(inserts []geom.Point, deleteIDs []int) ([]int, erro
 			seen[id] = struct{}{}
 		}
 	}
-	for _, id := range deleteIDs {
-		if id < 0 || id >= len(pl.points) {
-			return nil, fmt.Errorf("core: delete of unknown POI %d", id)
-		}
-		if pl.deleted != nil && pl.deleted[id] {
-			return nil, fmt.Errorf("core: delete of already-deleted POI %d", id)
+	var delSlots []int
+	if len(deleteIDs) > 0 {
+		delSlots = make([]int, len(deleteIDs))
+		for i, id := range deleteIDs {
+			slot, err := pl.slotOfLocked(id)
+			if err != nil {
+				return nil, err
+			}
+			delSlots[i] = slot
 		}
 	}
 	if len(inserts) == 0 && len(deleteIDs) == 0 {
 		return nil, nil
 	}
+	baseExt := pl.nextExt
 
 	sh := pl.shadowLocked(cur)
 
@@ -206,73 +231,172 @@ func (pl *Planner) ApplyPOIs(inserts []geom.Point, deleteIDs []int) ([]int, erro
 		ids = make([]int, len(inserts))
 	}
 	for i, p := range inserts {
-		id := len(pl.points)
+		slot := len(pl.points)
 		pl.points = append(pl.points, p)
 		if pl.deleted != nil {
+			// Appending may write backing-array capacity beyond a
+			// published table's length — never inside it.
 			pl.deleted = append(pl.deleted, false)
 		}
-		sh.tree.Insert(rtree.Item{P: p, ID: id})
-		ops = append(ops, mutation{insert: true, id: id, p: p})
+		sh.tree.Insert(rtree.Item{P: p, ID: slot})
+		ops = append(ops, mutation{insert: true, id: slot, p: p})
 		locs = append(locs, p)
-		ids[i] = id
-	}
-	for _, id := range deleteIDs {
-		if pl.deleted == nil {
-			pl.deleted = make([]bool, len(pl.points))
+		ids[i] = pl.nextExt
+		if pl.extSlot != nil {
+			pl.extSlot = append(pl.extSlot, int32(slot))
+			pl.ids = append(pl.ids, pl.nextExt)
 		}
-		pl.deleted[id] = true
+		pl.nextExt++
+	}
+	if len(delSlots) > 0 {
+		// Copy-on-delete: tombstone bits are only ever set in a fresh
+		// table, so publishes share the canonical table instead of
+		// copying it — an insert-only publish costs O(batch), not
+		// O(table).
+		nd := make([]bool, len(pl.points))
+		copy(nd, pl.deleted)
+		pl.deleted = nd
+	}
+	for i, slot := range delSlots {
+		pl.deleted[slot] = true
 		pl.ndel++
-		p := pl.points[id]
-		sh.tree.Delete(rtree.Item{P: p, ID: id})
-		ops = append(ops, mutation{id: id, p: p})
+		if pl.extSlot != nil {
+			pl.extSlot[deleteIDs[i]] = -1
+		}
+		p := pl.points[slot]
+		sh.tree.Delete(rtree.Item{P: p, ID: slot})
+		ops = append(ops, mutation{id: slot, p: p})
 		locs = append(locs, p)
 	}
 	sh.churn += len(ops)
 
 	live := len(pl.points) - pl.ndel
-	if sh.churn > live {
-		// Load balance: churn has touched more entries than the tree
-		// holds, so occupancy has degraded toward the underflow floor and
-		// MBRs have skewed. Re-pack with the STR bulk loader.
-		sh.tree.Rebuild()
-		sh.churn = 0
-	}
-
-	// Publish: version strictly after the structural change, the swap
-	// after both.
 	pl.version += uint64(len(ops))
-	sh.tree.SetVersion(pl.version)
-	var del []bool
-	if pl.ndel > 0 {
-		del = make([]bool, len(pl.deleted))
-		copy(del, pl.deleted)
-	}
-	ns := &Snapshot{
-		tree:    sh.tree,
-		points:  pl.points[:len(pl.points):len(pl.points)],
-		deleted: del,
-		live:    live,
-		version: pl.version,
-		churn:   sh.churn,
-	}
-	pl.snap.Store(ns)
 
-	// The retired tree becomes the next shadow, owing this batch.
-	pl.shadow = &shadowState{tree: cur.tree, pending: ops, owner: cur, churn: cur.churn}
+	if pl.ndel > live && len(pl.points) >= compactMinTable {
+		// Id-space compaction: remap every live point into a dense
+		// slot table and publish it as this batch's snapshot. Shared
+		// caches are not advanced — their entries flush once on the
+		// version bump — and the shadow pair is discarded (the next
+		// mutation rebuilds it from the compacted canonical state).
+		pl.compactLocked(live)
+	} else {
+		if sh.churn > live {
+			// Load balance: churn has touched more entries than the tree
+			// holds, so occupancy has degraded toward the underflow floor and
+			// MBRs have skewed. Re-pack with the STR bulk loader.
+			sh.tree.Rebuild()
+			sh.churn = 0
+		}
 
-	// Tell shared caches exactly what changed, so entries the batch
-	// cannot reach migrate to the new snapshot instead of dying.
-	if len(pl.caches) > 0 {
-		inv := nbrcache.Invalidation{
-			OldTree: cur.tree, OldVersion: cur.version,
-			NewTree: ns.tree, NewVersion: ns.version,
-			Points: locs,
+		// Publish: version strictly after the structural change, the swap
+		// after both.
+		sh.tree.SetVersion(pl.version)
+		var del []bool
+		if pl.ndel > 0 {
+			del = pl.deleted[:len(pl.deleted):len(pl.deleted)]
 		}
-		for _, c := range pl.caches {
-			c.Advance(inv)
+		ns := &Snapshot{
+			tree:    sh.tree,
+			points:  pl.points[:len(pl.points):len(pl.points)],
+			deleted: del,
+			live:    live,
+			version: pl.version,
+			churn:   sh.churn,
 		}
+		pl.snap.Store(ns)
+
+		// The retired tree becomes the next shadow, owing this batch.
+		pl.shadow = &shadowState{tree: cur.tree, pending: ops, owner: cur, churn: cur.churn}
+
+		// Tell shared caches exactly what changed, so entries the batch
+		// cannot reach migrate to the new snapshot instead of dying.
+		if len(pl.caches) > 0 {
+			inv := nbrcache.Invalidation{
+				OldTree: cur.tree, OldVersion: cur.version,
+				NewTree: ns.tree, NewVersion: ns.version,
+				Points: locs,
+			}
+			for _, c := range pl.caches {
+				c.Advance(inv)
+			}
+		}
+	}
+
+	// Capture the applied batch for durability, in application order,
+	// with the caller's external ids (see OnMutate).
+	if pl.onMutate != nil {
+		pl.onMutate(baseExt, inserts, deleteIDs)
 	}
 	return ids, nil
+}
+
+// slotOfLocked resolves an external POI id to its current table slot,
+// with the delete-validation errors the API pins. Identity mapping
+// until the first compaction. Caller holds pl.mu.
+func (pl *Planner) slotOfLocked(id int) (int, error) {
+	if pl.extSlot == nil {
+		if id < 0 || id >= len(pl.points) {
+			return 0, fmt.Errorf("core: delete of unknown POI %d", id)
+		}
+		if pl.deleted != nil && pl.deleted[id] {
+			return 0, fmt.Errorf("core: delete of already-deleted POI %d", id)
+		}
+		return id, nil
+	}
+	if id < 0 || id >= len(pl.extSlot) {
+		return 0, fmt.Errorf("core: delete of unknown POI %d", id)
+	}
+	slot := int(pl.extSlot[id])
+	if slot < 0 || (pl.deleted != nil && pl.deleted[slot]) {
+		return 0, fmt.Errorf("core: delete of already-deleted POI %d", id)
+	}
+	return slot, nil
+}
+
+// compactLocked rebuilds the canonical tables over live points only,
+// materializing (on first use) and updating the external-id→slot
+// indirection, and publishes the compacted snapshot. Caller holds
+// pl.mu; pl.version already reflects the triggering batch.
+func (pl *Planner) compactLocked(live int) {
+	if pl.extSlot == nil {
+		// First compaction: until now external ids equalled slots.
+		pl.extSlot = make([]int32, pl.nextExt)
+		pl.ids = make([]int, len(pl.points))
+		for slot := range pl.points {
+			pl.ids[slot] = slot
+		}
+		for ext := range pl.extSlot {
+			pl.extSlot[ext] = -1
+		}
+	}
+	np := make([]geom.Point, 0, live)
+	nids := make([]int, 0, live)
+	for slot, p := range pl.points {
+		if pl.deleted[slot] {
+			continue
+		}
+		ext := pl.ids[slot]
+		pl.extSlot[ext] = int32(len(np))
+		nids = append(nids, ext)
+		np = append(np, p)
+	}
+	pl.points, pl.ids = np, nids
+	pl.deleted, pl.ndel = nil, 0
+
+	items := make([]rtree.Item, len(np))
+	for slot, p := range np {
+		items[slot] = rtree.Item{P: p, ID: slot}
+	}
+	t := rtree.Bulk(items, rtree.DefaultMaxEntries)
+	t.SetVersion(pl.version)
+	pl.snap.Store(&Snapshot{
+		tree:    t,
+		points:  np[:len(np):len(np)],
+		live:    live,
+		version: pl.version,
+	})
+	pl.shadow = nil
 }
 
 // shadowLocked returns the writer's shadow buffer, building it on the

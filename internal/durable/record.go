@@ -1,0 +1,279 @@
+// Package durable is the server's crash-safety subsystem: a CRC-framed,
+// append-only write-ahead log plus periodic snapshot compaction for the
+// authoritative serving state — group registrations, membership,
+// last-committed member locations, and ApplyPOIs batches — with a
+// recovery path that replays snapshot+log and tolerates a torn tail.
+//
+// On-disk layout (one directory per server):
+//
+//	snap-<seq>  MPNSNAP1 magic, then CRC-framed records (meta first)
+//	wal-<seq>   MPNWAL01 magic, then CRC-framed records, append-only
+//
+// Every frame is [u32 len][u32 crc32(payload)][payload], little-endian.
+// A snapshot is written whole to a temp file, fsynced, and renamed into
+// place, so a snapshot is either entirely valid or evidence of real
+// corruption (ErrCorruptSnapshot). The log is append-only and may end
+// mid-frame after a crash: recovery truncates at the first bad frame
+// (the torn-tail rule) and never panics on any input bytes.
+//
+// The Store accepts state-change records through non-blocking hooks
+// backed by a bounded queue and a single writer goroutine, so
+// durability can never block planning: when the queue is full the
+// record is shed and counted. The fsync policy is configurable
+// (always | interval | off); the deterministic crash model is that
+// Crash() truncates the log to the last fsynced offset, giving each
+// policy exact, testable loss semantics without OS interposition.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"mpn/internal/geom"
+)
+
+// Typed recovery errors. Recover wraps these with positional detail;
+// test with errors.Is.
+var (
+	// ErrCorruptSnapshot means a snapshot file failed its magic, a
+	// frame CRC, or record validation. Snapshots are written atomically
+	// (temp + fsync + rename), so this is real damage, not a torn tail.
+	ErrCorruptSnapshot = errors.New("durable: corrupt snapshot")
+	// ErrBadRecord means a CRC-valid frame decoded to a record that is
+	// internally inconsistent (unknown type, short payload, phantom POI
+	// ids). In a log this truncates the tail; in a snapshot it is
+	// wrapped in ErrCorruptSnapshot.
+	ErrBadRecord = errors.New("durable: invalid record")
+)
+
+// Record type bytes (payload[0]).
+const (
+	recGroup  = 1 // group upsert: registration or committed update
+	recUnreg  = 2 // group unregistration
+	recPOIs   = 3 // one ApplyPOIs batch (external ids)
+	recMeta   = 4 // snapshot header: POI base table size
+	maxRecord = 1 << 26
+)
+
+const (
+	snapMagic = "MPNSNAP1"
+	walMagic  = "MPNWAL01"
+	magicLen  = 8
+	frameHdr  = 8 // u32 len + u32 crc
+)
+
+// GroupState is one group's durable state: member ids and their last
+// committed locations, parallel slices sorted as registered.
+type GroupState struct {
+	IDs  []uint32
+	Locs []geom.Point
+}
+
+// State is the recovered (or mirrored) authoritative state. POI
+// mutations are tracked relative to the base table the server boots
+// with: POIInserts carry external ids POIBase..POIBase+len-1, and
+// POIDeleted lists tombstoned external ids in ascending order.
+type State struct {
+	POIBase    int // -1 until the first meta/POI record fixes it
+	POIInserts []geom.Point
+	POIDeleted []int
+	Groups     map[uint32]GroupState
+
+	deleted map[int]bool // working set behind POIDeleted
+}
+
+// newState returns an empty state with an unknown POI base.
+func newState() *State {
+	return &State{POIBase: -1, Groups: make(map[uint32]GroupState)}
+}
+
+// poiNext returns the next expected external insert id.
+func (st *State) poiNext() int {
+	base := st.POIBase
+	if base < 0 {
+		base = 0
+	}
+	return base + len(st.POIInserts)
+}
+
+// appendGroup encodes a group upsert record.
+func appendGroup(buf []byte, gid uint32, ids []uint32, locs []geom.Point) []byte {
+	buf = append(buf, recGroup)
+	buf = binary.LittleEndian.AppendUint32(buf, gid)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
+	for _, id := range ids {
+		buf = binary.LittleEndian.AppendUint32(buf, id)
+	}
+	for _, p := range locs {
+		buf = binary.LittleEndian.AppendUint64(buf, floatBits(p.X))
+		buf = binary.LittleEndian.AppendUint64(buf, floatBits(p.Y))
+	}
+	return buf
+}
+
+// appendUnreg encodes a group unregistration record.
+func appendUnreg(buf []byte, gid uint32) []byte {
+	buf = append(buf, recUnreg)
+	return binary.LittleEndian.AppendUint32(buf, gid)
+}
+
+// appendPOIs encodes one ApplyPOIs batch. baseExt is the external id
+// the batch's first insert received — equivalently, the size of the
+// external id space when the batch was applied — which recovery uses to
+// validate that replay stays aligned with the original id assignment.
+func appendPOIs(buf []byte, baseExt int, inserts []geom.Point, deleteIDs []int) []byte {
+	buf = append(buf, recPOIs)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(baseExt))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(inserts)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(deleteIDs)))
+	for _, p := range inserts {
+		buf = binary.LittleEndian.AppendUint64(buf, floatBits(p.X))
+		buf = binary.LittleEndian.AppendUint64(buf, floatBits(p.Y))
+	}
+	for _, id := range deleteIDs {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(id))
+	}
+	return buf
+}
+
+// appendMeta encodes the snapshot header record.
+func appendMeta(buf []byte, poiBase int) []byte {
+	buf = append(buf, recMeta)
+	return binary.LittleEndian.AppendUint64(buf, uint64(poiBase))
+}
+
+// floatBits / fromBits convert between float64 and its IEEE-754 bits.
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func fromBits(b uint64) float64  { return math.Float64frombits(b) }
+
+// apply decodes one record payload and applies it to st, validating
+// every length and id so corrupted-but-CRC-valid bytes can never
+// restore phantom state. Returns ErrBadRecord (wrapped) on anything
+// inconsistent.
+func (st *State) apply(payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("%w: empty payload", ErrBadRecord)
+	}
+	typ, body := payload[0], payload[1:]
+	switch typ {
+	case recGroup:
+		if len(body) < 8 {
+			return fmt.Errorf("%w: short group record", ErrBadRecord)
+		}
+		gid := binary.LittleEndian.Uint32(body)
+		n := int(binary.LittleEndian.Uint32(body[4:]))
+		if n <= 0 || len(body) != 8+n*4+n*16 {
+			return fmt.Errorf("%w: group record size %d for %d members", ErrBadRecord, len(body), n)
+		}
+		ids := make([]uint32, n)
+		locs := make([]geom.Point, n)
+		off := 8
+		for i := range ids {
+			ids[i] = binary.LittleEndian.Uint32(body[off:])
+			off += 4
+		}
+		for i := range locs {
+			locs[i].X = fromBits(binary.LittleEndian.Uint64(body[off:]))
+			locs[i].Y = fromBits(binary.LittleEndian.Uint64(body[off+8:]))
+			off += 16
+		}
+		st.Groups[gid] = GroupState{IDs: ids, Locs: locs}
+	case recUnreg:
+		if len(body) != 4 {
+			return fmt.Errorf("%w: short unregister record", ErrBadRecord)
+		}
+		delete(st.Groups, binary.LittleEndian.Uint32(body))
+	case recPOIs:
+		if len(body) < 16 {
+			return fmt.Errorf("%w: short POI record", ErrBadRecord)
+		}
+		baseExt := int(binary.LittleEndian.Uint64(body))
+		nIns := int(binary.LittleEndian.Uint32(body[8:]))
+		nDel := int(binary.LittleEndian.Uint32(body[12:]))
+		if nIns < 0 || nDel < 0 || len(body) != 16+nIns*16+nDel*8 {
+			return fmt.Errorf("%w: POI record size %d for %d+%d ops", ErrBadRecord, len(body), nIns, nDel)
+		}
+		if st.POIBase < 0 && len(st.POIInserts) == 0 {
+			// No snapshot fixed the base: the first batch does (its
+			// baseExt is the table length when it was applied).
+			st.POIBase = baseExt
+		}
+		if baseExt != st.poiNext() {
+			return fmt.Errorf("%w: POI batch base %d, expected %d", ErrBadRecord, baseExt, st.poiNext())
+		}
+		off := 16
+		ins := make([]geom.Point, nIns)
+		for i := range ins {
+			ins[i].X = fromBits(binary.LittleEndian.Uint64(body[off:]))
+			ins[i].Y = fromBits(binary.LittleEndian.Uint64(body[off+8:]))
+			off += 16
+		}
+		dels := make([]int, nDel)
+		for i := range dels {
+			dels[i] = int(binary.LittleEndian.Uint64(body[off:]))
+			off += 8
+		}
+		// Validate deletes against the id space before mutating anything.
+		limit := st.poiNext() + nIns
+		for _, id := range dels {
+			if id < 0 || id >= limit {
+				return fmt.Errorf("%w: delete of phantom POI %d (id space %d)", ErrBadRecord, id, limit)
+			}
+			if st.deleted[id] {
+				return fmt.Errorf("%w: double delete of POI %d", ErrBadRecord, id)
+			}
+		}
+		st.POIInserts = append(st.POIInserts, ins...)
+		if st.deleted == nil {
+			st.deleted = make(map[int]bool)
+		}
+		for _, id := range dels {
+			st.deleted[id] = true
+			st.POIDeleted = append(st.POIDeleted, id)
+		}
+	case recMeta:
+		if len(body) != 8 {
+			return fmt.Errorf("%w: short meta record", ErrBadRecord)
+		}
+		base := int(binary.LittleEndian.Uint64(body))
+		if base < 0 || base > 1<<40 {
+			return fmt.Errorf("%w: absurd POI base %d", ErrBadRecord, base)
+		}
+		if st.POIBase >= 0 && st.POIBase != base {
+			return fmt.Errorf("%w: conflicting POI base %d vs %d", ErrBadRecord, base, st.POIBase)
+		}
+		st.POIBase = base
+	default:
+		return fmt.Errorf("%w: unknown record type %d", ErrBadRecord, typ)
+	}
+	return nil
+}
+
+// frame appends one CRC frame around payload to buf.
+func frame(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// nextFrame parses the frame at the head of b. It returns the payload
+// and the total frame size, or ok=false when the bytes do not form a
+// whole valid frame (short header, short body, absurd length, or CRC
+// mismatch) — the torn-tail condition.
+func nextFrame(b []byte) (payload []byte, size int, ok bool) {
+	if len(b) < frameHdr {
+		return nil, 0, false
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	if n <= 0 || n > maxRecord || len(b) < frameHdr+n {
+		return nil, 0, false
+	}
+	payload = b[frameHdr : frameHdr+n]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(b[4:]) {
+		return nil, 0, false
+	}
+	return payload, frameHdr + n, true
+}

@@ -1,0 +1,604 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mpn/internal/faultinject"
+	"mpn/internal/geom"
+)
+
+// Policy selects when the log is fsynced.
+type Policy int
+
+const (
+	// PolicyInterval fsyncs at most once per Config.Interval (plus on
+	// clean close). A crash loses at most one interval of records.
+	PolicyInterval Policy = iota
+	// PolicyAlways fsyncs after every write batch. A crash loses only
+	// records still queued behind the writer.
+	PolicyAlways
+	// PolicyOff never fsyncs during operation (clean close still
+	// does). In the deterministic crash model a crash loses everything
+	// appended since the log was opened or compacted.
+	PolicyOff
+)
+
+// ParsePolicy parses the -fsync flag forms "always", "interval", "off".
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return PolicyAlways, nil
+	case "interval":
+		return PolicyInterval, nil
+	case "off":
+		return PolicyOff, nil
+	}
+	return 0, fmt.Errorf("durable: unknown fsync policy %q (want always|interval|off)", s)
+}
+
+// Config configures a Store.
+type Config struct {
+	// Dir is the state directory (created if missing).
+	Dir string
+	// Fsync is the sync policy; the zero value is PolicyInterval.
+	Fsync Policy
+	// Interval is the PolicyInterval sync period. Default 10ms.
+	Interval time.Duration
+	// Queue bounds the hook→writer queue. When full, records are shed
+	// and counted — durability never blocks the caller. Default 1024.
+	Queue int
+	// CompactAt is the log size (bytes) that triggers snapshot
+	// compaction. Default 1MiB.
+	CompactAt int64
+	// POIBase is the size of the base POI table the server boots with;
+	// recovery fails if a recovered snapshot disagrees (the serving
+	// config changed under the state directory). Negative accepts
+	// whatever was recorded.
+	POIBase int
+}
+
+// Stats is a point-in-time read of the store's counters.
+type Stats struct {
+	// Appended counts records committed to the log buffer.
+	Appended uint64
+	// Shed counts records dropped: queue full, store wedged/closed, or
+	// discarded by an injected fault.
+	Shed uint64
+	// Syncs counts fsync calls that succeeded.
+	Syncs uint64
+	// Compactions counts snapshot compactions.
+	Compactions uint64
+	// Errors counts write/sync/compaction failures.
+	Errors uint64
+	// Wedged reports that the log stopped accepting writes (torn write
+	// injected, I/O error, or Crash).
+	Wedged bool
+}
+
+// Store is the durable sink for serving-state records: non-blocking
+// hooks feed a bounded queue drained by one writer goroutine that
+// frames, batches, writes, fsyncs per policy, and compacts the log
+// into a snapshot when it grows past Config.CompactAt.
+type Store struct {
+	cfg Config
+
+	ch      chan []byte
+	quit    chan struct{} // closed by Close: drain, sync, exit
+	crashCh chan struct{} // closed by Crash: truncate to synced, exit
+	done    chan struct{} // closed when the writer has exited
+
+	lifeMu  sync.Mutex
+	stopped bool
+
+	closed atomic.Bool
+	wedged atomic.Bool
+
+	appended, shed, syncs, compactions, errs atomic.Uint64
+
+	// Writer-goroutine-owned state. Crash-path truncation also runs on
+	// the writer goroutine (crashCh / panic recovery), never outside.
+	f            *os.File
+	seq          uint64
+	hasSnap      bool // snap-<seq> exists on disk
+	written      int64
+	synced       int64
+	compactAfter int64
+	lastSync     time.Time
+	mirror       *State
+	buf          []byte
+}
+
+// Open recovers the durable state in cfg.Dir and opens the store for
+// appending: the torn tail (if any) is truncated on disk and the writer
+// resumes at the end of the valid prefix. The returned State is the
+// caller's to keep — the store mirrors it internally — and reflects
+// exactly what a post-crash restart would see.
+func Open(cfg Config) (*Store, *State, RecoverInfo, error) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * time.Millisecond
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 1024
+	}
+	if cfg.CompactAt <= 0 {
+		cfg.CompactAt = 1 << 20
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, nil, RecoverInfo{}, err
+	}
+	st, info, err := Recover(cfg.Dir)
+	if err != nil {
+		return nil, nil, info, err
+	}
+	if cfg.POIBase >= 0 && st.POIBase >= 0 && st.POIBase != cfg.POIBase {
+		return nil, nil, info, fmt.Errorf("durable: state dir has POI base %d, server configured with %d", st.POIBase, cfg.POIBase)
+	}
+	if st.POIBase < 0 {
+		st.POIBase = cfg.POIBase
+	}
+
+	seq := info.LogSeq
+	if seq == 0 && info.SnapshotSeq == 0 {
+		seq = 1
+	}
+	path := walName(cfg.Dir, seq)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, info, err
+	}
+	valid := info.LogBytes
+	if fi, err := f.Stat(); err == nil && fi.Size() == 0 {
+		// Fresh log: stamp the magic before any record can land.
+		if _, err := f.Write([]byte(walMagic)); err != nil {
+			f.Close()
+			return nil, nil, info, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, info, err
+		}
+		valid = magicLen
+	} else if info.TornBytes > 0 || valid < magicLen {
+		// Enforce the torn-tail rule on disk before appending. A log
+		// with a damaged magic has an empty valid prefix: restart it.
+		if valid < magicLen {
+			if err := f.Truncate(0); err != nil {
+				f.Close()
+				return nil, nil, info, err
+			}
+			if _, err := f.WriteAt([]byte(walMagic), 0); err != nil {
+				f.Close()
+				return nil, nil, info, err
+			}
+			valid = magicLen
+		} else if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return nil, nil, info, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, info, err
+		}
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		f.Close()
+		return nil, nil, info, err
+	}
+
+	s := &Store{
+		cfg:          cfg,
+		ch:           make(chan []byte, cfg.Queue),
+		quit:         make(chan struct{}),
+		crashCh:      make(chan struct{}),
+		done:         make(chan struct{}),
+		f:            f,
+		seq:          seq,
+		hasSnap:      info.SnapshotSeq == seq && info.SnapshotSeq != 0,
+		written:      valid,
+		synced:       valid,
+		compactAfter: cfg.CompactAt,
+		lastSync:     time.Now(),
+		mirror:       st.clone(),
+	}
+	go s.writer()
+	return s, st, info, nil
+}
+
+// clone deep-copies a State for the store's mirror.
+func (st *State) clone() *State {
+	c := &State{
+		POIBase:    st.POIBase,
+		POIInserts: append([]geom.Point(nil), st.POIInserts...),
+		POIDeleted: append([]int(nil), st.POIDeleted...),
+		Groups:     make(map[uint32]GroupState, len(st.Groups)),
+	}
+	for gid, g := range st.Groups {
+		c.Groups[gid] = GroupState{
+			IDs:  append([]uint32(nil), g.IDs...),
+			Locs: append([]geom.Point(nil), g.Locs...),
+		}
+	}
+	if len(st.deleted) > 0 {
+		c.deleted = make(map[int]bool, len(st.deleted))
+		for id := range st.deleted {
+			c.deleted[id] = true
+		}
+	}
+	return c
+}
+
+// GroupUpsert records a group registration or committed location
+// update. Non-blocking: sheds when the queue is full or the store is
+// wedged. The slices are copied into the encoded record immediately, so
+// the caller may reuse them.
+func (s *Store) GroupUpsert(gid uint32, ids []uint32, locs []geom.Point) {
+	if len(ids) == 0 || len(ids) != len(locs) {
+		return
+	}
+	s.enqueue(appendGroup(make([]byte, 0, 9+len(ids)*20), gid, ids, locs))
+}
+
+// GroupUnregister records a group teardown.
+func (s *Store) GroupUnregister(gid uint32) {
+	s.enqueue(appendUnreg(make([]byte, 0, 5), gid))
+}
+
+// POIBatch records one applied ApplyPOIs batch. baseExt is the size of
+// the external POI id space when the batch was applied — the id its
+// first insert received, whether or not it had inserts.
+func (s *Store) POIBatch(baseExt int, inserts []geom.Point, deleteIDs []int) {
+	if len(inserts) == 0 && len(deleteIDs) == 0 {
+		return
+	}
+	s.enqueue(appendPOIs(make([]byte, 0, 17+len(inserts)*16+len(deleteIDs)*8), baseExt, inserts, deleteIDs))
+}
+
+// enqueue hands one encoded payload to the writer, shedding instead of
+// blocking.
+func (s *Store) enqueue(payload []byte) {
+	if s.closed.Load() || s.wedged.Load() {
+		s.shed.Add(1)
+		return
+	}
+	select {
+	case s.ch <- payload:
+	default:
+		s.shed.Add(1)
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Appended:    s.appended.Load(),
+		Shed:        s.shed.Load(),
+		Syncs:       s.syncs.Load(),
+		Compactions: s.compactions.Load(),
+		Errors:      s.errs.Load(),
+		Wedged:      s.wedged.Load(),
+	}
+}
+
+// Close drains the queue, flushes, fsyncs, and stops the writer. Safe
+// to call more than once and after Crash.
+func (s *Store) Close() error {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if s.stopped {
+		return nil
+	}
+	s.stopped = true
+	s.closed.Store(true)
+	close(s.quit)
+	<-s.done
+	return nil
+}
+
+// Crash simulates a process kill at this instant: the writer stops
+// without draining and the log is truncated to the last fsynced offset
+// — the deterministic model of "what the disk is guaranteed to hold".
+// Records appended but not yet synced are lost, exactly as the fsync
+// policy allows. Safe to call more than once and after Close (then a
+// no-op: a clean close already synced everything).
+func (s *Store) Crash() {
+	s.lifeMu.Lock()
+	defer s.lifeMu.Unlock()
+	if s.stopped {
+		return
+	}
+	s.stopped = true
+	s.closed.Store(true)
+	close(s.crashCh)
+	<-s.done
+}
+
+// writer is the single goroutine owning the log file. A panic inside it
+// (the WALSync failpoint models crash-before-fsync this way) is
+// recovered as a crash: truncate to the synced offset and wedge.
+func (s *Store) writer() {
+	defer close(s.done)
+	defer func() {
+		if r := recover(); r != nil {
+			s.errs.Add(1)
+			s.doCrash()
+		}
+	}()
+
+	var tickC <-chan time.Time
+	if s.cfg.Fsync == PolicyInterval {
+		t := time.NewTicker(s.cfg.Interval)
+		defer t.Stop()
+		tickC = t.C
+	}
+
+	batch := make([][]byte, 0, 128)
+	for {
+		select {
+		case <-s.crashCh:
+			s.doCrash()
+			return
+		case <-s.quit:
+			batch = batch[:0]
+			for {
+				select {
+				case p := <-s.ch:
+					batch = append(batch, p)
+				default:
+					s.writeBatch(batch)
+					s.syncNow()
+					s.f.Close()
+					return
+				}
+			}
+		case p := <-s.ch:
+			batch = append(batch[:0], p)
+			for len(batch) < cap(batch) {
+				select {
+				case q := <-s.ch:
+					batch = append(batch, q)
+				default:
+					goto have
+				}
+			}
+		have:
+			s.writeBatch(batch)
+			s.maybeSync()
+			if s.written >= s.compactAfter && !s.wedged.Load() {
+				s.compact()
+			}
+		case <-tickC:
+			if s.written > s.synced {
+				s.syncNow()
+			}
+		}
+	}
+}
+
+// doCrash truncates the log to the synced offset and wedges the store.
+// Runs on the writer goroutine only.
+func (s *Store) doCrash() {
+	s.wedged.Store(true)
+	if s.f != nil {
+		s.f.Truncate(s.synced)
+		s.f.Sync()
+		s.f.Close()
+	}
+}
+
+// writeBatch frames and writes a batch of payloads, interpreting the
+// WALAppend failpoint: Drop discards one record; ShortWrite commits the
+// records before it, writes a partial frame (which reaches disk — the
+// crash happened mid-write), and wedges the log.
+func (s *Store) writeBatch(batch [][]byte) {
+	if len(batch) == 0 {
+		return
+	}
+	if s.wedged.Load() {
+		s.shed.Add(uint64(len(batch)))
+		return
+	}
+	s.buf = s.buf[:0]
+	pend := 0 // batch[:pend] framed into s.buf
+	for i, p := range batch {
+		eff := faultinject.FireEffect(faultinject.WALAppend)
+		if eff.Drop {
+			s.shed.Add(1)
+			continue
+		}
+		if eff.ShortWrite > 0 {
+			s.flush(batch[:pend])
+			fr := frame(nil, p)
+			k := eff.ShortWrite
+			if k > len(fr) {
+				k = len(fr)
+			}
+			if _, err := s.f.Write(fr[:k]); err == nil {
+				s.written += int64(k)
+				s.f.Sync()
+				s.synced = s.written
+			}
+			s.wedged.Store(true)
+			s.shed.Add(uint64(len(batch) - i))
+			return
+		}
+		if i != pend {
+			batch[pend] = p
+		}
+		s.buf = frame(s.buf, p)
+		pend++
+	}
+	s.flush(batch[:pend])
+}
+
+// flush writes the framed buffer and applies the payloads to the
+// mirror. A write error wedges the store: the log's tail state is
+// unknown, so appending more would interleave garbage.
+func (s *Store) flush(payloads [][]byte) {
+	if len(s.buf) == 0 {
+		return
+	}
+	n, err := s.f.Write(s.buf)
+	s.written += int64(n)
+	s.buf = s.buf[:0]
+	if err != nil {
+		s.errs.Add(1)
+		s.wedged.Store(true)
+		return
+	}
+	for _, p := range payloads {
+		if err := s.mirror.apply(p); err != nil {
+			s.errs.Add(1)
+		}
+	}
+	s.appended.Add(uint64(len(payloads)))
+}
+
+// maybeSync applies the fsync policy after a write.
+func (s *Store) maybeSync() {
+	switch s.cfg.Fsync {
+	case PolicyAlways:
+		s.syncNow()
+	case PolicyInterval:
+		if time.Since(s.lastSync) >= s.cfg.Interval {
+			s.syncNow()
+		}
+	}
+}
+
+// syncNow fsyncs the log. The WALSync failpoint fires first: a stall
+// models a slow disk (backpressure fills the queue and sheds), a panic
+// models a crash before the data became durable.
+func (s *Store) syncNow() {
+	if s.wedged.Load() || s.written == s.synced {
+		return
+	}
+	faultinject.Fire(faultinject.WALSync)
+	if err := s.f.Sync(); err != nil {
+		s.errs.Add(1)
+		s.wedged.Store(true)
+		return
+	}
+	s.synced = s.written
+	s.syncs.Add(1)
+	s.lastSync = time.Now()
+}
+
+// compact folds the mirror into a fresh snapshot (temp + fsync +
+// rename) and starts a new empty log, removing the old pair. On
+// failure the store keeps appending to the old log and retries after
+// another CompactAt bytes.
+func (s *Store) compact() {
+	newSeq := s.seq + 1
+	tmp := filepath.Join(s.cfg.Dir, fmt.Sprintf("snap-%08d.tmp", newSeq))
+	if err := writeSnapshot(tmp, s.mirror); err != nil {
+		s.errs.Add(1)
+		os.Remove(tmp)
+		s.compactAfter = s.written + s.cfg.CompactAt
+		return
+	}
+	if err := os.Rename(tmp, snapName(s.cfg.Dir, newSeq)); err != nil {
+		s.errs.Add(1)
+		os.Remove(tmp)
+		s.compactAfter = s.written + s.cfg.CompactAt
+		return
+	}
+	syncDir(s.cfg.Dir)
+
+	nf, err := os.OpenFile(walName(s.cfg.Dir, newSeq), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err == nil {
+		if _, werr := nf.Write([]byte(walMagic)); werr != nil {
+			err = werr
+		} else if werr := nf.Sync(); werr != nil {
+			err = werr
+		}
+	}
+	if err != nil {
+		// The new snapshot already holds everything the old pair did;
+		// losing the race to open a fresh log just wedges appends.
+		s.errs.Add(1)
+		s.wedged.Store(true)
+		if nf != nil {
+			nf.Close()
+		}
+		return
+	}
+	syncDir(s.cfg.Dir)
+
+	oldSeq, oldSnap := s.seq, s.hasSnap
+	s.f.Close()
+	s.f = nf
+	s.seq = newSeq
+	s.hasSnap = true
+	s.written, s.synced = magicLen, magicLen
+	s.compactAfter = s.cfg.CompactAt
+	s.lastSync = time.Now()
+	s.compactions.Add(1)
+
+	os.Remove(walName(s.cfg.Dir, oldSeq))
+	if oldSnap {
+		os.Remove(snapName(s.cfg.Dir, oldSeq))
+	}
+	syncDir(s.cfg.Dir)
+}
+
+// writeSnapshot serializes st to path and fsyncs it: magic, meta
+// record, one cumulative POI record, then group records sorted by gid.
+func writeSnapshot(path string, st *State) error {
+	base := st.POIBase
+	if base < 0 {
+		// No POI record ever fixed the base; record the only
+		// consistent value for an insert-free history.
+		base = 0
+	}
+	buf := []byte(snapMagic)
+	buf = frame(buf, appendMeta(nil, base))
+	if len(st.POIInserts) > 0 || len(st.POIDeleted) > 0 {
+		dels := append([]int(nil), st.POIDeleted...)
+		sort.Ints(dels)
+		base := st.POIBase
+		if base < 0 {
+			base = 0
+		}
+		buf = frame(buf, appendPOIs(nil, base, st.POIInserts, dels))
+	}
+	gids := make([]uint32, 0, len(st.Groups))
+	for gid := range st.Groups {
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, gid := range gids {
+		g := st.Groups[gid]
+		buf = frame(buf, appendGroup(nil, gid, g.IDs, g.Locs))
+	}
+
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames and unlinks are durable.
+// Best-effort: not every platform supports it.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

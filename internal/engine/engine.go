@@ -193,6 +193,16 @@ const (
 	DefaultCloseTimeout  = 5 * time.Second
 )
 
+// Journal receives the engine's durably significant group transitions
+// (see Options.Journal). GroupCommitted reports a committed plan
+// recomputation with the member locations it ran from; GroupRemoved
+// reports unregistration. Both are called with internal locks held and
+// must return quickly without re-entering the engine.
+type Journal interface {
+	GroupCommitted(tag any, users []geom.Point, dirs []core.Direction)
+	GroupRemoved(tag any)
+}
+
 // Options configure the engine. The zero value of any field selects its
 // default.
 type Options struct {
@@ -227,6 +237,16 @@ type Options struct {
 	// invalidate (see Notification.Outcome). When nil, every
 	// recomputation goes through the full planner.
 	Replan ReplanWSFunc
+	// Journal, when non-nil, observes every durably significant group
+	// transition: each committed recomputation (registration included)
+	// and the group's removal. Calls are made with the group's state
+	// lock held, so per group they arrive in exactly commit order —
+	// the property a write-ahead log needs. Implementations must be
+	// fast and must not call back into the engine; slice arguments are
+	// valid only for the duration of the call (the durable store
+	// encodes and enqueues without blocking). The tag is the one given
+	// at RegisterTag, the group's stable identity across its lifetime.
+	Journal Journal
 	// TileAffinity, when positive, places new groups onto shards by
 	// their quantized centroid tile (side length = TileAffinity) instead
 	// of hashing the group id: co-located groups land on the same
@@ -351,6 +371,7 @@ type update struct {
 type groupState struct {
 	id   GroupID
 	size int
+	tag  any // RegisterTag's tag: the group's identity for Journal calls
 
 	mu      sync.Mutex
 	pending *update // latest unprocessed locations, nil if none
@@ -486,6 +507,7 @@ func (sh *shard) abandon() {
 type Engine struct {
 	plan      PlanWSFunc
 	replan    ReplanWSFunc // non-nil iff Options.Replan was set
+	journal   Journal      // non-nil iff Options.Journal was set
 	opts      Options
 	shards    []*shard
 	nextID    atomic.Uint64
@@ -545,11 +567,12 @@ func NewWS(plan PlanWSFunc, opts Options) *Engine {
 	}
 	opts = opts.withDefaults()
 	e := &Engine{
-		plan:   plan,
-		replan: opts.Replan,
-		opts:   opts,
-		shards: make([]*shard, opts.Shards),
-		subs:   make(map[*Subscription]struct{}),
+		plan:    plan,
+		replan:  opts.Replan,
+		journal: opts.Journal,
+		opts:    opts,
+		shards:  make([]*shard, opts.Shards),
+		subs:    make(map[*Subscription]struct{}),
 	}
 	for i := range e.shards {
 		e.shards[i] = newShard(opts.QueueDepth)
@@ -642,7 +665,7 @@ func (e *Engine) RegisterTag(users []geom.Point, dirs []core.Direction, tag any)
 		id = GroupID(seq<<affinityShardBits | e.affinityShard(users))
 	}
 	st := &groupState{
-		id: id, size: len(users),
+		id: id, size: len(users), tag: tag,
 		meeting: meeting, regions: regions, stats: stats, seq: 1,
 		planState: pstate,
 	}
@@ -654,6 +677,11 @@ func (e *Engine) RegisterTag(users []geom.Point, dirs []core.Direction, tag any)
 	}
 	sh.groups[id] = st
 	sh.mu.Unlock()
+	if e.journal != nil {
+		// The registration commit. No lock needed for ordering: a
+		// submission for this group cannot exist before the id returns.
+		e.journal.GroupCommitted(tag, users, dirs)
+	}
 	if e.hasSubscribers() {
 		var epochs []uint64
 		if e.replan != nil {
@@ -684,6 +712,12 @@ func (e *Engine) Unregister(id GroupID) {
 		st.mu.Lock()
 		st.removed = true
 		st.pending = nil
+		if e.journal != nil {
+			// Under st.mu, after removed is set: commits serialize on the
+			// same lock and skip removed groups, so per group the removal
+			// is the journal's final record.
+			e.journal.GroupRemoved(st.tag)
+		}
 		st.mu.Unlock()
 		// Drop the retained plan so the dead state pins no regions. An
 		// in-flight recomputation may still record into it; the state is
@@ -914,6 +948,9 @@ func (e *Engine) update(id GroupID, users []geom.Point, dirs []core.Direction, f
 	st.regions = regions
 	st.stats.Add(stats)
 	st.seq++
+	if e.journal != nil && !st.removed {
+		e.journal.GroupCommitted(st.tag, users, dirs)
+	}
 	// Assemble the notification only when someone is listening: the
 	// zero-subscriber steady state pays for the recomputation alone.
 	emit := !st.removed && e.hasSubscribers()
@@ -977,6 +1014,16 @@ func (e *Engine) worker(sh *shard) {
 			st.regions = regions
 			st.stats.Add(stats)
 			st.seq++
+			if e.journal != nil && !st.removed {
+				// Prefer the covering submission's tag: it describes the
+				// snapshot this commit was computed from. Untagged Submit
+				// falls back to the group's registration identity.
+				jt := up.tag
+				if jt == nil {
+					jt = st.tag
+				}
+				e.journal.GroupCommitted(jt, up.users, up.dirs)
+			}
 			if emit {
 				n = Notification{
 					Group: st.id, Seq: st.seq, Meeting: meeting,
@@ -1060,6 +1107,16 @@ func (e *Engine) Meeting(id GroupID) geom.Point {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return st.meeting
+}
+
+// Size returns the group's member count (fixed at registration), or 0
+// for an unknown group.
+func (e *Engine) Size(id GroupID) int {
+	st := e.lookup(id)
+	if st == nil {
+		return 0
+	}
+	return st.size
 }
 
 // Regions returns a copy of the group's safe regions.

@@ -48,15 +48,31 @@ const (
 	CoordDeliver Point = "proto.coord.deliver"
 	// ClientRead fires before every client frame read.
 	ClientRead Point = "proto.client.read"
+	// WALAppend fires in the durable store's writer before each log
+	// frame is written. ShortWrite and Drop effects are interpreted by
+	// the WAL itself (see FireEffect): a short write leaves a torn frame
+	// on disk and wedges the log, a drop loses the frame silently.
+	WALAppend Point = "durable.wal.append"
+	// WALSync fires before each fsync of the durable log. A panic here
+	// models a crash after writing but before the data is durable.
+	WALSync Point = "durable.wal.sync"
 )
 
 // Effect is what a rule tells a firing failpoint to do. The zero Effect
 // is a no-op. Stall is applied before Panic when both are set.
+// ShortWrite and Drop are advisory: Fire ignores them, and only call
+// sites that use FireEffect (the durable WAL) act on them.
 type Effect struct {
 	// Stall sleeps the firing goroutine for the duration.
 	Stall time.Duration
 	// Panic, when non-nil, panics with this value after any stall.
 	Panic any
+	// ShortWrite, when positive, asks the WAL to write only the first
+	// ShortWrite bytes of the frame and then wedge — the on-disk shape
+	// of a crash mid-write (a torn tail).
+	ShortWrite int
+	// Drop asks the WAL to silently discard the frame.
+	Drop bool
 }
 
 // Rule decides the effect of each hit of one point. Hit numbers are
@@ -168,4 +184,31 @@ func Fire(p Point) {
 	if eff.Panic != nil {
 		panic(eff.Panic)
 	}
+}
+
+// FireEffect evaluates the failpoint p like Fire — applying any stall
+// and panic — and additionally returns the rule's effect so the call
+// site can act on the parts only it can implement (ShortWrite, Drop).
+// Returns the zero Effect when disarmed.
+func FireEffect(p Point) Effect {
+	s := active.Load()
+	if s == nil {
+		return Effect{}
+	}
+	rule, ok := s.rules[p]
+	s.mu.Lock()
+	s.hits[p]++
+	hit := s.hits[p]
+	s.mu.Unlock()
+	if !ok {
+		return Effect{}
+	}
+	eff := rule(hit)
+	if eff.Stall > 0 {
+		time.Sleep(eff.Stall)
+	}
+	if eff.Panic != nil {
+		panic(eff.Panic)
+	}
+	return eff
 }

@@ -89,6 +89,7 @@ type coordCounters struct {
 	protocolErrors  atomic.Uint64
 	heartbeats      atomic.Uint64
 	compactProbes   atomic.Uint64
+	observerFrames  atomic.Uint64
 }
 
 // CoordStats is a snapshot of the coordinator's failure-semantics
@@ -113,6 +114,9 @@ type CoordStats struct {
 	Heartbeats uint64
 	// CompactProbes counts probes sent in the compact TProbeC form.
 	CompactProbes uint64
+	// ObserverFrames counts group-state TNotifyDelta frames successfully
+	// enqueued to FlagObserver subscriptions.
+	ObserverFrames uint64
 }
 
 // Stats returns a snapshot of the coordinator's counters. Safe to call
@@ -126,6 +130,7 @@ func (c *Coordinator) Stats() CoordStats {
 		ProtocolErrors:        c.stats.protocolErrors.Load(),
 		Heartbeats:            c.stats.heartbeats.Load(),
 		CompactProbes:         c.stats.compactProbes.Load(),
+		ObserverFrames:        c.stats.observerFrames.Load(),
 	}
 }
 
@@ -175,6 +180,12 @@ const outboxSize = 256
 type group struct {
 	size    uint32
 	members map[uint32]*member
+	// observers are FlagObserver subscriptions: connections that receive
+	// the whole group's regions on every notify but do not count toward
+	// size, are never probed, and never report. Keyed by user id in the
+	// same id space as members (a duplicate across the two maps is
+	// rejected at registration so disconnect routing is unambiguous).
+	observers map[uint32]*member
 	// probing is non-nil while a probe round is outstanding; it holds the
 	// user ids whose replies are still missing.
 	probing map[uint32]bool
@@ -206,6 +217,9 @@ func (g *group) resetEncLocked(ids []uint32) {
 	for _, mb := range g.members {
 		mb.needFull = true
 	}
+	for _, ob := range g.observers {
+		ob.needFull = true
+	}
 }
 
 // encRegion is one cached region encoding. data is immutable once
@@ -234,6 +248,10 @@ type member struct {
 	// compact is the registration-time FlagCompactProbe negotiation:
 	// probes to this member go out as TProbeC.
 	compact bool
+	// obsEpochs, on observer connections only, records the per-member
+	// region epoch last successfully enqueued to this observer — the
+	// observer-side analogue of epoch, one entry per watched member.
+	obsEpochs map[uint32]uint64
 	// drops counts consecutive outbox drops (guarded by the coordinator
 	// lock); any successful send resets it. kick, when non-nil, closes
 	// the member's connection — the slow-client policy's teeth.
@@ -466,7 +484,11 @@ func (c *Coordinator) handlePing(msg Message, conn io.Writer, registered bool, g
 	if g == nil {
 		return
 	}
-	if mb := g.members[uid]; mb != nil {
+	mb := g.members[uid]
+	if mb == nil {
+		mb = g.observers[uid]
+	}
+	if mb != nil {
 		mb.noteSend(c, gid, mb.send(pong))
 	}
 }
@@ -481,7 +503,12 @@ func (c *Coordinator) register(msg Message, w io.Writer) error {
 	defer c.mu.Unlock()
 	g := c.groups[msg.Group]
 	if g == nil {
-		g = &group{size: msg.GroupSize, members: map[uint32]*member{}, enc: map[uint32]*encRegion{}}
+		g = &group{
+			size:      msg.GroupSize,
+			members:   map[uint32]*member{},
+			observers: map[uint32]*member{},
+			enc:       map[uint32]*encRegion{},
+		}
 		c.groups[msg.Group] = g
 		c.locs[msg.Group] = map[uint32]geom.Point{}
 	}
@@ -490,6 +517,12 @@ func (c *Coordinator) register(msg Message, w io.Writer) error {
 	}
 	if _, dup := g.members[msg.User]; dup {
 		return fmt.Errorf("user %d already in group %d", msg.User, msg.Group)
+	}
+	if _, dup := g.observers[msg.User]; dup {
+		return fmt.Errorf("user %d already observes group %d", msg.User, msg.Group)
+	}
+	if msg.Flags&FlagObserver != 0 {
+		return c.registerObserverLocked(msg, g, w)
 	}
 	if uint32(len(g.members)) >= g.size {
 		return fmt.Errorf("group %d is full", msg.Group)
@@ -510,6 +543,83 @@ func (c *Coordinator) register(msg Message, w io.Writer) error {
 		c.replanLocked(msg.Group, g)
 	}
 	return nil
+}
+
+// registerObserverLocked adds a FlagObserver subscription to the group:
+// the connection gets the usual outbox/writer machinery but lives in the
+// observers map — it does not count toward the group size and never
+// participates in the report/probe exchange. If the group already
+// distributed a plan, the observer is caught up immediately from the
+// encoding cache; otherwise its first frame arrives with the group's
+// first plan.
+func (c *Coordinator) registerObserverLocked(msg Message, g *group, w io.Writer) error {
+	ob := newMember(msg.User, w, c.logger)
+	ob.obsEpochs = map[uint32]uint64{}
+	if closer, ok := w.(io.Closer); ok {
+		ob.kick = func() { _ = closer.Close() }
+	}
+	g.observers[msg.User] = ob
+	c.logger.Printf("group %d: observer %d subscribed (%d observers)",
+		msg.Group, msg.User, len(g.observers))
+	if g.havePlan {
+		c.sendObserverLocked(msg.Group, g, ob, g.lastMeeting)
+	}
+	return nil
+}
+
+// notifyObserversLocked fans the group's freshly cached plan out to its
+// observers. Must run after the member loop of notifyLocked populated
+// the encoding cache for the current membership.
+func (c *Coordinator) notifyObserversLocked(gid uint32, g *group, meeting geom.Point) {
+	for _, ob := range g.observers {
+		c.sendObserverLocked(gid, g, ob, meeting)
+	}
+}
+
+// sendObserverLocked builds and enqueues one observer TNotifyDelta from
+// the group's encoding cache: a full (DeltaReset) frame carrying every
+// member's region when the observer needs repair, otherwise only the
+// records whose epoch advanced since the observer's last successful
+// enqueue. A drop marks the observer for full repair, exactly like a
+// member's dropped notify.
+func (c *Coordinator) sendObserverLocked(gid uint32, g *group, ob *member, meeting geom.Point) {
+	full := ob.needFull
+	msg := Message{Type: TNotifyDelta, Group: gid, User: ob.user, DeltaReset: full}
+	if full || meeting != ob.meeting {
+		msg.MeetingChanged = true
+		msg.Meeting = meeting
+	}
+	for _, uid := range g.encIDs {
+		e := g.enc[uid]
+		if e == nil {
+			continue
+		}
+		if !full {
+			if last, ok := ob.obsEpochs[uid]; ok && last == e.epoch {
+				continue
+			}
+		}
+		msg.Deltas = append(msg.Deltas, RegionDelta{Member: uid, Epoch: e.epoch, Region: e.data})
+	}
+	if !full && !msg.MeetingChanged && len(msg.Deltas) == 0 {
+		return // nothing changed for this observer; no frame
+	}
+	ok := ob.send(msg)
+	ob.noteSend(c, gid, ok)
+	if !ok {
+		ob.needFull = true
+		c.logger.Printf("group %d: observer frame to %d dropped (outbox full)", gid, ob.user)
+		return
+	}
+	c.stats.observerFrames.Add(1)
+	ob.needFull = false
+	ob.meeting = meeting
+	if full {
+		clear(ob.obsEpochs)
+	}
+	for _, d := range msg.Deltas {
+		ob.obsEpochs[d.Member] = d.Epoch
+	}
 }
 
 // handleReport is step 1: record the reporter's location and probe the
@@ -653,6 +763,7 @@ func (c *Coordinator) notifyLocked(gid uint32, g *group, ids []uint32, meeting g
 	}
 	g.lastMeeting = meeting
 	g.havePlan = true
+	c.notifyObserversLocked(gid, g, meeting)
 	c.logger.Printf("group %d: notified %d members, meeting at %v", gid, len(ids), meeting)
 }
 
@@ -714,6 +825,15 @@ func (c *Coordinator) handleNack(msg Message) {
 	}
 	mb := g.members[msg.User]
 	if mb == nil {
+		if ob := g.observers[msg.User]; ob != nil {
+			// An observer that cannot reconcile a frame asks for complete
+			// state; repair it from the cache like any other NACK.
+			ob.needFull = true
+			if g.havePlan {
+				c.stats.nackRepairs.Add(1)
+				c.sendObserverLocked(msg.Group, g, ob, g.lastMeeting)
+			}
+		}
 		return
 	}
 	mb.needFull = true
@@ -732,38 +852,59 @@ func (c *Coordinator) handleNack(msg Message) {
 	}
 }
 
-// removeMember drops a disconnected user; an incomplete group stops
-// replanning until it refills.
+// removeMember drops a disconnected user (member or observer); an
+// incomplete group stops replanning until it refills. When the last
+// member leaves, the group dissolves and its observers are disconnected
+// with it — there is nothing left to observe, and a future group under
+// the same id is a different group.
 func (c *Coordinator) removeMember(gid, uid uint32) {
 	c.mu.Lock()
 	g := c.groups[gid]
-	var leaving *member
+	var closing []*member
 	if g != nil {
-		leaving = g.members[uid]
-		delete(g.members, uid)
-		delete(c.locs[gid], uid)
-		// Drop the cached encoding too: entries are only trustworthy for
-		// the membership they were built under (see encIDs), and keeping
-		// them would leak one region per departed uid in a long-lived
-		// group with churning membership.
-		delete(g.enc, uid)
-		if g.probing != nil {
-			delete(g.probing, uid)
-			c.maybeReplanLocked(gid, g)
-		}
-		if len(g.members) == 0 {
-			delete(c.groups, gid)
-			delete(c.locs, gid)
-			if c.onEmpty != nil {
-				// Under the lock: a re-registration of the same gid
-				// cannot interleave with the backend teardown.
-				c.onEmpty(gid)
+		if mb := g.members[uid]; mb != nil {
+			closing = append(closing, mb)
+			delete(g.members, uid)
+			delete(c.locs[gid], uid)
+			// Drop the cached encoding too: entries are only trustworthy for
+			// the membership they were built under (see encIDs), and keeping
+			// them would leak one region per departed uid in a long-lived
+			// group with churning membership.
+			delete(g.enc, uid)
+			if g.probing != nil {
+				delete(g.probing, uid)
+				c.maybeReplanLocked(gid, g)
+			}
+			if len(g.members) == 0 {
+				delete(c.groups, gid)
+				delete(c.locs, gid)
+				for ouid, ob := range g.observers {
+					delete(g.observers, ouid)
+					if ob.kick != nil {
+						ob.kick()
+					}
+					closing = append(closing, ob)
+				}
+				if c.onEmpty != nil {
+					// Under the lock: a re-registration of the same gid
+					// cannot interleave with the backend teardown.
+					c.onEmpty(gid)
+				}
+			}
+		} else if ob := g.observers[uid]; ob != nil {
+			closing = append(closing, ob)
+			delete(g.observers, uid)
+			if len(g.members) == 0 && len(g.observers) == 0 {
+				// Observer-first group whose members never arrived: GC it.
+				// No onEmpty — nothing was ever submitted to a backend.
+				delete(c.groups, gid)
+				delete(c.locs, gid)
 			}
 		}
 	}
 	c.mu.Unlock()
-	if leaving != nil {
-		leaving.close()
+	for _, m := range closing {
+		m.close()
 	}
 	c.logger.Printf("group %d: user %d left", gid, uid)
 }

@@ -124,9 +124,29 @@ const FlagDeltaCapable uint8 = 1 << 0
 // so old clients interoperate with new servers and vice versa.
 const FlagCompactProbe uint8 = 1 << 1
 
+// FlagObserver, set on a Register frame, subscribes the connection to a
+// group's notifications WITHOUT joining it: an observer does not count
+// toward the group size, is never probed, and never reports. Whenever
+// the group's members are notified of a fresh plan, each observer
+// receives one TNotifyDelta frame whose Deltas carry every member's
+// complete encoded region that changed since the observer's last
+// delivery (all of them after subscription, a drop, or a membership
+// change). Observer frames always use the delta layout regardless of
+// FlagDeltaCapable, and their Epoch field is zero — an observer has no
+// own-region epoch. Observers are torn down with the group when its
+// last member leaves.
+const FlagObserver uint8 = 1 << 2
+
 // deltaMeeting marks a TNotifyDelta frame that carries a meeting point
 // (it changed since the last delivery to this client).
 const deltaMeeting uint8 = 1 << 0
+
+// deltaReset marks a TNotifyDelta frame as complete state: the recipient
+// must discard every retained member region before applying the frame's
+// records. The coordinator sets it on full observer deliveries —
+// subscription catch-up, drop repair, membership change — so an observer
+// never keeps a region of a member that left the group.
+const deltaReset uint8 = 1 << 1
 
 // MaxFrame bounds a frame's payload, protecting the reader from corrupt
 // length prefixes. Tile regions are a few hundred bytes; 1 MiB is
@@ -161,10 +181,12 @@ type Message struct {
 	Region    []byte
 	Text      string
 
-	// MeetingChanged and Deltas belong to TNotifyDelta frames: the
-	// meeting point is serialized only when it changed, and Deltas holds
-	// the changed-region records.
+	// MeetingChanged, DeltaReset and Deltas belong to TNotifyDelta
+	// frames: the meeting point is serialized only when it changed,
+	// DeltaReset marks a complete-state (observer repair) frame, and
+	// Deltas holds the changed-region records.
 	MeetingChanged bool
+	DeltaReset     bool
 	Deltas         []RegionDelta
 }
 
@@ -209,6 +231,9 @@ func (m Message) appendDeltaPayload(buf []byte) []byte {
 	fl := uint8(0)
 	if m.MeetingChanged {
 		fl |= deltaMeeting
+	}
+	if m.DeltaReset {
+		fl |= deltaReset
 	}
 	buf = append(buf, fl)
 	buf = binary.AppendUvarint(buf, m.Epoch)
@@ -372,9 +397,10 @@ func parseDeltaPayload(p []byte) (Message, error) {
 	}
 	fl := rest[0]
 	rest = rest[1:]
-	if fl&^deltaMeeting != 0 {
+	if fl&^(deltaMeeting|deltaReset) != 0 {
 		return m, ErrCorruptFrame
 	}
+	m.DeltaReset = fl&deltaReset != 0
 	if m.Epoch, ok = u64(); !ok {
 		return m, ErrCorruptFrame
 	}

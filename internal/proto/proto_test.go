@@ -142,18 +142,23 @@ func testPlan(t testing.TB, method string) PlanFunc {
 // testUser wires one client over a pipe to the coordinator.
 type testUser struct {
 	client   *Client
+	conn     net.Conn
 	loc      geom.Point
 	locMu    sync.Mutex
 	notifyCh chan geom.Point
 	runErr   chan error
 }
 
+// disconnect severs the client's connection, as a crashed or departing
+// user would.
+func (u *testUser) disconnect() { _ = u.conn.Close() }
+
 func newTestUser(t *testing.T, coord *Coordinator, group, user uint32, start geom.Point) *testUser {
 	t.Helper()
 	serverSide, clientSide := net.Pipe()
 	go func() { _ = coord.ServeConn(serverSide) }()
 
-	u := &testUser{loc: start, notifyCh: make(chan geom.Point, 16), runErr: make(chan error, 1)}
+	u := &testUser{conn: clientSide, loc: start, notifyCh: make(chan geom.Point, 16), runErr: make(chan error, 1)}
 	cl, err := NewClient(clientSide, group, user,
 		func() geom.Point {
 			u.locMu.Lock()
