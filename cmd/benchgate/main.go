@@ -4,14 +4,15 @@
 // regresses beyond tolerance — more than -tol relative ns/op increase
 // (default 0.25), or any allocs/op increase at all (allocation counts
 // are deterministic, so even +1 is a real regression; the churn_*
-// series alone get a slack of 2, see allocSlack). It also enforces four
+// series alone get a slack of 2, see allocSlack). It also enforces five
 // machine-independent in-report bounds on the current report: the delta
 // notification protocol's wire-byte reduction (enforceDeltaReduction),
 // the shared cache's hit rate under localized POI churn
 // (enforceChurnHitRate), the road-network backend's speedup over the
-// per-member full-SSSP oracle (enforceNetSpeedup), and the WAL
-// journal's overhead ceiling on the steady-state update path
-// (enforceDurableOverhead).
+// per-member full-SSSP oracle (enforceNetSpeedup), the WAL journal's
+// overhead ceiling on the steady-state update path
+// (enforceDurableOverhead), and the hot-standby replication overhead
+// ceiling on that same path (enforceReplOverhead).
 //
 // The baseline is typically produced on a different machine than the
 // gate run (a developer box vs a CI runner), so raw ns/op ratios mostly
@@ -181,6 +182,7 @@ func main() {
 	failures += enforceChurnHitRate(current)
 	failures += enforceNetSpeedup(current)
 	failures += enforceDurableOverhead(current)
+	failures += enforceReplOverhead(current)
 	if failures > 0 {
 		fmt.Printf("\nbenchgate: %d regression(s) beyond tolerance\n", failures)
 		os.Exit(1)
@@ -364,6 +366,63 @@ func enforceDurableOverhead(current map[key]benchfmt.Series) int {
 	}
 	if !seen {
 		fmt.Printf("durable overhead: durable_update series missing from report  FAIL\n")
+		failures++
+	}
+	return failures
+}
+
+// maxReplOverhead is the enforced ceiling on what hot-standby
+// replication may cost the steady-state update path: repl_ship
+// (update_inc's exact workload with the WAL journal attached AND a live
+// follower tailing the record stream over loopback, lag-bounded) may
+// take at most this many times update_inc's ns/op. Shipping rides the
+// store's existing stream fan-out — the update path pays the same
+// encode-and-enqueue the durable fence already prices, and the shipper
+// writes frames on its own goroutine — so the honest cost is the
+// durable overhead plus stream-forward contention, not a wire round
+// trip. The ceiling sits above maxDurableOverhead by half a turn: what
+// it exists to catch is shipping leaking onto the update's critical
+// path (a synchronous write or an ack wait), which is a 10×+ effect.
+const (
+	maxReplOverhead = 2.5
+	replShipSeries  = "repl_ship"
+	replLagSeries   = "repl_lag"
+)
+
+// enforceReplOverhead checks the current report's repl_ship series
+// against the update_inc baseline at the same group size, same-process
+// same-machine so the ratio is machine-independent. A missing repl
+// series pair fails — replication coverage must not silently drop out
+// of the report. Returns the number of failures.
+func enforceReplOverhead(current map[key]benchfmt.Series) int {
+	failures := 0
+	seen := false
+	for _, s := range sortedSeries(current) {
+		if s.Name != replShipSeries {
+			continue
+		}
+		seen = true
+		inc, ok := current[key{updateIncSeries, s.GroupSize}]
+		if !ok || inc.NsPerOp <= 0 {
+			fmt.Printf("repl ship overhead m=%d: update_inc baseline missing  FAIL\n", s.GroupSize)
+			failures++
+			continue
+		}
+		ratio := s.NsPerOp / inc.NsPerOp
+		status := ""
+		if ratio > maxReplOverhead {
+			status = fmt.Sprintf("  FAIL overhead %.2fx > %.2fx", ratio, maxReplOverhead)
+			failures++
+		}
+		fmt.Printf("repl ship overhead m=%d: %.0f ns/op → %.0f ns/op (%.2fx, ceiling %.2fx)%s\n",
+			s.GroupSize, inc.NsPerOp, s.NsPerOp, ratio, maxReplOverhead, status)
+		if _, ok := current[key{replLagSeries, s.GroupSize}]; !ok {
+			fmt.Printf("repl lag m=%d: repl_lag series missing from report  FAIL\n", s.GroupSize)
+			failures++
+		}
+	}
+	if !seen {
+		fmt.Printf("repl ship overhead: repl_ship series missing from report  FAIL\n")
 		failures++
 	}
 	return failures

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"runtime"
 	"testing"
@@ -24,6 +25,7 @@ import (
 	"mpn/internal/nbrcache"
 	"mpn/internal/netmpn"
 	"mpn/internal/proto"
+	"mpn/internal/replica"
 	"mpn/internal/roadnet"
 	"mpn/internal/stats"
 	"mpn/internal/workload"
@@ -343,6 +345,9 @@ func collectPlanReport(log io.Writer) (benchfmt.Report, error) {
 	if err := runDurableBench(&report, planner, log); err != nil {
 		return benchfmt.Report{}, err
 	}
+	if err := runReplBench(&report, planner, log); err != nil {
+		return benchfmt.Report{}, err
+	}
 	if err := runNetBench(&report, log); err != nil {
 		return benchfmt.Report{}, err
 	}
@@ -491,6 +496,206 @@ func runDurableBench(report *benchfmt.Report, planner *core.Planner, log io.Writ
 	}
 	fmt.Fprintf(log, "  %-18s m=%d  %10.0f ns/op %8.0f rec/s %4d allocs/op%s\n",
 		"wal_append", m, s.NsPerOp, s.OpsPerSec, s.AllocsPerOp, extra)
+	return nil
+}
+
+// benchFollower attaches one follower to a durable store over real
+// loopback TCP — a Shipper serving the store's record stream and a
+// Tailer folding it into a bare state mirror, exactly the standby's
+// data path minus the engine replay. It returns once the stream is
+// live, along with the tailer (for lag reads) and a teardown.
+func benchFollower(b *testing.B, store *durable.Store) (*replica.Tailer, func()) {
+	ship := replica.NewShipper(replica.ShipperConfig{
+		Store:  store,
+		Epoch:  func() uint64 { return 1 },
+		Buffer: 1 << 15,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go ship.Serve(ln)
+	mirror := durable.NewState()
+	tl := replica.StartTailer(replica.TailerConfig{
+		PrimaryAddr:  ln.Addr().String(),
+		Epoch:        func() uint64 { return 0 },
+		OnRecord:     mirror.ApplyRecord,
+		RetryBackoff: 5 * time.Millisecond,
+		AckInterval:  2 * time.Millisecond,
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for !tl.Stats().Connected {
+		if time.Now().After(deadline) {
+			tl.Stop()
+			ship.Close()
+			b.Fatal("replication follower never connected")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	return tl, func() {
+		tl.Stop()
+		ship.Close()
+	}
+}
+
+// replDrain waits (on the benchmark clock) until the follower has
+// applied everything the store has streamed and the stream position is
+// quiescent, so the tail of the pipeline is fully priced.
+func replDrain(store *durable.Store, tl *replica.Tailer) {
+	for {
+		sp := store.StreamPos()
+		if tl.Stats().Pos >= sp {
+			// Settle: records still in the store queue haven't reached
+			// the mirror yet; only a stable position means drained.
+			time.Sleep(200 * time.Microsecond)
+			if sp2 := store.StreamPos(); sp2 == sp && tl.Stats().Pos >= sp2 {
+				return
+			}
+			continue
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// runReplBench appends the hot-standby replication series. repl_ship is
+// durable_update's exact workload (incremental engine, WAL journal at
+// fsync=interval) with a live follower tailing the record stream over
+// loopback TCP, producer paced so the follower stays within a bounded
+// lag window and the final drain on the clock — it prices what shipping
+// to a caught-up standby costs per committed update (cmd/benchgate
+// enforces the ceiling vs update_inc). repl_lag strips the engine away
+// and pushes bare group records through the same pipeline — ns/op is
+// the sustained ship→apply→ack rate, i.e. how fast a follower's lag
+// drains in records.
+func runReplBench(report *benchfmt.Report, planner *core.Planner, log io.Writer) error {
+	const m = 3
+	users, dirs := jsonBenchGroup(m)
+	ids := []uint32{0, 1, 2}
+	const window = 1 << 11
+
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "mpnbench-repl-*")
+		if err != nil {
+			benchErr = err
+			b.Skip(err)
+		}
+		defer os.RemoveAll(dir)
+		store, _, _, err := durable.Open(durable.Config{
+			Dir: dir, Fsync: durable.PolicyInterval, Queue: 1 << 14, POIBase: -1,
+		})
+		if err != nil {
+			benchErr = err
+			b.Skip(err)
+		}
+		defer store.Close()
+		tl, stop := benchFollower(b, store)
+		defer stop()
+		eng := engine.NewWS(engine.PlannerWSFunc(planner, false), engine.Options{
+			Shards: 1, Replan: engine.PlannerIncFunc(planner, false),
+			Journal: durJournal{store},
+		})
+		defer eng.Close()
+		id, err := eng.RegisterTag(users, dirs, durTag{gid: 1, ids: ids})
+		if err != nil {
+			benchErr = err
+			b.Skip(err)
+		}
+		locs := make([]geom.Point, len(users))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			jitter := 1e-5 * float64(i%7)
+			for j, u := range users {
+				locs[j] = geom.Pt(u.X+jitter, u.Y-jitter)
+			}
+			if err := eng.Update(id, locs, dirs); err != nil {
+				b.Fatal(err)
+			}
+			// Keep the follower within one lag window so the series
+			// prices sustained shipping, not an unbounded queue (an
+			// overrun would cut the stream and measure reseeds instead).
+			if i%window == window-1 {
+				for store.StreamPos() > tl.Stats().Pos+window {
+					time.Sleep(20 * time.Microsecond)
+				}
+			}
+		}
+		replDrain(store, tl)
+	})
+	if benchErr != nil {
+		return benchErr
+	}
+	s := toSeries("repl_ship", m, r)
+	report.Series = append(report.Series, s)
+	incRatio, durRatio := 0.0, 0.0
+	for _, prev := range report.Series {
+		if prev.GroupSize != m || prev.NsPerOp <= 0 {
+			continue
+		}
+		switch prev.Name {
+		case "update_inc":
+			incRatio = s.NsPerOp / prev.NsPerOp
+		case "durable_update":
+			durRatio = s.NsPerOp / prev.NsPerOp
+		}
+	}
+	fmt.Fprintf(log, "  %-18s m=%d  %10.0f ns/op %8.0f upd/s %4d allocs/op (%.2fx vs update_inc, %.2fx vs durable_update)\n",
+		"repl_ship", m, s.NsPerOp, s.OpsPerSec, s.AllocsPerOp, incRatio, durRatio)
+
+	var shed uint64
+	r = testing.Benchmark(func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "mpnbench-repllag-*")
+		if err != nil {
+			benchErr = err
+			b.Skip(err)
+		}
+		defer os.RemoveAll(dir)
+		store, _, _, err := durable.Open(durable.Config{
+			Dir: dir, Fsync: durable.PolicyInterval, Queue: 4 * window, POIBase: -1,
+		})
+		if err != nil {
+			benchErr = err
+			b.Skip(err)
+		}
+		defer store.Close()
+		tl, stop := benchFollower(b, store)
+		defer stop()
+		locs := append([]geom.Point(nil), users...)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			store.GroupUpsert(uint32(i&63), ids, locs)
+			// Pace the producer against BOTH stages: the store writer
+			// (appended+shed, as wal_append does — a raw enqueue loop
+			// overruns any writer and prices the shed path) and the
+			// follower's applied position (so the series prices sustained
+			// ship→apply→ack, not an unbounded lag that would cut the
+			// stream and measure reseeds).
+			if i%window == window-1 && i >= window {
+				floor := uint64(i) - window
+				for {
+					st := store.Stats()
+					if st.Appended+st.Shed >= floor && store.StreamPos() <= tl.Stats().Pos+window {
+						break
+					}
+					time.Sleep(20 * time.Microsecond)
+				}
+			}
+		}
+		replDrain(store, tl)
+		b.StopTimer()
+		shed = store.Stats().Shed
+	})
+	if benchErr != nil {
+		return benchErr
+	}
+	s = toSeries("repl_lag", m, r)
+	report.Series = append(report.Series, s)
+	extra := ""
+	if shed > 0 {
+		extra = fmt.Sprintf(" (%d shed — producer overran the writer)", shed)
+	}
+	fmt.Fprintf(log, "  %-18s m=%d  %10.0f ns/op %8.0f rec/s %4d allocs/op%s\n",
+		"repl_lag", m, s.NsPerOp, s.OpsPerSec, s.AllocsPerOp, extra)
 	return nil
 }
 

@@ -32,6 +32,19 @@
 // Journaling runs behind a bounded queue off the planning path — under
 // pressure records are shed and counted, never blocking a replan.
 //
+// Hot-standby replication (internal/replica) rides on the durable log:
+// a primary started with -replicate-to streams its record log —
+// snapshot seed plus live tail, CRC-framed, position-acked — to any
+// number of followers, and a node started with -standby-of follows a
+// primary, continuously replaying the stream through the same recovery
+// paths boot uses, so it serves the instant it is promoted. A standby
+// refuses client writes with a redirect at the primary; on promotion
+// (manual, or -promote-after of primary silence) it adopts a fencing
+// epoch above everything it has seen, journals it, and fences the old
+// primary, which from then on refuses writes and redirects clients at
+// its successor. Clients built on proto.ReconnectClient receive pushed
+// peer lists (-advertise) and fail over without operator involvement.
+//
 // Usage:
 //
 //	mpnserver [-listen :7464] [-method circle|tile|tiled|net] [-agg max|sum]
@@ -39,6 +52,8 @@
 //	          [-shards N] [-workers N] [-queue N] [-incremental] [-gnncache N]
 //	          [-delta=true] [-affinity] [-network] [-poi-every 9]
 //	          [-state-dir DIR] [-fsync always|interval|off]
+//	          [-replicate-to ADDR] [-standby-of ADDR] [-advertise ADDR]
+//	          [-promote-after 10s]
 //
 // POIs are generated synthetically unless -pois points to a CSV of "x,y"
 // lines (as produced by cmd/poigen). With -network (or -method net) the
@@ -71,6 +86,7 @@ import (
 	"mpn/internal/nbrcache"
 	"mpn/internal/netmpn"
 	"mpn/internal/proto"
+	"mpn/internal/replica"
 	"mpn/internal/roadnet"
 	"mpn/internal/workload"
 )
@@ -103,6 +119,10 @@ func main() {
 	closeTimeout := flag.Duration("close-timeout", 0, "how long shutdown drains queued recomputations before abandoning them (0 = engine default, negative = unbounded)")
 	stateDir := flag.String("state-dir", "", "durable state directory (write-ahead log + snapshots); restored on boot, empty disables durability")
 	fsync := flag.String("fsync", "interval", "WAL fsync policy: always (per write batch), interval (periodic, bounded loss), off (clean close only)")
+	replicateTo := flag.String("replicate-to", "", "serve the replication (WAL-shipping) stream to hot-standby followers on this address; requires -state-dir")
+	standbyOf := flag.String("standby-of", "", "follow the primary at this replication address as a hot standby: client writes are refused with a redirect until promotion")
+	advertise := flag.String("advertise", "", "this node's client-facing address, pushed to clients in peer frames so they can fail over")
+	promoteAfter := flag.Duration("promote-after", 0, "auto-promote a standby whose primary has been unreachable this long (0 = never promote automatically)")
 	flag.Parse()
 
 	if *network {
@@ -124,6 +144,8 @@ func main() {
 		slowLimit:     *slowLimit,
 		admissionWait: *admissionWait, closeTimeout: *closeTimeout,
 		stateDir: *stateDir, fsync: *fsync,
+		replicateTo: *replicateTo, standbyOf: *standbyOf,
+		advertise: *advertise, promoteAfter: *promoteAfter,
 		logger: log.Default(),
 	})
 	if err != nil {
@@ -175,7 +197,21 @@ type serverConfig struct {
 	stateDir   string
 	fsync      string
 	fsyncEvery time.Duration
-	logger     *log.Logger
+	// Replication (hot standby): replicateTo serves the WAL record
+	// stream to followers on this address (requires stateDir — the
+	// stream is the durable record log); standbyOf makes this node a
+	// standby following that primary replication address, refusing
+	// client writes with a redirect until promoted; advertise is this
+	// node's client-facing address, pushed to clients in peer frames
+	// and presented to the peer in replication handshakes;
+	// promoteAfter auto-promotes a standby whose primary has been
+	// unreachable that long (0 = manual promotion only).
+	// replRetry/replAck tighten the tailer's reconnect backoff and
+	// ack cadence (0 = package defaults; tests use milliseconds).
+	replicateTo, standbyOf, advertise string
+	promoteAfter                      time.Duration
+	replRetry, replAck                time.Duration
+	logger                            *log.Logger
 }
 
 // server wires the protocol coordinator to the sharded group engine: the
@@ -194,6 +230,7 @@ type server struct {
 	// boot-time restore — whose state is already in the log — is not
 	// re-journaled while it re-registers recovered groups.
 	store     *durable.Store
+	stateDir  string
 	journalOn atomic.Bool
 
 	readTimeout  time.Duration
@@ -209,6 +246,26 @@ type server struct {
 	engineToGid map[engine.GroupID]uint32
 
 	fanoutDone chan struct{}
+
+	// Replication (see replication.go): role gates client writes
+	// through writeGate, epoch is the monotone fencing epoch, ship
+	// streams the WAL to followers, tail follows a primary while
+	// standby. fencedEpoch/fencedPeer remember who deposed this node
+	// so refused writes still redirect clients at the winner.
+	role         *replica.RoleState
+	epoch        atomic.Uint64
+	ship         *replica.Shipper
+	shipLn       net.Listener
+	tail         *replica.Tailer
+	advertise    string
+	standbyOf    string
+	promoteAfter time.Duration
+	poiBase      int
+	fencedEpoch  atomic.Uint64
+	fencedPeer   atomic.Value // string
+	replMu       sync.Mutex   // serializes promotion
+	replStop     chan struct{}
+	replOnce     sync.Once
 }
 
 // reportTag travels with every engine registration and submission for a
@@ -369,6 +426,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	s := &server{
 		planner:      planner,
 		store:        store,
+		stateDir:     cfg.stateDir,
 		logger:       cfg.logger,
 		readTimeout:  cfg.readTimeout,
 		writeTimeout: cfg.writeTimeout,
@@ -415,6 +473,11 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.coord.SetSlowClientLimit(cfg.slowLimit)
 	s.sub = s.eng.Subscribe(1024)
 	go s.fanout()
+	s.poiBase = len(cfg.pois)
+	if err := s.initReplication(cfg, restored); err != nil {
+		s.close()
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -570,6 +633,11 @@ type serverStats struct {
 	IdleTimeouts  uint64
 	FanoutDropped uint64        // engine→coordinator notification drops
 	WAL           durable.Stats // zero when durability is off
+	// Replication roll-up (zero values when replication is off).
+	Role  string // current replication role
+	Epoch uint64 // fencing epoch
+	Ship  replica.ShipperStats
+	Tail  replica.TailerStats
 }
 
 func (s *server) stats() serverStats {
@@ -594,6 +662,16 @@ func (s *server) stats() serverStats {
 	if s.store != nil {
 		st.WAL = s.store.Stats()
 	}
+	if s.role != nil {
+		st.Role = s.role.Get().String()
+		st.Epoch = s.epoch.Load()
+	}
+	if s.ship != nil {
+		st.Ship = s.ship.Stats()
+	}
+	if s.tail != nil {
+		st.Tail = s.tail.Stats()
+	}
 	return st
 }
 
@@ -601,6 +679,7 @@ func (s *server) stats() serverStats {
 // configured deadline), waits for the fan-out goroutine, and logs the
 // final fault counters so overload during the run is visible post-hoc.
 func (s *server) close() {
+	s.stopRepl()
 	s.eng.Close()
 	<-s.fanoutDone
 	st := s.stats()
@@ -627,6 +706,7 @@ func (s *server) close() {
 // stack dismantled (so the test harness leaks no goroutines). The
 // kill-and-restore chaos schedule drives recovery through this.
 func (s *server) crash() {
+	s.stopRepl()
 	if s.store != nil {
 		s.store.Crash()
 	}

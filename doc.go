@@ -409,6 +409,52 @@
 // sustained append rate; cmd/benchgate enforces the disclosed overhead
 // ceiling against update_inc.
 //
+// # Replication and failover
+//
+// cmd/mpnserver -replicate-to turns a durable server into a replicating
+// primary: internal/replica ships the WAL record stream — the same
+// CRC-framed records -state-dir journals — to any number of followers
+// over TCP. Each follower connection gets a consistent snapshot seed
+// (the store's folded mirror at a stream position) followed by the live
+// record tail from exactly that position, and acks applied positions
+// back; StreamPos minus the lowest follower ack is the primary's lag
+// bound in records, visible in the stats endpoint. A follower that
+// falls behind its subscription buffer is cut and reseeds on reconnect,
+// so a slow standby can never stall the primary's write path.
+//
+// A standby (-standby-of, pointed at the primary's replication address)
+// replays every shipped record through exactly the paths boot-time
+// recovery uses — POI batches through the planner, group records into
+// the engine with synchronous plans — so its engine is warm the moment
+// it is asked to serve. While following, it refuses client writes with
+// a redirect at the primary. Promotion (automatic after -promote-after
+// of primary silence, and never after a fatal divergence) bumps a
+// fencing epoch above everything the primary ever presented, journals
+// it, and best-effort fences the old primary, which refuses writes from
+// then on and redirects clients at its successor. Epochs ride the
+// journal, the snapshot, and every replication handshake, so fencing
+// survives crashes of either node: a deposed primary that restarts from
+// its own state directory comes back already fenced out by any follower
+// that promoted past it.
+//
+// Clients built on proto.NewReconnectClientAddrs carry the address list
+// and adopt server-pushed peer frames (epoch-gated, so a stale list
+// never overrides a newer one), failing over without operator
+// involvement: a write refused by a standby or fenced node arrives with
+// the peer list naming who can serve it, and observer subscriptions
+// re-attach through the ordinary re-register path. The loss window on
+// failover is the replication lag at the moment the primary died, on
+// top of the -fsync window: with fsync=always a promoted follower is
+// missing at most the records the primary had not yet streamed; with
+// fsync=interval a crashed-and-restarted primary may itself have lost
+// up to one interval that its follower retained — the failover chaos
+// suite (TestFailover*/TestFollowerCatchUp in cmd/mpnserver) fences
+// both directions byte-for-byte, and FuzzReplStream feeds arbitrary
+// corruption to the stream consumer. The repl_ship and repl_lag series
+// in BENCH_plan.json price shipping on the update path and the
+// follower's drain rate; cmd/benchgate enforces the disclosed ceiling
+// against update_inc.
+//
 // The internal packages implement the full substrate from scratch: an
 // R-tree (internal/rtree), top-k group nearest neighbor search
 // (internal/gnn), the safe-region algorithms (internal/core), the sharded

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
+	"sort"
 
 	"mpn/internal/geom"
 )
@@ -49,14 +50,18 @@ var (
 	ErrBadRecord = errors.New("durable: invalid record")
 )
 
-// Record type bytes (payload[0]).
+// Record type bytes (payload[0]). Exported so stream consumers (the
+// replication tailer) can dispatch on decoded records.
 const (
-	recGroup  = 1 // group upsert: registration or committed update
-	recUnreg  = 2 // group unregistration
-	recPOIs   = 3 // one ApplyPOIs batch (external ids)
-	recMeta   = 4 // snapshot header: POI base table size
-	maxRecord = 1 << 26
+	RecGroup byte = 1 // group upsert: registration or committed update
+	RecUnreg byte = 2 // group unregistration
+	RecPOIs  byte = 3 // one ApplyPOIs batch (external ids)
+	RecMeta  byte = 4 // snapshot header: POI base table size
+	RecEpoch byte = 5 // fencing epoch adopted (monotone, never decreases)
 )
+
+// MaxRecord bounds one record payload; a frame claiming more is corrupt.
+const MaxRecord = 1 << 26
 
 const (
 	snapMagic = "MPNSNAP1"
@@ -81,14 +86,23 @@ type State struct {
 	POIInserts []geom.Point
 	POIDeleted []int
 	Groups     map[uint32]GroupState
+	// Epoch is the fencing epoch last recorded (0 = never recorded): a
+	// node refuses to serve writes for any epoch below one it has seen,
+	// which is what keeps a deposed primary from accepting registrations
+	// after its follower promoted.
+	Epoch uint64
 
 	deleted map[int]bool // working set behind POIDeleted
 }
 
-// newState returns an empty state with an unknown POI base.
-func newState() *State {
+// NewState returns an empty state with an unknown POI base — the seed
+// for replays and replication mirrors.
+func NewState() *State {
 	return &State{POIBase: -1, Groups: make(map[uint32]GroupState)}
 }
+
+// newState is the package-internal alias.
+func newState() *State { return NewState() }
 
 // poiNext returns the next expected external insert id.
 func (st *State) poiNext() int {
@@ -101,7 +115,7 @@ func (st *State) poiNext() int {
 
 // appendGroup encodes a group upsert record.
 func appendGroup(buf []byte, gid uint32, ids []uint32, locs []geom.Point) []byte {
-	buf = append(buf, recGroup)
+	buf = append(buf, RecGroup)
 	buf = binary.LittleEndian.AppendUint32(buf, gid)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
 	for _, id := range ids {
@@ -116,7 +130,7 @@ func appendGroup(buf []byte, gid uint32, ids []uint32, locs []geom.Point) []byte
 
 // appendUnreg encodes a group unregistration record.
 func appendUnreg(buf []byte, gid uint32) []byte {
-	buf = append(buf, recUnreg)
+	buf = append(buf, RecUnreg)
 	return binary.LittleEndian.AppendUint32(buf, gid)
 }
 
@@ -125,7 +139,7 @@ func appendUnreg(buf []byte, gid uint32) []byte {
 // external id space when the batch was applied — which recovery uses to
 // validate that replay stays aligned with the original id assignment.
 func appendPOIs(buf []byte, baseExt int, inserts []geom.Point, deleteIDs []int) []byte {
-	buf = append(buf, recPOIs)
+	buf = append(buf, RecPOIs)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(baseExt))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(inserts)))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(deleteIDs)))
@@ -141,84 +155,159 @@ func appendPOIs(buf []byte, baseExt int, inserts []geom.Point, deleteIDs []int) 
 
 // appendMeta encodes the snapshot header record.
 func appendMeta(buf []byte, poiBase int) []byte {
-	buf = append(buf, recMeta)
+	buf = append(buf, RecMeta)
 	return binary.LittleEndian.AppendUint64(buf, uint64(poiBase))
+}
+
+// AppendEpochRecord encodes a fencing-epoch record payload. The store's
+// EpochRecord hook journals one whenever a node adopts a new epoch —
+// boot, promotion — so recovery (and every follower seeded from this
+// log) restores the fence.
+func AppendEpochRecord(buf []byte, epoch uint64) []byte {
+	buf = append(buf, RecEpoch)
+	return binary.LittleEndian.AppendUint64(buf, epoch)
 }
 
 // floatBits / fromBits convert between float64 and its IEEE-754 bits.
 func floatBits(f float64) uint64 { return math.Float64bits(f) }
 func fromBits(b uint64) float64  { return math.Float64frombits(b) }
 
-// apply decodes one record payload and applies it to st, validating
-// every length and id so corrupted-but-CRC-valid bytes can never
-// restore phantom state. Returns ErrBadRecord (wrapped) on anything
-// inconsistent.
-func (st *State) apply(payload []byte) error {
+// Record is one structurally decoded log record, for consumers that
+// need the fields rather than the state fold: the replication tailer
+// dispatches decoded records into the serving engine. Which fields are
+// meaningful depends on Type.
+type Record struct {
+	Type byte // RecGroup, RecUnreg, RecPOIs, RecMeta, or RecEpoch
+
+	GID  uint32       // RecGroup, RecUnreg
+	IDs  []uint32     // RecGroup
+	Locs []geom.Point // RecGroup
+
+	POIBase int          // RecPOIs (the batch's baseExt), RecMeta
+	Inserts []geom.Point // RecPOIs
+	Deletes []int        // RecPOIs
+
+	Epoch uint64 // RecEpoch
+}
+
+// DecodeRecord parses one record payload, validating every length and
+// range that can be checked without state. Stateful validation — POI
+// base alignment, phantom deletes, epoch monotonicity — happens in
+// State.Apply. Returns ErrBadRecord (wrapped) on anything inconsistent.
+func DecodeRecord(payload []byte) (Record, error) {
+	var rec Record
 	if len(payload) == 0 {
-		return fmt.Errorf("%w: empty payload", ErrBadRecord)
+		return rec, fmt.Errorf("%w: empty payload", ErrBadRecord)
 	}
-	typ, body := payload[0], payload[1:]
-	switch typ {
-	case recGroup:
+	rec.Type = payload[0]
+	body := payload[1:]
+	switch rec.Type {
+	case RecGroup:
 		if len(body) < 8 {
-			return fmt.Errorf("%w: short group record", ErrBadRecord)
+			return rec, fmt.Errorf("%w: short group record", ErrBadRecord)
 		}
-		gid := binary.LittleEndian.Uint32(body)
+		rec.GID = binary.LittleEndian.Uint32(body)
 		n := int(binary.LittleEndian.Uint32(body[4:]))
 		if n <= 0 || len(body) != 8+n*4+n*16 {
-			return fmt.Errorf("%w: group record size %d for %d members", ErrBadRecord, len(body), n)
+			return rec, fmt.Errorf("%w: group record size %d for %d members", ErrBadRecord, len(body), n)
 		}
-		ids := make([]uint32, n)
-		locs := make([]geom.Point, n)
+		rec.IDs = make([]uint32, n)
+		rec.Locs = make([]geom.Point, n)
 		off := 8
-		for i := range ids {
-			ids[i] = binary.LittleEndian.Uint32(body[off:])
+		for i := range rec.IDs {
+			rec.IDs[i] = binary.LittleEndian.Uint32(body[off:])
 			off += 4
 		}
-		for i := range locs {
-			locs[i].X = fromBits(binary.LittleEndian.Uint64(body[off:]))
-			locs[i].Y = fromBits(binary.LittleEndian.Uint64(body[off+8:]))
+		for i := range rec.Locs {
+			rec.Locs[i].X = fromBits(binary.LittleEndian.Uint64(body[off:]))
+			rec.Locs[i].Y = fromBits(binary.LittleEndian.Uint64(body[off+8:]))
 			off += 16
 		}
-		st.Groups[gid] = GroupState{IDs: ids, Locs: locs}
-	case recUnreg:
+	case RecUnreg:
 		if len(body) != 4 {
-			return fmt.Errorf("%w: short unregister record", ErrBadRecord)
+			return rec, fmt.Errorf("%w: short unregister record", ErrBadRecord)
 		}
-		delete(st.Groups, binary.LittleEndian.Uint32(body))
-	case recPOIs:
+		rec.GID = binary.LittleEndian.Uint32(body)
+	case RecPOIs:
 		if len(body) < 16 {
-			return fmt.Errorf("%w: short POI record", ErrBadRecord)
+			return rec, fmt.Errorf("%w: short POI record", ErrBadRecord)
 		}
-		baseExt := int(binary.LittleEndian.Uint64(body))
+		rec.POIBase = int(binary.LittleEndian.Uint64(body))
 		nIns := int(binary.LittleEndian.Uint32(body[8:]))
 		nDel := int(binary.LittleEndian.Uint32(body[12:]))
 		if nIns < 0 || nDel < 0 || len(body) != 16+nIns*16+nDel*8 {
-			return fmt.Errorf("%w: POI record size %d for %d+%d ops", ErrBadRecord, len(body), nIns, nDel)
+			return rec, fmt.Errorf("%w: POI record size %d for %d+%d ops", ErrBadRecord, len(body), nIns, nDel)
 		}
+		if rec.POIBase < 0 || rec.POIBase > 1<<40 {
+			return rec, fmt.Errorf("%w: absurd POI batch base %d", ErrBadRecord, rec.POIBase)
+		}
+		off := 16
+		rec.Inserts = make([]geom.Point, nIns)
+		for i := range rec.Inserts {
+			rec.Inserts[i].X = fromBits(binary.LittleEndian.Uint64(body[off:]))
+			rec.Inserts[i].Y = fromBits(binary.LittleEndian.Uint64(body[off+8:]))
+			off += 16
+		}
+		rec.Deletes = make([]int, nDel)
+		for i := range rec.Deletes {
+			rec.Deletes[i] = int(binary.LittleEndian.Uint64(body[off:]))
+			off += 8
+		}
+	case RecMeta:
+		if len(body) != 8 {
+			return rec, fmt.Errorf("%w: short meta record", ErrBadRecord)
+		}
+		rec.POIBase = int(binary.LittleEndian.Uint64(body))
+		if rec.POIBase < 0 || rec.POIBase > 1<<40 {
+			return rec, fmt.Errorf("%w: absurd POI base %d", ErrBadRecord, rec.POIBase)
+		}
+	case RecEpoch:
+		if len(body) != 8 {
+			return rec, fmt.Errorf("%w: short epoch record", ErrBadRecord)
+		}
+		rec.Epoch = binary.LittleEndian.Uint64(body)
+		if rec.Epoch == 0 {
+			return rec, fmt.Errorf("%w: zero fencing epoch", ErrBadRecord)
+		}
+	default:
+		return rec, fmt.Errorf("%w: unknown record type %d", ErrBadRecord, rec.Type)
+	}
+	return rec, nil
+}
+
+// Apply decodes one record payload and applies it to st, validating
+// every length and id so corrupted-but-CRC-valid bytes can never
+// restore phantom state. Returns ErrBadRecord (wrapped) on anything
+// inconsistent.
+func (st *State) Apply(payload []byte) error {
+	rec, err := DecodeRecord(payload)
+	if err != nil {
+		return err
+	}
+	return st.ApplyRecord(rec)
+}
+
+// ApplyRecord folds one decoded record into st with the stateful half
+// of validation (POI base alignment, phantom/double deletes, epoch
+// monotonicity).
+func (st *State) ApplyRecord(rec Record) error {
+	switch rec.Type {
+	case RecGroup:
+		st.Groups[rec.GID] = GroupState{IDs: rec.IDs, Locs: rec.Locs}
+	case RecUnreg:
+		delete(st.Groups, rec.GID)
+	case RecPOIs:
 		if st.POIBase < 0 && len(st.POIInserts) == 0 {
 			// No snapshot fixed the base: the first batch does (its
 			// baseExt is the table length when it was applied).
-			st.POIBase = baseExt
+			st.POIBase = rec.POIBase
 		}
-		if baseExt != st.poiNext() {
-			return fmt.Errorf("%w: POI batch base %d, expected %d", ErrBadRecord, baseExt, st.poiNext())
-		}
-		off := 16
-		ins := make([]geom.Point, nIns)
-		for i := range ins {
-			ins[i].X = fromBits(binary.LittleEndian.Uint64(body[off:]))
-			ins[i].Y = fromBits(binary.LittleEndian.Uint64(body[off+8:]))
-			off += 16
-		}
-		dels := make([]int, nDel)
-		for i := range dels {
-			dels[i] = int(binary.LittleEndian.Uint64(body[off:]))
-			off += 8
+		if rec.POIBase != st.poiNext() {
+			return fmt.Errorf("%w: POI batch base %d, expected %d", ErrBadRecord, rec.POIBase, st.poiNext())
 		}
 		// Validate deletes against the id space before mutating anything.
-		limit := st.poiNext() + nIns
-		for _, id := range dels {
+		limit := st.poiNext() + len(rec.Inserts)
+		for _, id := range rec.Deletes {
 			if id < 0 || id >= limit {
 				return fmt.Errorf("%w: delete of phantom POI %d (id space %d)", ErrBadRecord, id, limit)
 			}
@@ -226,37 +315,74 @@ func (st *State) apply(payload []byte) error {
 				return fmt.Errorf("%w: double delete of POI %d", ErrBadRecord, id)
 			}
 		}
-		st.POIInserts = append(st.POIInserts, ins...)
+		st.POIInserts = append(st.POIInserts, rec.Inserts...)
 		if st.deleted == nil {
 			st.deleted = make(map[int]bool)
 		}
-		for _, id := range dels {
+		for _, id := range rec.Deletes {
 			st.deleted[id] = true
 			st.POIDeleted = append(st.POIDeleted, id)
 		}
-	case recMeta:
-		if len(body) != 8 {
-			return fmt.Errorf("%w: short meta record", ErrBadRecord)
+	case RecMeta:
+		if st.POIBase >= 0 && st.POIBase != rec.POIBase {
+			return fmt.Errorf("%w: conflicting POI base %d vs %d", ErrBadRecord, rec.POIBase, st.POIBase)
 		}
-		base := int(binary.LittleEndian.Uint64(body))
-		if base < 0 || base > 1<<40 {
-			return fmt.Errorf("%w: absurd POI base %d", ErrBadRecord, base)
+		st.POIBase = rec.POIBase
+	case RecEpoch:
+		if rec.Epoch < st.Epoch {
+			return fmt.Errorf("%w: fencing epoch went backwards (%d after %d)", ErrBadRecord, rec.Epoch, st.Epoch)
 		}
-		if st.POIBase >= 0 && st.POIBase != base {
-			return fmt.Errorf("%w: conflicting POI base %d vs %d", ErrBadRecord, base, st.POIBase)
-		}
-		st.POIBase = base
+		st.Epoch = rec.Epoch
 	default:
-		return fmt.Errorf("%w: unknown record type %d", ErrBadRecord, typ)
+		return fmt.Errorf("%w: unknown record type %d", ErrBadRecord, rec.Type)
 	}
 	return nil
 }
+
+// apply is the package-internal alias for Apply.
+func (st *State) apply(payload []byte) error { return st.Apply(payload) }
 
 // frame appends one CRC frame around payload to buf.
 func frame(buf, payload []byte) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
 	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
 	return append(buf, payload...)
+}
+
+// AppendFrame appends one CRC frame around payload to buf — the exact
+// wire shape the WAL, snapshots, and the replication stream all share.
+func AppendFrame(buf, payload []byte) []byte { return frame(buf, payload) }
+
+// AppendStateFrames serializes st as a framed record sequence: meta
+// first (the snapshot invariant recovery checks), then the fencing
+// epoch when one was ever recorded, the cumulative POI batch, and every
+// group sorted by gid. It is the body of a snapshot file and the seed
+// of a replication stream — a fresh State that applies these frames in
+// order is equivalent to st.
+func AppendStateFrames(buf []byte, st *State) []byte {
+	base := st.POIBase
+	if base < 0 {
+		base = 0
+	}
+	buf = frame(buf, appendMeta(nil, base))
+	if st.Epoch > 0 {
+		buf = frame(buf, AppendEpochRecord(nil, st.Epoch))
+	}
+	if len(st.POIInserts) > 0 || len(st.POIDeleted) > 0 {
+		dels := append([]int(nil), st.POIDeleted...)
+		sort.Ints(dels)
+		buf = frame(buf, appendPOIs(nil, base, st.POIInserts, dels))
+	}
+	gids := make([]uint32, 0, len(st.Groups))
+	for gid := range st.Groups {
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, gid := range gids {
+		g := st.Groups[gid]
+		buf = frame(buf, appendGroup(nil, gid, g.IDs, g.Locs))
+	}
+	return buf
 }
 
 // nextFrame parses the frame at the head of b. It returns the payload
@@ -268,7 +394,7 @@ func nextFrame(b []byte) (payload []byte, size int, ok bool) {
 		return nil, 0, false
 	}
 	n := int(binary.LittleEndian.Uint32(b))
-	if n <= 0 || n > maxRecord || len(b) < frameHdr+n {
+	if n <= 0 || n > MaxRecord || len(b) < frameHdr+n {
 		return nil, 0, false
 	}
 	payload = b[frameHdr : frameHdr+n]

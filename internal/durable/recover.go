@@ -121,7 +121,7 @@ func loadSnapshot(path string, st *State) error {
 		if !ok {
 			return fmt.Errorf("%w: torn frame in %s", ErrCorruptSnapshot, filepath.Base(path))
 		}
-		if first && payload[0] != recMeta {
+		if first && payload[0] != RecMeta {
 			return fmt.Errorf("%w: %s does not start with a meta record", ErrCorruptSnapshot, filepath.Base(path))
 		}
 		first = false

@@ -2,9 +2,9 @@ package durable
 
 import (
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -56,6 +56,25 @@ type Config struct {
 	// CompactAt is the log size (bytes) that triggers snapshot
 	// compaction. Default 1MiB.
 	CompactAt int64
+	// CompactEvery, when positive, also compacts once the live log is
+	// older than this — so a low-traffic server does not replay (or ship
+	// to a follower) a WAL of unbounded age. 0 disables the age trigger.
+	CompactEvery time.Duration
+	// CompactAfterRecords, when positive, also compacts once this many
+	// records landed in the live log regardless of byte size. 0 disables
+	// the record-count trigger.
+	CompactAfterRecords int
+	// ReopenAttempts bounds reopen-with-backoff after a transient write
+	// or sync error: the writer rebuilds a fresh snapshot+log pair from
+	// its mirror up to this many times before wedging permanently.
+	// Default 5.
+	ReopenAttempts int
+	// ReopenBackoff is the base delay before the first reopen attempt;
+	// it doubles per attempt with seeded jitter. Default 5ms.
+	ReopenBackoff time.Duration
+	// ReopenSeed seeds the reopen jitter (deterministic tests). 0 means
+	// seed 1.
+	ReopenSeed int64
 	// POIBase is the size of the base POI table the server boots with;
 	// recovery fails if a recovered snapshot disagrees (the serving
 	// config changed under the state directory). Negative accepts
@@ -76,8 +95,11 @@ type Stats struct {
 	Compactions uint64
 	// Errors counts write/sync/compaction failures.
 	Errors uint64
+	// Reopens counts successful reopen-with-backoff recoveries from
+	// transient I/O errors.
+	Reopens uint64
 	// Wedged reports that the log stopped accepting writes (torn write
-	// injected, I/O error, or Crash).
+	// injected, unrecovered I/O error, or Crash).
 	Wedged bool
 }
 
@@ -99,19 +121,31 @@ type Store struct {
 	closed atomic.Bool
 	wedged atomic.Bool
 
-	appended, shed, syncs, compactions, errs atomic.Uint64
+	appended, shed, syncs, compactions, errs, reopens atomic.Uint64
+
+	// Stream subscriptions. The writer mutates the mirror and forwards
+	// records under subMu, so StreamFrom can clone a state consistent
+	// with a stream position.
+	subMu sync.Mutex
+	subs  []*StreamSub
+	pos   atomic.Uint64 // monotone record position (this process only)
 
 	// Writer-goroutine-owned state. Crash-path truncation also runs on
 	// the writer goroutine (crashCh / panic recovery), never outside.
-	f            *os.File
-	seq          uint64
-	hasSnap      bool // snap-<seq> exists on disk
-	written      int64
-	synced       int64
-	compactAfter int64
-	lastSync     time.Time
-	mirror       *State
-	buf          []byte
+	f                *os.File
+	seq              uint64
+	hasSnap          bool // snap-<seq> exists on disk
+	written          int64
+	synced           int64
+	compactAfter     int64
+	lastSync         time.Time
+	lastCompact      time.Time
+	recsSinceCompact int
+	mirror           *State
+	buf              []byte
+	rng              *rand.Rand
+	ioErr            bool // transient I/O error: reopen-with-backoff may recover
+	permWedged       bool // torn write, crash, or reopen exhausted: stay wedged
 }
 
 // Open recovers the durable state in cfg.Dir and opens the store for
@@ -191,6 +225,10 @@ func Open(cfg Config) (*Store, *State, RecoverInfo, error) {
 		return nil, nil, info, err
 	}
 
+	seed := cfg.ReopenSeed
+	if seed == 0 {
+		seed = 1
+	}
 	s := &Store{
 		cfg:          cfg,
 		ch:           make(chan []byte, cfg.Queue),
@@ -204,19 +242,22 @@ func Open(cfg Config) (*Store, *State, RecoverInfo, error) {
 		synced:       valid,
 		compactAfter: cfg.CompactAt,
 		lastSync:     time.Now(),
+		lastCompact:  time.Now(),
 		mirror:       st.clone(),
+		rng:          rand.New(rand.NewSource(seed)),
 	}
 	go s.writer()
 	return s, st, info, nil
 }
 
-// clone deep-copies a State for the store's mirror.
-func (st *State) clone() *State {
+// Clone deep-copies a State — the store's mirror, a replication seed.
+func (st *State) Clone() *State {
 	c := &State{
 		POIBase:    st.POIBase,
 		POIInserts: append([]geom.Point(nil), st.POIInserts...),
 		POIDeleted: append([]int(nil), st.POIDeleted...),
 		Groups:     make(map[uint32]GroupState, len(st.Groups)),
+		Epoch:      st.Epoch,
 	}
 	for gid, g := range st.Groups {
 		c.Groups[gid] = GroupState{
@@ -232,6 +273,9 @@ func (st *State) clone() *State {
 	}
 	return c
 }
+
+// clone is the package-internal alias for Clone.
+func (st *State) clone() *State { return st.Clone() }
 
 // GroupUpsert records a group registration or committed location
 // update. Non-blocking: sheds when the queue is full or the store is
@@ -259,6 +303,16 @@ func (s *Store) POIBatch(baseExt int, inserts []geom.Point, deleteIDs []int) {
 	s.enqueue(appendPOIs(make([]byte, 0, 17+len(inserts)*16+len(deleteIDs)*8), baseExt, inserts, deleteIDs))
 }
 
+// EpochRecord journals the adoption of a fencing epoch (boot,
+// promotion) so recovery — and every follower seeded from this log —
+// restores the fence. Zero epochs are ignored.
+func (s *Store) EpochRecord(epoch uint64) {
+	if epoch == 0 {
+		return
+	}
+	s.enqueue(AppendEpochRecord(make([]byte, 0, 9), epoch))
+}
+
 // enqueue hands one encoded payload to the writer, shedding instead of
 // blocking.
 func (s *Store) enqueue(payload []byte) {
@@ -281,8 +335,117 @@ func (s *Store) Stats() Stats {
 		Syncs:       s.syncs.Load(),
 		Compactions: s.compactions.Load(),
 		Errors:      s.errs.Load(),
+		Reopens:     s.reopens.Load(),
 		Wedged:      s.wedged.Load(),
 	}
+}
+
+// StreamRecord is one live log record delivered to a stream subscriber:
+// the raw record payload plus its monotone position in this process's
+// record stream (positions are not persistent across restarts).
+type StreamRecord struct {
+	Pos     uint64
+	Payload []byte
+}
+
+// StreamSub is a live subscription to the record stream. Records arrive
+// on C strictly in position order. A subscriber that falls more than
+// its buffer behind is cut: the store marks it lagged and closes C, and
+// the consumer must re-seed with a fresh StreamFrom (the replication
+// shipper turns this into a follower full resync). C is also closed
+// when the store's writer exits (Close, Crash, or wedge-by-panic).
+type StreamSub struct {
+	C <-chan StreamRecord
+
+	s      *Store
+	ch     chan StreamRecord
+	lagged bool // guarded by s.subMu
+	closed bool // guarded by s.subMu
+}
+
+// Lagged reports whether the subscription was cut for falling behind
+// (as opposed to the store shutting down).
+func (sub *StreamSub) Lagged() bool {
+	sub.s.subMu.Lock()
+	defer sub.s.subMu.Unlock()
+	return sub.lagged
+}
+
+// Close detaches the subscription. Idempotent; safe concurrently with
+// the store cutting it.
+func (sub *StreamSub) Close() {
+	sub.s.subMu.Lock()
+	defer sub.s.subMu.Unlock()
+	sub.s.dropSubLocked(sub, false)
+}
+
+// dropSubLocked closes and unregisters sub. Callers hold subMu.
+func (s *Store) dropSubLocked(sub *StreamSub, lagged bool) {
+	if sub.closed {
+		return
+	}
+	sub.closed = true
+	sub.lagged = lagged
+	close(sub.ch)
+	for i, x := range s.subs {
+		if x == sub {
+			s.subs = append(s.subs[:i], s.subs[i+1:]...)
+			break
+		}
+	}
+}
+
+// StreamFrom atomically clones the mirrored state and subscribes to
+// every record applied after it: the returned State is consistent with
+// the returned position, and the subscription's first record is
+// position+1. buffer bounds the subscription channel (default 256); a
+// subscriber that overflows it is cut (see StreamSub).
+func (s *Store) StreamFrom(buffer int) (*State, uint64, *StreamSub) {
+	if buffer <= 0 {
+		buffer = 256
+	}
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	st := s.mirror.Clone()
+	pos := s.pos.Load()
+	sub := &StreamSub{s: s, ch: make(chan StreamRecord, buffer)}
+	sub.C = sub.ch
+	s.subs = append(s.subs, sub)
+	return st, pos, sub
+}
+
+// StreamPos returns the position of the last record applied to the
+// mirror — what a fully caught-up subscriber has seen.
+func (s *Store) StreamPos() uint64 { return s.pos.Load() }
+
+// forwardLocked fans one record out to every subscriber, cutting any
+// whose buffer is full. Callers hold subMu.
+func (s *Store) forwardLocked(rec StreamRecord) {
+	for i := 0; i < len(s.subs); {
+		sub := s.subs[i]
+		select {
+		case sub.ch <- rec:
+			i++
+		default:
+			sub.closed = true
+			sub.lagged = true
+			close(sub.ch)
+			s.subs = append(s.subs[:i], s.subs[i+1:]...)
+		}
+	}
+}
+
+// closeSubs closes every subscription on writer exit.
+func (s *Store) closeSubs() {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	for _, sub := range s.subs {
+		if !sub.closed {
+			sub.closed = true
+			close(sub.ch)
+		}
+	}
+	s.subs = nil
 }
 
 // Close drains the queue, flushes, fsyncs, and stops the writer. Safe
@@ -323,9 +486,11 @@ func (s *Store) Crash() {
 // recovered as a crash: truncate to the synced offset and wedge.
 func (s *Store) writer() {
 	defer close(s.done)
+	defer s.closeSubs()
 	defer func() {
 		if r := recover(); r != nil {
 			s.errs.Add(1)
+			s.permWedged = true
 			s.doCrash()
 		}
 	}()
@@ -336,11 +501,22 @@ func (s *Store) writer() {
 		defer t.Stop()
 		tickC = t.C
 	}
+	var compactC <-chan time.Time
+	if s.cfg.CompactEvery > 0 {
+		period := s.cfg.CompactEvery / 4
+		if period < time.Millisecond {
+			period = time.Millisecond
+		}
+		ct := time.NewTicker(period)
+		defer ct.Stop()
+		compactC = ct.C
+	}
 
 	batch := make([][]byte, 0, 128)
 	for {
 		select {
 		case <-s.crashCh:
+			s.permWedged = true
 			s.doCrash()
 			return
 		case <-s.quit:
@@ -369,15 +545,94 @@ func (s *Store) writer() {
 		have:
 			s.writeBatch(batch)
 			s.maybeSync()
-			if s.written >= s.compactAfter && !s.wedged.Load() {
+			if s.maybeReopen() {
+				return
+			}
+			if !s.wedged.Load() && s.shouldCompact() {
 				s.compact()
+				if s.maybeReopen() {
+					return
+				}
 			}
 		case <-tickC:
 			if s.written > s.synced {
 				s.syncNow()
+				if s.maybeReopen() {
+					return
+				}
+			}
+		case <-compactC:
+			if !s.wedged.Load() && s.shouldCompact() {
+				s.compact()
+				if s.maybeReopen() {
+					return
+				}
 			}
 		}
 	}
+}
+
+// shouldCompact evaluates the three compaction triggers: log byte size
+// (CompactAt), record count (CompactAfterRecords), and log age
+// (CompactEvery). Count and age only fire when the live log holds
+// records — there is nothing to fold otherwise.
+func (s *Store) shouldCompact() bool {
+	if s.written >= s.compactAfter {
+		return true
+	}
+	if s.written <= magicLen {
+		return false
+	}
+	if s.cfg.CompactAfterRecords > 0 && s.recsSinceCompact >= s.cfg.CompactAfterRecords {
+		return true
+	}
+	if s.cfg.CompactEvery > 0 && time.Since(s.lastCompact) >= s.cfg.CompactEvery {
+		return true
+	}
+	return false
+}
+
+// maybeReopen runs reopen-with-backoff when the store wedged on a
+// transient I/O error. Returns true when the writer must exit (Close or
+// Crash arrived while backing off).
+func (s *Store) maybeReopen() bool {
+	if !s.wedged.Load() || !s.ioErr || s.permWedged {
+		return false
+	}
+	attempts := s.cfg.ReopenAttempts
+	if attempts <= 0 {
+		attempts = 5
+	}
+	backoff := s.cfg.ReopenBackoff
+	if backoff <= 0 {
+		backoff = 5 * time.Millisecond
+	}
+	for i := 0; i < attempts; i++ {
+		d := backoff << uint(i)
+		d += time.Duration(s.rng.Int63n(int64(backoff)))
+		select {
+		case <-s.quit:
+			// Exit path: nothing more can be written; the deferred
+			// close paths run in writer(). Close the file best-effort.
+			s.f.Close()
+			return true
+		case <-s.crashCh:
+			s.permWedged = true
+			s.doCrash()
+			return true
+		case <-time.After(d):
+		}
+		if _, err := s.rotate(); err == nil {
+			s.ioErr = false
+			s.wedged.Store(false)
+			s.reopens.Add(1)
+			return false
+		}
+		s.errs.Add(1)
+	}
+	// Exhausted: the store stays wedged for the process lifetime.
+	s.permWedged = true
+	return false
 }
 
 // doCrash truncates the log to the synced offset and wedges the store.
@@ -423,6 +678,9 @@ func (s *Store) writeBatch(batch [][]byte) {
 				s.f.Sync()
 				s.synced = s.written
 			}
+			// A torn frame on disk is a crash artifact, not a transient
+			// error: reopen must not resurrect this store.
+			s.permWedged = true
 			s.wedged.Store(true)
 			s.shed.Add(uint64(len(batch) - i))
 			return
@@ -436,11 +694,22 @@ func (s *Store) writeBatch(batch [][]byte) {
 	s.flush(batch[:pend])
 }
 
-// flush writes the framed buffer and applies the payloads to the
-// mirror. A write error wedges the store: the log's tail state is
-// unknown, so appending more would interleave garbage.
+// flush writes the framed buffer, applies the payloads to the mirror,
+// and forwards them to stream subscribers. A write error wedges the
+// store — the log's tail state is unknown, so appending more would
+// interleave garbage — but marks it recoverable: reopen-with-backoff
+// rebuilds a fresh snapshot+log pair from the mirror. The WALWrite
+// failpoint's Fail effect models exactly that transient error.
 func (s *Store) flush(payloads [][]byte) {
 	if len(s.buf) == 0 {
+		return
+	}
+	if eff := faultinject.FireEffect(faultinject.WALWrite); eff.Fail {
+		s.errs.Add(1)
+		s.shed.Add(uint64(len(payloads)))
+		s.buf = s.buf[:0]
+		s.ioErr = true
+		s.wedged.Store(true)
 		return
 	}
 	n, err := s.f.Write(s.buf)
@@ -448,14 +717,21 @@ func (s *Store) flush(payloads [][]byte) {
 	s.buf = s.buf[:0]
 	if err != nil {
 		s.errs.Add(1)
+		s.shed.Add(uint64(len(payloads)))
+		s.ioErr = true
 		s.wedged.Store(true)
 		return
 	}
+	s.subMu.Lock()
 	for _, p := range payloads {
 		if err := s.mirror.apply(p); err != nil {
 			s.errs.Add(1)
+			continue
 		}
+		s.forwardLocked(StreamRecord{Pos: s.pos.Add(1), Payload: p})
 	}
+	s.subMu.Unlock()
+	s.recsSinceCompact += len(payloads)
 	s.appended.Add(uint64(len(payloads)))
 }
 
@@ -489,24 +765,50 @@ func (s *Store) syncNow() {
 	s.lastSync = time.Now()
 }
 
-// compact folds the mirror into a fresh snapshot (temp + fsync +
-// rename) and starts a new empty log, removing the old pair. On
-// failure the store keeps appending to the old log and retries after
-// another CompactAt bytes.
+// compact folds the mirror into a fresh snapshot and starts a new
+// empty log, removing the old pair. If the snapshot was renamed into
+// place but the fresh log could not be opened, the old pair is already
+// superseded — appending to the old log would write records recovery
+// never replays — so the store wedges with a recoverable I/O error and
+// reopen-with-backoff retries the rotation. Other failures keep
+// appending to the old log and retry after another CompactAt bytes.
 func (s *Store) compact() {
-	newSeq := s.seq + 1
-	tmp := filepath.Join(s.cfg.Dir, fmt.Sprintf("snap-%08d.tmp", newSeq))
-	if err := writeSnapshot(tmp, s.mirror); err != nil {
-		s.errs.Add(1)
-		os.Remove(tmp)
-		s.compactAfter = s.written + s.cfg.CompactAt
+	renamed, err := s.rotate()
+	if err == nil {
+		s.compactions.Add(1)
 		return
 	}
-	if err := os.Rename(tmp, snapName(s.cfg.Dir, newSeq)); err != nil {
-		s.errs.Add(1)
-		os.Remove(tmp)
-		s.compactAfter = s.written + s.cfg.CompactAt
+	s.errs.Add(1)
+	if renamed {
+		s.ioErr = true
+		s.wedged.Store(true)
 		return
+	}
+	s.compactAfter = s.written + s.cfg.CompactAt
+}
+
+// rotate writes the mirror as snapshot seq+1 (temp + fsync + rename),
+// opens a fresh log at the same seq, and commits the store onto the new
+// pair, removing the old one. It returns renamed=true once the new
+// snapshot is in place — from that point the old pair is superseded
+// even on error. rotate is also the reopen path after a transient I/O
+// error: the mirror holds everything durable plus everything written
+// since, so the rebuilt pair loses nothing the old log held.
+func (s *Store) rotate() (renamed bool, err error) {
+	newSeq := s.seq + 1
+	tmp := filepath.Join(s.cfg.Dir, fmt.Sprintf("snap-%08d.tmp", newSeq))
+	// Clone under subMu: rotate may run concurrently with StreamFrom
+	// reading the mirror. The writer itself is the only mutator.
+	s.subMu.Lock()
+	snap := s.mirror.Clone()
+	s.subMu.Unlock()
+	if err := writeSnapshot(tmp, snap); err != nil {
+		os.Remove(tmp)
+		return false, err
+	}
+	if err := os.Rename(tmp, snapName(s.cfg.Dir, newSeq)); err != nil {
+		os.Remove(tmp)
+		return false, err
 	}
 	syncDir(s.cfg.Dir)
 
@@ -519,14 +821,10 @@ func (s *Store) compact() {
 		}
 	}
 	if err != nil {
-		// The new snapshot already holds everything the old pair did;
-		// losing the race to open a fresh log just wedges appends.
-		s.errs.Add(1)
-		s.wedged.Store(true)
 		if nf != nil {
 			nf.Close()
 		}
-		return
+		return true, err
 	}
 	syncDir(s.cfg.Dir)
 
@@ -538,45 +836,22 @@ func (s *Store) compact() {
 	s.written, s.synced = magicLen, magicLen
 	s.compactAfter = s.cfg.CompactAt
 	s.lastSync = time.Now()
-	s.compactions.Add(1)
+	s.lastCompact = time.Now()
+	s.recsSinceCompact = 0
 
 	os.Remove(walName(s.cfg.Dir, oldSeq))
 	if oldSnap {
 		os.Remove(snapName(s.cfg.Dir, oldSeq))
 	}
 	syncDir(s.cfg.Dir)
+	return true, nil
 }
 
-// writeSnapshot serializes st to path and fsyncs it: magic, meta
-// record, one cumulative POI record, then group records sorted by gid.
+// writeSnapshot serializes st to path and fsyncs it: magic, then the
+// framed record sequence from AppendStateFrames (meta first, epoch if
+// recorded, cumulative POIs, groups sorted by gid).
 func writeSnapshot(path string, st *State) error {
-	base := st.POIBase
-	if base < 0 {
-		// No POI record ever fixed the base; record the only
-		// consistent value for an insert-free history.
-		base = 0
-	}
-	buf := []byte(snapMagic)
-	buf = frame(buf, appendMeta(nil, base))
-	if len(st.POIInserts) > 0 || len(st.POIDeleted) > 0 {
-		dels := append([]int(nil), st.POIDeleted...)
-		sort.Ints(dels)
-		base := st.POIBase
-		if base < 0 {
-			base = 0
-		}
-		buf = frame(buf, appendPOIs(nil, base, st.POIInserts, dels))
-	}
-	gids := make([]uint32, 0, len(st.Groups))
-	for gid := range st.Groups {
-		gids = append(gids, gid)
-	}
-	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
-	for _, gid := range gids {
-		g := st.Groups[gid]
-		buf = frame(buf, appendGroup(nil, gid, g.IDs, g.Locs))
-	}
-
+	buf := AppendStateFrames([]byte(snapMagic), st)
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err

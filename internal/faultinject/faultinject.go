@@ -56,6 +56,25 @@ const (
 	// WALSync fires before each fsync of the durable log. A panic here
 	// models a crash after writing but before the data is durable.
 	WALSync Point = "durable.wal.sync"
+	// WALWrite fires in the durable store's flush, immediately before the
+	// framed batch hits the file. A Fail effect here simulates a transient
+	// disk write error (EIO without touching the file), which exercises
+	// the store's reopen-with-backoff recovery instead of the torn-tail
+	// machinery that ShortWrite models.
+	WALWrite Point = "durable.wal.write"
+	// ReplShip fires in the replication shipper before each tail record is
+	// sent to a follower. A Drop effect is interpreted as a stream cut:
+	// the shipper closes that follower's connection mid-stream, forcing a
+	// reconnect-and-reseed.
+	ReplShip Point = "replica.ship"
+	// ReplTail fires in the replication tailer before each received tail
+	// record is applied. A Drop effect cuts the stream from the follower
+	// side.
+	ReplTail Point = "replica.tail"
+	// ReplHello fires while the tailer builds its handshake hello. A Drop
+	// effect makes it present a stale fencing epoch (0), modeling a
+	// follower that rejoined with forgotten state.
+	ReplHello Point = "replica.hello"
 )
 
 // Effect is what a rule tells a firing failpoint to do. The zero Effect
@@ -71,8 +90,14 @@ type Effect struct {
 	// ShortWrite bytes of the frame and then wedge — the on-disk shape
 	// of a crash mid-write (a torn tail).
 	ShortWrite int
-	// Drop asks the WAL to silently discard the frame.
+	// Drop asks the WAL to silently discard the frame. Replication call
+	// sites reinterpret it per point: at ReplShip/ReplTail it cuts the
+	// stream, at ReplHello it presents a stale epoch.
 	Drop bool
+	// Fail asks the call site to behave as if the operation returned an
+	// I/O error without performing it — a transient disk fault at
+	// WALWrite.
+	Fail bool
 }
 
 // Rule decides the effect of each hit of one point. Hit numbers are

@@ -54,6 +54,20 @@ func WithGroupNotify(fn GroupNotifyFunc) ClientOption {
 	return func(c *Client) { c.onGroup = fn }
 }
 
+// PeerUpdateFunc receives each TPeers advertisement the server pushes:
+// the fencing epoch that published the list and the cluster's
+// client-facing addresses, primary first. The slice is the callback's to
+// keep.
+type PeerUpdateFunc func(epoch uint64, peers []string)
+
+// WithPeerUpdate installs the peer-advertisement callback: whenever the
+// server pushes a TPeers frame (after registration, or alongside a write
+// refusal on a non-primary node), fn receives it. ReconnectClient wires
+// this internally to steer its redial list through a failover.
+func WithPeerUpdate(fn PeerUpdateFunc) ClientOption {
+	return func(c *Client) { c.onPeers = fn }
+}
+
 // WithHeartbeat enables the client's liveness machinery: Run sends a
 // TPing every interval, and — when the connection supports read
 // deadlines — arms a read deadline of 2.5× the interval before every
@@ -91,6 +105,7 @@ type Client struct {
 	loc      LocFunc
 	onNotify NotifyFunc
 	onGroup  GroupNotifyFunc
+	onPeers  PeerUpdateFunc
 
 	wmu sync.Mutex
 
@@ -243,6 +258,10 @@ func (c *Client) Run() error {
 			}
 		case TPong:
 			c.pongs.Add(1)
+		case TPeers:
+			if c.onPeers != nil {
+				c.onPeers(msg.Epoch, msg.Peers)
+			}
 		case TNotify:
 			region, err := DecodeRegion(msg.Region)
 			if err != nil {

@@ -51,10 +51,24 @@ type SubmitFunc func(gid uint32, ids []uint32, users []geom.Point) (meeting geom
 // e.g. net.Pipe) transport while holding its lock — a deadlock hazard
 // otherwise, since clients may be writing to the server at the same
 // moment.
+// WriteGateFunc decides whether this node currently accepts client
+// writes (registrations and reports). A nil error admits the write;
+// peers is then the cluster's client-facing addresses (primary first)
+// and epoch the fencing epoch that published them, pushed to freshly
+// registered members as a TPeers frame. A non-nil error refuses the
+// write: the client receives the peer list (its redirect target) and
+// then the error, so a standby or deposed primary steers clients to the
+// live one instead of silently serving writes it has no right to accept.
+type WriteGateFunc func() (peers []string, epoch uint64, err error)
+
 type Coordinator struct {
 	plan   PlanFunc   // synchronous backend (nil in async mode)
 	submit SubmitFunc // asynchronous backend (nil in sync mode)
 	logger *log.Logger
+
+	// gate, when set, is consulted before every client write (see
+	// WriteGateFunc and SetWriteGate).
+	gate WriteGateFunc
 
 	// onEmpty, when set, runs (under the lock) when the last member of a
 	// group disconnects — the engine-backed server uses it to unregister
@@ -90,6 +104,7 @@ type coordCounters struct {
 	heartbeats      atomic.Uint64
 	compactProbes   atomic.Uint64
 	observerFrames  atomic.Uint64
+	writeRefusals   atomic.Uint64
 }
 
 // CoordStats is a snapshot of the coordinator's failure-semantics
@@ -117,6 +132,10 @@ type CoordStats struct {
 	// ObserverFrames counts group-state TNotifyDelta frames successfully
 	// enqueued to FlagObserver subscriptions.
 	ObserverFrames uint64
+	// WriteRefusals counts registrations and reports refused by the
+	// write gate (this node was not the primary), each answered with a
+	// peer redirect.
+	WriteRefusals uint64
 }
 
 // Stats returns a snapshot of the coordinator's counters. Safe to call
@@ -131,6 +150,7 @@ func (c *Coordinator) Stats() CoordStats {
 		Heartbeats:            c.stats.heartbeats.Load(),
 		CompactProbes:         c.stats.compactProbes.Load(),
 		ObserverFrames:        c.stats.observerFrames.Load(),
+		WriteRefusals:         c.stats.writeRefusals.Load(),
 	}
 }
 
@@ -164,6 +184,11 @@ func (c *Coordinator) slowClientLimit() int {
 // registration plans, members that did not negotiate, members whose last
 // frame was dropped, NACK repairs — still receives full TNotify frames.
 func (c *Coordinator) SetDeltaEnabled(on bool) { c.delta = on }
+
+// SetWriteGate installs the write-admission gate (see WriteGateFunc).
+// Call it before serving connections. The gate runs without the
+// coordinator lock, so it may consult replication state freely.
+func (c *Coordinator) SetWriteGate(fn WriteGateFunc) { c.gate = fn }
 
 // SetGroupEmptyHook registers fn to run whenever a group loses its last
 // member. Call it before serving connections. fn runs with the
@@ -427,15 +452,32 @@ func (c *Coordinator) ServeConn(conn io.ReadWriteCloser) error {
 				c.sendError(conn, "already registered")
 				continue
 			}
+			if c.gate != nil {
+				// Before registration no outbox exists, so the redirect
+				// is written directly — nothing else owns the connection.
+				if peers, epoch, gerr := c.gate(); gerr != nil {
+					c.stats.writeRefusals.Add(1)
+					_ = Write(conn, Message{Type: TPeers, Epoch: epoch, Peers: peers})
+					_ = Write(conn, Message{Type: TError, Text: gerr.Error()})
+					continue
+				}
+			}
 			if err := c.register(msg, conn); err != nil {
 				c.sendError(conn, err.Error())
 				continue
 			}
 			gid, uid, registered = msg.Group, msg.User, true
+			c.pushPeers(gid, uid)
 		case TReport:
 			if !registered {
 				c.sendError(conn, "report before register")
 				continue
+			}
+			if c.gate != nil {
+				if peers, epoch, gerr := c.gate(); gerr != nil {
+					c.refuseWrite(msg.Group, msg.User, peers, epoch, gerr)
+					continue
+				}
 			}
 			c.handleReport(msg)
 		case TProbeReply, TProbeReplyC:
@@ -456,6 +498,60 @@ func (c *Coordinator) ServeConn(conn io.ReadWriteCloser) error {
 			c.sendError(conn, fmt.Sprintf("unexpected %v from client", msg.Type))
 		}
 	}
+}
+
+// pushPeers enqueues the current peer advertisement to a freshly
+// registered member or observer, so failover-capable clients learn the
+// standby addresses before they ever need them. The gate is consulted
+// outside the coordinator lock (it may take replication locks of its
+// own); the frame rides the member's outbox like any other delivery.
+func (c *Coordinator) pushPeers(gid, uid uint32) {
+	if c.gate == nil {
+		return
+	}
+	peers, epoch, err := c.gate()
+	if err != nil || len(peers) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.groups[gid]
+	if g == nil {
+		return
+	}
+	mb := g.members[uid]
+	if mb == nil {
+		mb = g.observers[uid]
+	}
+	if mb != nil {
+		mb.noteSend(c, gid, mb.send(Message{Type: TPeers, Epoch: epoch, Peers: peers}))
+	}
+}
+
+// refuseWrite answers a gated-off report from a registered member: a
+// peer redirect followed by an error, both routed through the member's
+// outbox — the writer goroutine owns the connection, so a direct write
+// here would race it. The error ends the client's session; a
+// reconnecting client then dials the advertised primary.
+func (c *Coordinator) refuseWrite(gid, uid uint32, peers []string, epoch uint64, gerr error) {
+	c.stats.writeRefusals.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := c.groups[gid]
+	if g == nil {
+		return
+	}
+	mb := g.members[uid]
+	if mb == nil {
+		mb = g.observers[uid]
+	}
+	if mb == nil {
+		return
+	}
+	if len(peers) > 0 {
+		mb.send(Message{Type: TPeers, Epoch: epoch, Peers: peers})
+	}
+	mb.noteSend(c, gid, mb.send(Message{Type: TError, Group: gid, Text: gerr.Error()}))
 }
 
 // sendError writes directly: it is only used before the member has an

@@ -30,6 +30,9 @@ func fuzzSeedMessages() []Message {
 		{Type: TPong, Epoch: 1 << 40},
 		{Type: TProbeC, Group: 9, User: 4},
 		{Type: TProbeReplyC, Group: 9, User: 4, Loc: geom.Pt(0.1, 0.9)},
+		{Type: TPeers, Epoch: 3, Peers: []string{"primary:9000", "standby:9001"}},
+		{Type: TPeers, Epoch: 1 << 33, Peers: []string{""}},
+		{Type: TPeers},
 	}
 }
 

@@ -73,6 +73,16 @@ const (
 	// 4–6 payload bytes; the reply adds the 16-byte location.
 	TProbeC
 	TProbeReplyC
+	// TPeers is a server→client peer advertisement: the cluster's current
+	// client-facing addresses (primary first) stamped with the fencing
+	// epoch that published them. The server pushes one after a successful
+	// registration and alongside every write refusal on a non-primary
+	// node, so a failover-capable client always knows where to dial next.
+	// Epoch carries the fencing epoch; Peers the addresses. Clients adopt
+	// an advertisement only when its epoch is not older than the last one
+	// adopted, so a delayed frame from a deposed primary cannot point
+	// them back at a dead node.
+	TPeers
 )
 
 // String implements fmt.Stringer.
@@ -102,6 +112,8 @@ func (t MsgType) String() string {
 		return "probe-compact"
 	case TProbeReplyC:
 		return "probe-reply-compact"
+	case TPeers:
+		return "peers"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -168,7 +180,8 @@ type RegionDelta struct {
 // Group/User/Epoch/Deltas (and Meeting when MeetingChanged); Nack
 // carries Group/User/Epoch; Error carries Text; Ping and Pong carry a
 // heartbeat sequence number in Epoch; ProbeC carries Group/User and
-// ProbeReplyC carries Group/User/Loc.
+// ProbeReplyC carries Group/User/Loc; Peers carries Epoch (the fencing
+// epoch) and Peers (the cluster's client-facing addresses).
 type Message struct {
 	Type      MsgType
 	Group     uint32
@@ -188,6 +201,11 @@ type Message struct {
 	MeetingChanged bool
 	DeltaReset     bool
 	Deltas         []RegionDelta
+
+	// Peers belongs to TPeers frames: the cluster's client-facing
+	// addresses, primary first (Epoch carries the fencing epoch that
+	// published them).
+	Peers []string
 }
 
 // Errors returned by the codec.
@@ -252,7 +270,9 @@ func (m Message) appendDeltaPayload(buf []byte) []byte {
 
 // appendCompactPayload serializes the all-varint frame family (TPing and
 // up): heartbeats are type + uvarint sequence, compact probes are type +
-// uvarint group + uvarint user (+ the 16-byte location on the reply).
+// uvarint group + uvarint user (+ the 16-byte location on the reply),
+// peer advertisements are type + uvarint epoch + uvarint count +
+// length-prefixed addresses.
 func (m Message) appendCompactPayload(buf []byte) []byte {
 	buf = append(buf, byte(m.Type))
 	switch m.Type {
@@ -263,6 +283,13 @@ func (m Message) appendCompactPayload(buf []byte) []byte {
 		buf = binary.AppendUvarint(buf, uint64(m.User))
 		if m.Type == TProbeReplyC {
 			buf = appendPoint(buf, m.Loc)
+		}
+	case TPeers:
+		buf = binary.AppendUvarint(buf, m.Epoch)
+		buf = binary.AppendUvarint(buf, uint64(len(m.Peers)))
+		for _, a := range m.Peers {
+			buf = binary.AppendUvarint(buf, uint64(len(a)))
+			buf = append(buf, a...)
 		}
 	}
 	return buf
@@ -488,6 +515,37 @@ func parseCompactPayload(p []byte) (Message, error) {
 			}
 			m.Loc = readPoint(rest)
 			rest = rest[16:]
+		}
+	case TPeers:
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return m, ErrCorruptFrame
+		}
+		m.Epoch = v
+		rest = rest[n:]
+		count, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return m, ErrCorruptFrame
+		}
+		rest = rest[n:]
+		if count > uint64(len(rest)) {
+			// Every address needs at least its one-byte length prefix; a
+			// count beyond the remaining payload is corruption and must be
+			// rejected BEFORE sizing the slice (same forged-count hazard
+			// as parseDeltaPayload).
+			return m, ErrCorruptFrame
+		}
+		if count > 0 {
+			m.Peers = make([]string, 0, int(min(count, 16)))
+		}
+		for i := uint64(0); i < count; i++ {
+			l, n := binary.Uvarint(rest)
+			if n <= 0 || l > uint64(len(rest)-n) {
+				return m, ErrCorruptFrame
+			}
+			rest = rest[n:]
+			m.Peers = append(m.Peers, string(rest[:l]))
+			rest = rest[l:]
 		}
 	default:
 		return m, ErrCorruptFrame

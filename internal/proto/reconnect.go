@@ -15,6 +15,10 @@ import (
 // DialFunc dials one connection attempt for a ReconnectClient.
 type DialFunc func() (io.ReadWriteCloser, error)
 
+// AddrDialFunc dials one named address for a multi-address
+// ReconnectClient (see NewReconnectClientAddrs).
+type AddrDialFunc func(addr string) (io.ReadWriteCloser, error)
+
 // ErrDisconnected is returned by ReconnectClient.Report while no live
 // connection exists (a reconnect is in progress). The caller's next
 // escape report, after the session resumes, carries the fresh location —
@@ -72,6 +76,13 @@ type ReconnectClient struct {
 	backoff   Backoff
 	rng       *rand.Rand
 
+	// userPeers and userGroup are the caller's WithPeerUpdate and
+	// WithGroupNotify callbacks, extracted from opts at construction so
+	// the client can interpose its own retention/adoption handlers and
+	// still forward every event.
+	userPeers PeerUpdateFunc
+	userGroup GroupNotifyFunc
+
 	reconnects atomic.Uint64
 	connected  atomic.Bool
 
@@ -82,11 +93,25 @@ type ReconnectClient struct {
 	stop    chan struct{}
 	done    chan struct{}
 
+	// Address book for multi-address clients (nil addrDial on classic
+	// single-dial clients): dial attempts walk addrs round-robin, and a
+	// server-pushed TPeers advertisement with a fresh-enough epoch
+	// replaces the list wholesale (see adoptPeers).
+	amu       sync.Mutex
+	addrDial  AddrDialFunc
+	addrs     []string
+	addrIdx   int
+	adopted   bool // an adoption repositioned addrIdx since the last dial
+	peerEpoch uint64
+
 	// Retained plan, updated by every notification on any session.
 	pmu     sync.RWMutex
 	meeting geom.Point
 	region  core.SafeRegion
 	haveReg bool
+	// obsRegions is the observer-mode retained group view, surviving
+	// reconnects just like the member-mode plan above.
+	obsRegions map[uint32]core.SafeRegion
 }
 
 // NewReconnectClient builds a reconnecting client. dial and loc must be
@@ -100,13 +125,116 @@ func NewReconnectClient(dial DialFunc, group, user, groupSize uint32, loc LocFun
 	if loc == nil {
 		return nil, errors.New("proto: nil location supplier")
 	}
+	rc := newReconnectClient(group, user, groupSize, loc, onNotify, backoff, opts)
+	rc.dial = dial
+	return rc, nil
+}
+
+// NewReconnectClientAddrs builds a reconnecting client over a list of
+// candidate server addresses — the zero-downtime failover entry point.
+// Dial attempts walk the list round-robin: every attempt that ends (a
+// failed dial, a refused registration, a dead session) advances to the
+// next address, so a client pointed at a dead primary converges on the
+// promoted follower within one rotation. Server-pushed TPeers
+// advertisements replace the list wholesale (primary first) when their
+// fencing epoch is not older than the last adopted one, so the address
+// book follows the cluster through promotions without reconfiguration.
+// addrs must be non-empty; everything else is as NewReconnectClient.
+func NewReconnectClientAddrs(dial AddrDialFunc, addrs []string, group, user, groupSize uint32, loc LocFunc, onNotify NotifyFunc, backoff Backoff, opts ...ClientOption) (*ReconnectClient, error) {
+	if dial == nil {
+		return nil, errors.New("proto: nil dial function")
+	}
+	if len(addrs) == 0 {
+		return nil, errors.New("proto: empty address list")
+	}
+	if loc == nil {
+		return nil, errors.New("proto: nil location supplier")
+	}
+	rc := newReconnectClient(group, user, groupSize, loc, onNotify, backoff, opts)
+	rc.addrDial = dial
+	rc.addrs = append([]string(nil), addrs...)
+	rc.dial = func() (io.ReadWriteCloser, error) { return dial(rc.currentAddr()) }
+	return rc, nil
+}
+
+// newReconnectClient is the shared construction path: it captures the
+// caller's peer/group callbacks so the session loop can interpose its
+// own adoption and retention handlers in front of them.
+func newReconnectClient(group, user, groupSize uint32, loc LocFunc, onNotify NotifyFunc, backoff Backoff, opts []ClientOption) *ReconnectClient {
 	b := backoff.withDefaults()
-	return &ReconnectClient{
-		dial: dial, group: group, user: user, groupSize: groupSize,
+	rc := &ReconnectClient{
+		group: group, user: user, groupSize: groupSize,
 		loc: loc, onNotify: onNotify, opts: opts, backoff: b,
 		rng:  rand.New(rand.NewSource(b.Seed)),
 		stop: make(chan struct{}), done: make(chan struct{}),
-	}, nil
+	}
+	// Probe the options on a throwaway Client to learn the caller's
+	// callbacks (options are plain field setters, so this is safe).
+	var probe Client
+	for _, o := range opts {
+		o(&probe)
+	}
+	rc.userPeers = probe.onPeers
+	rc.userGroup = probe.onGroup
+	return rc
+}
+
+// currentAddr returns the address the next dial attempt should use and
+// clears the adoption marker: the attempt now "owns" this address, and
+// rotate will advance past it if the attempt ends.
+func (rc *ReconnectClient) currentAddr() string {
+	rc.amu.Lock()
+	defer rc.amu.Unlock()
+	rc.adopted = false
+	return rc.addrs[rc.addrIdx%len(rc.addrs)]
+}
+
+// rotate advances the address book to the next candidate after an ended
+// attempt — unless an adoption already repositioned it (the adopted
+// primary must be tried before rotating away from it).
+func (rc *ReconnectClient) rotate() {
+	rc.amu.Lock()
+	defer rc.amu.Unlock()
+	if rc.adopted || len(rc.addrs) == 0 {
+		return
+	}
+	rc.addrIdx = (rc.addrIdx + 1) % len(rc.addrs)
+}
+
+// adoptPeers folds a server-pushed TPeers advertisement into the address
+// book. Advertisements from older fencing epochs than the last adopted
+// one are discarded — a delayed frame from a deposed primary must not
+// point the client back at a dead node.
+func (rc *ReconnectClient) adoptPeers(epoch uint64, peers []string) {
+	if rc.addrDial != nil && len(peers) > 0 {
+		rc.amu.Lock()
+		if epoch >= rc.peerEpoch {
+			rc.peerEpoch = epoch
+			rc.addrs = append(rc.addrs[:0], peers...)
+			rc.addrIdx = 0
+			rc.adopted = true
+		}
+		rc.amu.Unlock()
+	}
+	if rc.userPeers != nil {
+		rc.userPeers(epoch, peers)
+	}
+}
+
+// Addrs returns a copy of the current address book (observability for
+// tests and monitoring); nil on single-dial clients.
+func (rc *ReconnectClient) Addrs() []string {
+	rc.amu.Lock()
+	defer rc.amu.Unlock()
+	return append([]string(nil), rc.addrs...)
+}
+
+// PeerEpoch returns the fencing epoch of the last adopted peer
+// advertisement (0 before any adoption).
+func (rc *ReconnectClient) PeerEpoch() uint64 {
+	rc.amu.Lock()
+	defer rc.amu.Unlock()
+	return rc.peerEpoch
 }
 
 // Start launches the session loop in its own goroutine. It runs until
@@ -181,6 +309,19 @@ func (rc *ReconnectClient) NeedsUpdate(loc geom.Point) bool {
 	return !rc.region.Contains(loc)
 }
 
+// GroupRegions returns a copy of the observer-mode retained group view
+// (user id → region), surviving reconnects. Empty on non-observer
+// clients and before the first observer frame.
+func (rc *ReconnectClient) GroupRegions() map[uint32]core.SafeRegion {
+	rc.pmu.RLock()
+	defer rc.pmu.RUnlock()
+	out := make(map[uint32]core.SafeRegion, len(rc.obsRegions))
+	for uid, r := range rc.obsRegions {
+		out[uid] = r
+	}
+	return out
+}
+
 // retain records a notification into the cross-session plan and forwards
 // it to the caller's callback.
 func (rc *ReconnectClient) retain(meeting geom.Point, region core.SafeRegion) {
@@ -194,11 +335,39 @@ func (rc *ReconnectClient) retain(meeting geom.Point, region core.SafeRegion) {
 	}
 }
 
+// retainGroup is the observer-mode analogue of retain: each session's
+// group snapshots replace the retained view (observer frames always
+// carry complete regions, and a fresh session starts from a DeltaReset
+// frame, so wholesale replacement is correct), then flow on to the
+// caller's WithGroupNotify callback.
+func (rc *ReconnectClient) retainGroup(meeting geom.Point, regions map[uint32]core.SafeRegion) {
+	rc.pmu.Lock()
+	rc.meeting = meeting
+	rc.obsRegions = regions
+	rc.pmu.Unlock()
+	if rc.userGroup != nil {
+		// Forward a copy: the retained map must not be aliased by a
+		// callback that mutates its argument.
+		fwd := make(map[uint32]core.SafeRegion, len(regions))
+		for uid, r := range regions {
+			fwd[uid] = r
+		}
+		rc.userGroup(meeting, fwd)
+	}
+}
+
 // run is the session loop: dial, register, pump frames; on any session
-// death, back off and start over. The backoff resets after every
-// successful registration, so an isolated restart costs one Min-scale
-// delay while a hard-down server is approached at Max cadence.
+// death, back off, rotate the address book (multi-address clients), and
+// start over. The backoff resets after every successful registration, so
+// an isolated restart costs one Min-scale delay while a hard-down server
+// is approached at Max cadence — and with several candidate addresses,
+// the whole ring is walked before the delay compounds much.
 func (rc *ReconnectClient) run() {
+	// Every session interposes the adoption and retention handlers; the
+	// caller's own callbacks (captured at construction) are forwarded
+	// from inside them.
+	sessionOpts := append(append([]ClientOption(nil), rc.opts...),
+		WithPeerUpdate(rc.adoptPeers), WithGroupNotify(rc.retainGroup))
 	delay := rc.backoff.Min
 	for attempt := 0; ; attempt++ {
 		if rc.isStopped() {
@@ -213,11 +382,13 @@ func (rc *ReconnectClient) run() {
 		}
 		conn, err := rc.dial()
 		if err != nil {
+			rc.rotate()
 			continue
 		}
-		cl, err := NewClient(conn, rc.group, rc.user, rc.loc, rc.retain, rc.opts...)
+		cl, err := NewClient(conn, rc.group, rc.user, rc.loc, rc.retain, sessionOpts...)
 		if err != nil {
 			_ = conn.Close()
+			rc.rotate()
 			continue
 		}
 		rc.mu.Lock()
@@ -240,6 +411,7 @@ func (rc *ReconnectClient) run() {
 		rc.cur = nil
 		rc.mu.Unlock()
 		_ = conn.Close()
+		rc.rotate()
 	}
 }
 

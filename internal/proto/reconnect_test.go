@@ -176,8 +176,11 @@ func TestCompactProbeNegotiation(t *testing.T) {
 // restartableServer is a coordinator behind a real TCP listener that can
 // be killed and brought back on a fresh port, like a crashed process.
 type restartableServer struct {
-	t     *testing.T
-	plan  PlanFunc
+	t    *testing.T
+	plan PlanFunc
+	// gate, when set, is installed as the coordinator's write gate on
+	// every (re)start.
+	gate  WriteGateFunc
 	mu    sync.Mutex
 	coord *Coordinator
 	ln    net.Listener
@@ -191,6 +194,9 @@ func (s *restartableServer) start() {
 		s.t.Fatal(err)
 	}
 	coord := NewCoordinator(s.plan, nil)
+	if s.gate != nil {
+		coord.SetWriteGate(s.gate)
+	}
 	s.mu.Lock()
 	s.ln, s.coord, s.conns = ln, coord, nil
 	s.mu.Unlock()

@@ -1,0 +1,150 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"mpn/internal/durable"
+	"mpn/internal/geom"
+)
+
+// validStream builds a well-formed replication stream (primary→follower
+// direction) for the fuzzer to mutate from: magic, header, seed frames,
+// seed end, then tail records.
+func validStream() []byte {
+	st := durable.NewState()
+	st.POIBase = 10
+	st.POIInserts = []geom.Point{geom.Pt(0.5, 0.5)}
+	st.POIDeleted = []int{3}
+	st.Epoch = 2
+	st.Groups[7] = durable.GroupState{IDs: []uint32{1, 2}, Locs: []geom.Point{geom.Pt(0.1, 0.2), geom.Pt(0.3, 0.4)}}
+
+	b := []byte(streamMagic)
+	b = durable.AppendFrame(b, appendHeader(nil, 2, 6, "primary.example:9000"))
+	b = durable.AppendStateFrames(b, st)
+	b = durable.AppendFrame(b, appendSeedEnd(nil, 6))
+	// Tail records: an epoch advance, then a group upsert replayed from
+	// the state serialization (its last frame is a group record).
+	b = durable.AppendFrame(b, durable.AppendEpochRecord(nil, 3))
+	frames := durable.AppendStateFrames(nil, st)
+	rd := NewReader(bytes.NewReader(append([]byte(streamMagic), frames...)))
+	if err := rd.Magic(); err != nil {
+		panic(err)
+	}
+	var last []byte
+	for {
+		p, err := rd.Next()
+		if err != nil {
+			break
+		}
+		last = p
+	}
+	if len(last) == 0 || last[0] != durable.RecGroup {
+		panic("state serialization did not end with a group record")
+	}
+	return durable.AppendFrame(b, last)
+}
+
+// consumeStream drives a tailer-shaped parse over arbitrary bytes:
+// magic, header, seed applied to a fresh state, seed end, then tail
+// records applied in order. It returns the number of records accepted
+// and the terminating error (nil only for a clean EOF after the seed).
+func consumeStream(b []byte) (records int, err error) {
+	rd := NewReader(bytes.NewReader(b))
+	if err := rd.Magic(); err != nil {
+		return 0, err
+	}
+	p, err := rd.Next()
+	if err != nil {
+		return 0, err
+	}
+	if _, _, _, err := parseHeader(p); err != nil {
+		return 0, err
+	}
+	seed := durable.NewState()
+	for {
+		p, err := rd.Next()
+		if err != nil {
+			return records, err
+		}
+		if len(p) > 0 && p[0] == ctrlSeedEnd {
+			if _, err := parseSeedEnd(p); err != nil {
+				return records, err
+			}
+			break
+		}
+		if err := seed.Apply(p); err != nil {
+			return records, err
+		}
+		records++
+	}
+	for {
+		p, err := rd.Next()
+		if err == io.EOF {
+			return records, nil
+		}
+		if err != nil {
+			return records, err
+		}
+		rec, err := durable.DecodeRecord(p)
+		if err != nil {
+			return records, err
+		}
+		if err := seed.ApplyRecord(rec); err != nil {
+			return records, err
+		}
+		records++
+	}
+}
+
+// typedStreamError reports whether err is one of the errors the stream
+// consumer is allowed to surface for arbitrary input.
+func typedStreamError(err error) bool {
+	return err == nil ||
+		errors.Is(err, ErrCorruptStream) ||
+		errors.Is(err, durable.ErrBadRecord) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// FuzzReplStream is the replication-framing robustness fence, the
+// stream-side sibling of FuzzWALRecover: for ARBITRARY bytes presented
+// as a replication stream, the consumer must never panic and must
+// surface every defect as a typed error or clean truncation — never a
+// phantom record. CRC framing additionally guarantees prefix stability:
+// the records accepted before the error are exactly a prefix of what
+// the unmangled stream carries.
+func FuzzReplStream(f *testing.F) {
+	valid := validStream()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add([]byte(streamMagic))
+	f.Add([]byte{})
+	truncated := append([]byte{}, valid...)
+	truncated[9]++ // frame length off by one
+	f.Add(truncated)
+
+	baseRecords, baseErr := consumeStream(valid)
+	if baseErr != nil {
+		f.Fatalf("valid stream rejected: %v", baseErr)
+	}
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		records, err := consumeStream(b)
+		if !typedStreamError(err) {
+			t.Fatalf("untyped stream error: %v", err)
+		}
+		if records < 0 {
+			t.Fatalf("negative record count")
+		}
+		// A stream that shares the valid prefix can accept at most the
+		// valid stream's records plus whatever valid frames the mangled
+		// tail happens to contain — but if the input IS the valid
+		// stream, the count must match exactly.
+		if bytes.Equal(b, valid) && (err != nil || records != baseRecords) {
+			t.Fatalf("valid stream: records=%d err=%v (want %d, nil)", records, err, baseRecords)
+		}
+	})
+}

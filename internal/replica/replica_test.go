@@ -1,0 +1,392 @@
+package replica
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mpn/internal/durable"
+	"mpn/internal/faultinject"
+	"mpn/internal/geom"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// primaryNode bundles a store and shipper listening on a loopback port.
+type primaryNode struct {
+	store     *durable.Store
+	state     *durable.State
+	ship      *Shipper
+	addr      string
+	epoch     atomic.Uint64
+	fencedAt  atomic.Uint64
+	fencedAdv atomic.Value // string: the fencer's advertised address
+	dir       string
+}
+
+func startPrimary(t *testing.T, poiBase int) *primaryNode {
+	t.Helper()
+	p := &primaryNode{dir: t.TempDir()}
+	var err error
+	p.store, p.state, _, err = durable.Open(durable.Config{
+		Dir: p.dir, Fsync: durable.PolicyAlways, POIBase: poiBase, Queue: 1 << 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.epoch.Store(1)
+	p.ship = NewShipper(ShipperConfig{
+		Store:     p.store,
+		Epoch:     p.epoch.Load,
+		Advertise: "primary.example:9000",
+		OnFenced: func(epoch uint64, advertise string) {
+			p.fencedAdv.Store(advertise)
+			p.fencedAt.Store(epoch)
+		},
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.addr = ln.Addr().String()
+	go p.ship.Serve(ln)
+	t.Cleanup(func() { p.ship.Close(); p.store.Close() })
+	return p
+}
+
+// followTo starts a tailer applying everything into target (a state the
+// test compares against the primary at the end). target must carry the
+// same POI base the primary booted with.
+func followTo(t *testing.T, addr string, target *durable.State) *Tailer {
+	t.Helper()
+	tl := StartTailer(TailerConfig{
+		PrimaryAddr:  addr,
+		Advertise:    "standby.example:9001",
+		Epoch:        func() uint64 { return 0 },
+		OnRecord:     target.ApplyRecord,
+		Initial:      target.Clone(),
+		RetryBackoff: 10 * time.Millisecond,
+		AckInterval:  5 * time.Millisecond,
+	})
+	t.Cleanup(tl.Stop)
+	return tl
+}
+
+// statesEqual compares two states by their canonical serialization.
+func statesEqual(a, b *durable.State) bool {
+	return bytes.Equal(durable.AppendStateFrames(nil, a), durable.AppendStateFrames(nil, b))
+}
+
+// TestShipAndTail: a follower that connects mid-history must converge —
+// seed plus live tail — to the primary's exact state, and acks must
+// drain the lag to zero.
+func TestShipAndTail(t *testing.T) {
+	p := startPrimary(t, 10)
+	loc := []geom.Point{geom.Pt(0.5, 0.5)}
+	for i := 1; i <= 5; i++ {
+		p.store.GroupUpsert(uint32(i), []uint32{uint32(i)}, loc)
+	}
+	p.store.POIBatch(10, []geom.Point{geom.Pt(0.2, 0.2)}, []int{3})
+	waitFor(t, "pre-seed records", func() bool { return p.store.StreamPos() == 6 })
+
+	target := durable.NewState()
+	target.POIBase = 10
+	tl := followTo(t, p.addr, target)
+	waitFor(t, "seed", func() bool { return tl.Stats().Connected })
+
+	// Live tail after the seed.
+	p.store.GroupUpsert(6, []uint32{6}, loc)
+	p.store.GroupUnregister(1)
+	p.store.POIBatch(11, nil, []int{10})
+	waitFor(t, "tail catch-up", func() bool { return tl.Stats().Pos == 9 })
+	waitFor(t, "acks drain lag", func() bool {
+		st := p.ship.Stats()
+		return st.Followers == 1 && st.StreamPos == 9 && st.AckPos == 9
+	})
+	if got := tl.PrimaryAdvertise(); got != "primary.example:9000" {
+		t.Fatalf("primary advertise: %q", got)
+	}
+	if tl.PrimaryEpoch() != 1 {
+		t.Fatalf("primary epoch: %d", tl.PrimaryEpoch())
+	}
+
+	tl.Stop()
+	p.ship.Close()
+	p.store.Close()
+	final, _, err := durable.Recover(p.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The primary journaled no epoch record, so the replica's view of
+	// epoch matches (both zero in durable state).
+	if !statesEqual(target, final) {
+		t.Fatalf("follower state diverged:\nfollower: %+v\nprimary:  %+v", target, final)
+	}
+}
+
+// TestReseedAfterCut: a mid-stream cut (injected at the shipper) must
+// force the follower through a reconnect and full reseed, after which
+// it still converges exactly.
+func TestReseedAfterCut(t *testing.T) {
+	p := startPrimary(t, -1)
+	loc := []geom.Point{geom.Pt(0.5, 0.5)}
+	p.store.GroupUpsert(1, []uint32{1}, loc)
+	waitFor(t, "first record", func() bool { return p.store.StreamPos() == 1 })
+
+	faultinject.Arm(faultinject.Script{
+		faultinject.ReplShip: func(hit uint64) faultinject.Effect {
+			if hit == 2 {
+				return faultinject.Effect{Drop: true}
+			}
+			return faultinject.Effect{}
+		},
+	})
+	defer faultinject.Disarm()
+
+	target := durable.NewState()
+	tl := followTo(t, p.addr, target)
+	waitFor(t, "first seed", func() bool { return tl.Stats().Seeds >= 1 })
+	for i := 2; i <= 6; i++ {
+		p.store.GroupUpsert(uint32(i), []uint32{uint32(i)}, loc)
+	}
+	waitFor(t, "reseed after cut", func() bool { return tl.Stats().Seeds >= 2 })
+	waitFor(t, "converged", func() bool {
+		return p.store.StreamPos() == 6 && tl.Stats().Pos == 6
+	})
+	if p.ship.Stats().Cuts == 0 {
+		t.Fatal("injected cut not accounted")
+	}
+
+	tl.Stop()
+	p.ship.Close()
+	p.store.Close()
+	final, _, err := durable.Recover(p.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(target, final) {
+		t.Fatalf("state after reseed diverged:\nfollower: %+v\nprimary:  %+v", target, final)
+	}
+}
+
+// TestTailSideCut: the same guarantee when the stream is cut from the
+// follower side (ReplTail fault).
+func TestTailSideCut(t *testing.T) {
+	p := startPrimary(t, -1)
+	loc := []geom.Point{geom.Pt(0.5, 0.5)}
+	faultinject.Arm(faultinject.Script{
+		faultinject.ReplTail: func(hit uint64) faultinject.Effect {
+			if hit == 1 {
+				return faultinject.Effect{Drop: true}
+			}
+			return faultinject.Effect{}
+		},
+	})
+	defer faultinject.Disarm()
+
+	target := durable.NewState()
+	tl := followTo(t, p.addr, target)
+	waitFor(t, "first seed", func() bool { return tl.Stats().Seeds >= 1 })
+	for i := 1; i <= 4; i++ {
+		p.store.GroupUpsert(uint32(i), []uint32{uint32(i)}, loc)
+	}
+	waitFor(t, "reseed after follower-side cut", func() bool { return tl.Stats().Seeds >= 2 })
+	waitFor(t, "converged", func() bool {
+		return p.store.StreamPos() == 4 && tl.Stats().Pos == 4
+	})
+
+	tl.Stop()
+	p.ship.Close()
+	p.store.Close()
+	final, _, err := durable.Recover(p.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(target, final) {
+		t.Fatal("state diverged after follower-side cut")
+	}
+}
+
+// TestFencingEpoch: a handshake carrying a higher epoch must depose the
+// primary (OnFenced fires, stream refused); a stale (lower or zero)
+// epoch must be accepted and corrected by the header.
+func TestFencingEpoch(t *testing.T) {
+	p := startPrimary(t, -1)
+	p.epoch.Store(3)
+
+	// Stale follower (epoch 0 < 3): accepted, learns epoch 3.
+	target := durable.NewState()
+	tl := followTo(t, p.addr, target)
+	waitFor(t, "stale follower accepted", func() bool { return tl.Stats().Connected })
+	if tl.PrimaryEpoch() != 3 {
+		t.Fatalf("follower learned epoch %d, want 3", tl.PrimaryEpoch())
+	}
+	tl.Stop()
+
+	// A promoted node fences with epoch 4 > 3.
+	if err := Fence(p.addr, 4, "standby.example:9001", time.Second); err != nil {
+		t.Fatalf("Fence: %v", err)
+	}
+	waitFor(t, "primary deposed", func() bool { return p.fencedAt.Load() == 4 })
+	if p.ship.Stats().FencedBy != 4 {
+		t.Fatalf("FencedBy: %d", p.ship.Stats().FencedBy)
+	}
+	if got, _ := p.fencedAdv.Load().(string); got != "standby.example:9001" {
+		t.Fatalf("fencer advertise %q, want standby.example:9001", got)
+	}
+}
+
+// TestStaleHelloFault: the ReplHello failpoint downgrades the presented
+// epoch to zero — a rejoining follower that forgot its fence — which a
+// live primary must still accept (zero is stale, not superior).
+func TestStaleHelloFault(t *testing.T) {
+	p := startPrimary(t, -1)
+	p.epoch.Store(2)
+	faultinject.Arm(faultinject.Script{
+		faultinject.ReplHello: func(uint64) faultinject.Effect { return faultinject.Effect{Drop: true} },
+	})
+	defer faultinject.Disarm()
+
+	target := durable.NewState()
+	tl := StartTailer(TailerConfig{
+		PrimaryAddr: p.addr,
+		// The node believes it is at epoch 9, but the fault makes the
+		// hello present 0 — the primary must accept, and the header's
+		// epoch (2) must NOT be refused since the hello carried 0.
+		Epoch:        func() uint64 { return 9 },
+		OnRecord:     target.ApplyRecord,
+		RetryBackoff: 10 * time.Millisecond,
+		AckInterval:  5 * time.Millisecond,
+	})
+	defer tl.Stop()
+	waitFor(t, "stale hello accepted", func() bool { return tl.Stats().Connected })
+	if tl.PrimaryEpoch() != 2 {
+		t.Fatalf("learned epoch %d, want 2", tl.PrimaryEpoch())
+	}
+}
+
+// TestDiffStatesDivergence: every way a "new" state can fail to extend
+// the mirror must be ErrDiverged, and a clean extension must produce
+// records that converge a copy of the mirror exactly.
+func TestDiffStatesDivergence(t *testing.T) {
+	base := durable.NewState()
+	base.POIBase = 5
+	base.POIInserts = []geom.Point{geom.Pt(0.1, 0.1)}
+	base.POIDeleted = []int{2}
+	base.Groups[1] = durable.GroupState{IDs: []uint32{1}, Locs: []geom.Point{geom.Pt(0.3, 0.3)}}
+
+	t.Run("extension-converges", func(t *testing.T) {
+		next := base.Clone()
+		next.POIInserts = append(next.POIInserts, geom.Pt(0.9, 0.9))
+		next.POIDeleted = append(next.POIDeleted, 0)
+		next.Groups[2] = durable.GroupState{IDs: []uint32{2}, Locs: []geom.Point{geom.Pt(0.4, 0.4)}}
+		delete(next.Groups, 1)
+		next.Epoch = 7
+
+		recs, err := diffStates(base, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replay := base.Clone()
+		for _, rec := range recs {
+			if err := replay.ApplyRecord(rec); err != nil {
+				t.Fatalf("replaying diff: %v", err)
+			}
+		}
+		if !statesEqual(replay, next) {
+			t.Fatalf("diff replay diverged: %+v vs %+v", replay, next)
+		}
+	})
+
+	bad := []struct {
+		name   string
+		mutate func(st *durable.State)
+	}{
+		{"poi-base-changed", func(st *durable.State) { st.POIBase = 6 }},
+		{"inserts-shrank", func(st *durable.State) { st.POIInserts = nil }},
+		{"insert-rewritten", func(st *durable.State) { st.POIInserts[0] = geom.Pt(0.8, 0.8) }},
+		{"delete-undone", func(st *durable.State) { st.POIDeleted = nil }},
+		{"epoch-regressed", func(st *durable.State) { st.Epoch = 0 }},
+	}
+	withEpoch := base.Clone()
+	withEpoch.Epoch = 3
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			next := withEpoch.Clone()
+			tc.mutate(next)
+			if _, err := diffStates(withEpoch, next); !errors.Is(err, ErrDiverged) {
+				t.Fatalf("err=%v, want ErrDiverged", err)
+			}
+		})
+	}
+}
+
+// TestCatchUpRace is the race-enabled catch-up fence: a writer churning
+// groups and POIs while the follower tails (through at least one seed)
+// must still leave the follower byte-identical to the primary once the
+// stream drains.
+func TestCatchUpRace(t *testing.T) {
+	p := startPrimary(t, 0)
+	target := durable.NewState()
+	target.POIBase = 0
+	tl := followTo(t, p.addr, target)
+
+	loc := func(i int) []geom.Point { return []geom.Point{geom.Pt(float64(i%97)/97, 0.5)} }
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		next := 0
+		for i := 0; i < 400; i++ {
+			switch i % 7 {
+			case 3:
+				p.store.POIBatch(next, []geom.Point{geom.Pt(0.25, 0.75)}, nil)
+				next++
+			case 5:
+				if next > 0 {
+					p.store.POIBatch(next, nil, []int{next - 1})
+				}
+			case 6:
+				p.store.GroupUnregister(uint32(i % 13))
+			default:
+				p.store.GroupUpsert(uint32(i%13), []uint32{uint32(i % 5)}, loc(i))
+			}
+		}
+	}()
+	<-done
+	// All 400 ops settle in the store (nothing sheds with the deep
+	// queue) before the stream position is final.
+	waitFor(t, "store drain", func() bool {
+		st := p.store.Stats()
+		return st.Appended+st.Shed == 400
+	})
+	if p.store.Stats().Shed != 0 {
+		t.Fatalf("churn shed records: %+v", p.store.Stats())
+	}
+	waitFor(t, "follower drain", func() bool {
+		return tl.Stats().Pos == p.store.StreamPos()
+	})
+
+	tl.Stop()
+	p.ship.Close()
+	p.store.Close()
+	final, _, err := durable.Recover(p.dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !statesEqual(target, final) {
+		t.Fatal("follower diverged from primary under churn")
+	}
+}

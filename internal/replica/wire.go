@@ -1,0 +1,257 @@
+// Package replica is the hot-standby replication subsystem: a
+// primary-side shipper that streams the durable record log (snapshot
+// seed + live tail) over TCP, and a follower-side tailer that replays
+// it into a warm engine, with position acks, measurable lag, and a
+// fencing epoch that keeps a deposed primary from accepting writes
+// after its follower promoted.
+//
+// The wire format reuses the durable layer's CRC framing end to end:
+// every frame is [u32 len][u32 crc32(payload)][payload], little-endian,
+// and a record frame's payload is byte-identical to the WAL record it
+// mirrors. Control frames (handshake, seed end, acks) use payload type
+// bytes from 0xF0 up, disjoint from the durable record types.
+//
+// Stream shape, after each side writes the 8-byte magic:
+//
+//	follower → primary   hello{version, epoch, advertise}
+//	primary  → follower  header{epoch, seedPos, advertise}
+//	primary  → follower  seed record frames (durable.AppendStateFrames)
+//	primary  → follower  seedEnd{seedPos}
+//	primary  → follower  record frames, one per WAL record (the tail)
+//	follower → primary   ack{pos} frames, periodically
+//
+// Fencing: a hello carrying an epoch above the primary's own means the
+// dialer has promoted past it — the primary refuses the stream and
+// reports itself fenced. Fence() uses exactly this path to depose an
+// old primary on purpose.
+package replica
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"time"
+
+	"mpn/internal/durable"
+)
+
+const (
+	streamMagic = "MPNREPL1"
+	magicLen    = 8
+	frameHdr    = 8
+	wireVersion = 1
+
+	// maxAdvertise bounds the advertise-address field in handshakes.
+	maxAdvertise = 256
+)
+
+// Control payload type bytes, disjoint from durable record types (1..5).
+const (
+	ctrlHello   byte = 0xF0
+	ctrlHeader  byte = 0xF1
+	ctrlSeedEnd byte = 0xF2
+	ctrlAck     byte = 0xF3
+)
+
+// Typed stream errors; test with errors.Is.
+var (
+	// ErrCorruptStream means the byte stream violated the framing: bad
+	// magic, absurd frame length, CRC mismatch, or a malformed control
+	// payload. The connection is unusable; the tailer reconnects and
+	// reseeds.
+	ErrCorruptStream = errors.New("replica: corrupt stream")
+	// ErrFenced means the peer's fencing epoch supersedes ours: a
+	// deposed primary must stop accepting writes, a stale tailer must
+	// stop following.
+	ErrFenced = errors.New("replica: fenced by higher epoch")
+	// ErrDiverged means the follower's state is not a prefix of the
+	// primary's (conflicting POI history or a regressed epoch); the
+	// standby cannot catch up by replay and must be rebuilt.
+	ErrDiverged = errors.New("replica: follower state diverged from primary")
+)
+
+// Reader decodes one side of a replication stream: the magic, then CRC
+// frames. It never panics on any input bytes and surfaces every defect
+// as a typed error (the fuzz target holds it to that).
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader wraps r. Call Magic before the first Next.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Magic consumes and validates the 8-byte stream magic.
+func (r *Reader) Magic() error {
+	var m [magicLen]byte
+	if _, err := io.ReadFull(r.r, m[:]); err != nil {
+		return err
+	}
+	if string(m[:]) != streamMagic {
+		return fmt.Errorf("%w: bad magic %q", ErrCorruptStream, m[:])
+	}
+	return nil
+}
+
+// Next reads one frame and returns its payload. io.EOF means the stream
+// ended cleanly at a frame boundary; io.ErrUnexpectedEOF means it was
+// cut mid-frame; ErrCorruptStream (wrapped) means the bytes are not a
+// valid frame. The returned slice is freshly allocated.
+func (r *Reader) Next() ([]byte, error) {
+	var hdr [frameHdr]byte
+	if _, err := io.ReadFull(r.r, hdr[:1]); err != nil {
+		return nil, err // clean EOF at a boundary stays io.EOF
+	}
+	if _, err := io.ReadFull(r.r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n <= 0 || n > durable.MaxRecord {
+		return nil, fmt.Errorf("%w: frame length %d", ErrCorruptStream, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:]) {
+		return nil, fmt.Errorf("%w: frame CRC mismatch", ErrCorruptStream)
+	}
+	return payload, nil
+}
+
+// appendHello encodes the follower's handshake payload.
+func appendHello(buf []byte, epoch uint64, advertise string) []byte {
+	buf = append(buf, ctrlHello)
+	buf = binary.LittleEndian.AppendUint32(buf, wireVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+	return appendAddr(buf, advertise)
+}
+
+// parseHello decodes a hello payload (type byte included).
+func parseHello(p []byte) (epoch uint64, advertise string, err error) {
+	if len(p) < 15 || p[0] != ctrlHello {
+		return 0, "", fmt.Errorf("%w: malformed hello", ErrCorruptStream)
+	}
+	if v := binary.LittleEndian.Uint32(p[1:]); v != wireVersion {
+		return 0, "", fmt.Errorf("%w: stream version %d (want %d)", ErrCorruptStream, v, wireVersion)
+	}
+	epoch = binary.LittleEndian.Uint64(p[5:])
+	advertise, err = parseAddr(p[13:])
+	return epoch, advertise, err
+}
+
+// appendHeader encodes the primary's handshake reply.
+func appendHeader(buf []byte, epoch, pos uint64, advertise string) []byte {
+	buf = append(buf, ctrlHeader)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, pos)
+	return appendAddr(buf, advertise)
+}
+
+// parseHeader decodes a header payload.
+func parseHeader(p []byte) (epoch, pos uint64, advertise string, err error) {
+	if len(p) < 19 || p[0] != ctrlHeader {
+		return 0, 0, "", fmt.Errorf("%w: malformed header", ErrCorruptStream)
+	}
+	epoch = binary.LittleEndian.Uint64(p[1:])
+	pos = binary.LittleEndian.Uint64(p[9:])
+	advertise, err = parseAddr(p[17:])
+	return epoch, pos, advertise, err
+}
+
+// appendSeedEnd / parseSeedEnd frame the end-of-seed marker.
+func appendSeedEnd(buf []byte, pos uint64) []byte {
+	buf = append(buf, ctrlSeedEnd)
+	return binary.LittleEndian.AppendUint64(buf, pos)
+}
+
+func parseSeedEnd(p []byte) (pos uint64, err error) {
+	if len(p) != 9 || p[0] != ctrlSeedEnd {
+		return 0, fmt.Errorf("%w: malformed seed end", ErrCorruptStream)
+	}
+	return binary.LittleEndian.Uint64(p[1:]), nil
+}
+
+// appendAck / parseAck frame a follower position ack.
+func appendAck(buf []byte, pos uint64) []byte {
+	buf = append(buf, ctrlAck)
+	return binary.LittleEndian.AppendUint64(buf, pos)
+}
+
+func parseAck(p []byte) (pos uint64, err error) {
+	if len(p) != 9 || p[0] != ctrlAck {
+		return 0, fmt.Errorf("%w: malformed ack", ErrCorruptStream)
+	}
+	return binary.LittleEndian.Uint64(p[1:]), nil
+}
+
+// appendAddr / parseAddr encode a bounded advertise address.
+func appendAddr(buf []byte, addr string) []byte {
+	if len(addr) > maxAdvertise {
+		addr = addr[:maxAdvertise]
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(addr)))
+	return append(buf, addr...)
+}
+
+func parseAddr(p []byte) (string, error) {
+	if len(p) < 2 {
+		return "", fmt.Errorf("%w: short address field", ErrCorruptStream)
+	}
+	n := int(binary.LittleEndian.Uint16(p))
+	if n > maxAdvertise || len(p) != 2+n {
+		return "", fmt.Errorf("%w: address field length %d in %d bytes", ErrCorruptStream, n, len(p))
+	}
+	return string(p[2 : 2+n]), nil
+}
+
+// writeFrame writes one CRC frame to w with a bounded deadline when w
+// is a net.Conn.
+func writeFrame(w io.Writer, payload []byte, timeout time.Duration) error {
+	if c, ok := w.(net.Conn); ok && timeout > 0 {
+		c.SetWriteDeadline(time.Now().Add(timeout))
+		defer c.SetWriteDeadline(time.Time{})
+	}
+	_, err := w.Write(durable.AppendFrame(make([]byte, 0, frameHdr+len(payload)), payload))
+	return err
+}
+
+// Fence dials a (presumed deposed) primary's replication address and
+// presents epoch in the handshake: any epoch above the primary's own
+// makes it refuse writes from then on. advertise is the fencer's
+// client-facing address, handed to the deposed primary so it can
+// redirect its clients at the node that replaced it. Best-effort — an
+// unreachable primary is already not accepting writes.
+func Fence(addr string, epoch uint64, advertise string, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write([]byte(streamMagic)); err != nil {
+		return err
+	}
+	if err := writeFrame(conn, appendHello(nil, epoch, advertise), timeout); err != nil {
+		return err
+	}
+	// Wait for the primary to react (it closes the connection); the
+	// read result itself is irrelevant.
+	var b [1]byte
+	conn.Read(b[:])
+	return nil
+}
